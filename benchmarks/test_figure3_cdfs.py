@@ -1,0 +1,107 @@
+"""Experiment ``fig3-cdfs`` — Figure 3's per-program CDF panels.
+
+Paper: cumulative probability distributions of each program's error rate
+with lower and upper bound curves; the top axis maps error rate to
+performance improvement.
+
+Regenerated here as numeric series per benchmark.  Shape targets: each
+panel is a proper monotone CDF rising from ~0 to ~1 over a narrow
+error-rate span around its mean, the bound curves bracket it, and panels
+of different programs are centred at visibly different error rates (the
+figure's whole point).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+
+def _series(report, n=60):
+    return report.error_rate_grid(n)
+
+
+def test_cdf_panels(benchmark, full_results, processor):
+    def build():
+        return {n: _series(r) for n, r in full_results.items()}
+
+    panels = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    # Persist the regenerated Figure 3 series for plotting/diffing.
+    import json
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "figure3.json").write_text(
+        json.dumps(
+            {
+                name: {k: v.tolist() for k, v in grid.items()}
+                for name, grid in panels.items()
+            },
+            indent=2,
+        )
+    )
+
+    rows = []
+    for name, grid in panels.items():
+        report = full_results[name]
+        # The error rate where the CDF crosses 10%, 50% and 90%.
+        quantiles = []
+        for q in (0.1, 0.5, 0.9):
+            idx = int(np.searchsorted(grid["cdf"], q))
+            idx = min(idx, len(grid["rates_percent"]) - 1)
+            quantiles.append(round(float(grid["rates_percent"][idx]), 3))
+        perf = processor.performance.improvement_percent(
+            report.error_rate_mean / 100.0
+        )
+        rows.append([name, *quantiles, round(perf, 2)])
+    print_table(
+        ["benchmark", "ER@10%", "ER@50%", "ER@90%", "perf% (top axis)"],
+        rows,
+        "Figure 3 - error-rate CDFs",
+    )
+
+    for name, grid in panels.items():
+        cdf, lower, upper = grid["cdf"], grid["lower"], grid["upper"]
+        assert (np.diff(cdf) >= -1e-12).all(), name
+        assert cdf[0] < 0.2 and cdf[-1] > 0.98, name
+        assert (lower <= cdf + 0.02).all(), name
+        assert (upper >= cdf - 0.02).all(), name
+        # Median consistent with the reported mean.
+        median = grid["rates_percent"][int(np.searchsorted(cdf, 0.5))]
+        assert median == pytest.approx(
+            full_results[name].error_rate_mean,
+            rel=0.35,
+        ), name
+
+    # Panels are genuinely program-specific: medians spread by >= 3x.
+    medians = [
+        float(g["rates_percent"][int(np.searchsorted(g["cdf"], 0.5))])
+        for g in panels.values()
+    ]
+    assert max(medians) / max(min(medians), 1e-9) >= 3.0
+
+
+def test_cdf_renders_as_text(benchmark, full_results):
+    """Figure 3 as printable panels (the repository's 'plot')."""
+
+    def render():
+        lines = []
+        for name in ("patricia", "gsm.decode"):
+            report = full_results[name]
+            grid = report.error_rate_grid(12)
+            lines.append(f"[{name}]")
+            for r, lo, c, up in zip(
+                grid["rates_percent"], grid["lower"], grid["cdf"],
+                grid["upper"],
+            ):
+                bar = "#" * int(round(30 * c))
+                lines.append(
+                    f"  {r:7.3f}%  [{lo:5.3f} {c:5.3f} {up:5.3f}] {bar}"
+                )
+        return "\n".join(lines)
+
+    text = benchmark(render)
+    print("\n" + text)
+    assert "gsm.decode" in text

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without wheel support.
+
+``pip install -e .`` uses PEP 660 (which requires the ``wheel`` package);
+this offline environment lacks it, so ``python setup.py develop`` /
+legacy editable installs go through here instead.
+"""
+
+from setuptools import setup
+
+setup()

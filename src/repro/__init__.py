@@ -1,0 +1,44 @@
+"""repro — program error-rate estimation for timing-speculative processors.
+
+A full reproduction of Assare & Gupta, *Accurate Estimation of Program Error
+Rate for Timing-Speculative Processors*, DAC 2019: gate-level netlist
+substrate, (S)STA with correlated process variation, dynamic timing analysis
+(Algorithms 1 and 2), an instruction error model with error-correction
+conditioning, CFG-based marginal error probabilities, and the
+Poisson/Gaussian limit-theorem estimator of program error rate with
+Stein / Chen-Stein approximation bounds.
+
+Quickstart::
+
+    from repro import ErrorRateEstimator, default_processor
+    from repro.workloads import load_workload
+
+    proc = default_processor()
+    workload = load_workload("bitcount")
+    estimator = ErrorRateEstimator(proc)
+    artifacts = estimator.train(
+        workload.program, setup=workload.setup(workload.dataset("small"))
+    )
+    report = estimator.estimate(
+        workload.program, artifacts,
+        setup=workload.setup(workload.dataset("large")),
+    )
+    print(report.error_rate_mean, report.error_rate_sd)
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.processor import ProcessorModel, default_processor
+from repro.core.framework import ErrorRateEstimator, TrainingArtifacts
+from repro.core.results import ErrorRateReport
+from repro.core.montecarlo import MonteCarloValidator
+
+__all__ = [
+    "__version__",
+    "ProcessorModel",
+    "default_processor",
+    "ErrorRateEstimator",
+    "TrainingArtifacts",
+    "ErrorRateReport",
+    "MonteCarloValidator",
+]

@@ -1,0 +1,53 @@
+"""Small shared helpers used across the repro packages.
+
+Centralizes random-number-generator handling and argument validation so the
+rest of the library can stay terse and consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_in",
+]
+
+
+def as_rng(seed_or_rng) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` from a seed, a generator, or None.
+
+    ``None`` yields a freshly seeded generator (non-reproducible); an int
+    yields a deterministic generator; an existing generator is passed
+    through unchanged so callers can share a stream.
+    """
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_probability(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed unit interval."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def check_in(name: str, value, allowed) -> None:
+    """Raise ``ValueError`` unless ``value`` is a member of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(allowed)!r}, got {value!r}")

@@ -1,0 +1,25 @@
+"""Control-flow-graph analysis (Section 4.2).
+
+Builds basic blocks and edges from a program, profiles edge activation
+probabilities and block execution counts, identifies strongly connected
+components with Tarjan's algorithm, and solves the per-SCC linear systems
+that turn conditional instruction error probabilities (p^c, p^e) into
+marginal ones (Equations 1 and 2).
+"""
+
+from repro.cfg.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.cfg.tarjan import strongly_connected_components, condensation_order
+from repro.cfg.profile import EdgeProfiler, ProfileResult
+from repro.cfg.marginal import MarginalSolver, BlockProbabilities
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "strongly_connected_components",
+    "condensation_order",
+    "EdgeProfiler",
+    "ProfileResult",
+    "MarginalSolver",
+    "BlockProbabilities",
+]

@@ -1,0 +1,130 @@
+"""Basic blocks and the control-flow graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.isa import Opcode
+from repro.cpu.program import Program
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg", "ENTRY_EDGE"]
+
+#: Sentinel predecessor id for the virtual program-entry edge.
+ENTRY_EDGE = -1
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        bid: Dense block id (``B_1 .. B_m`` in the paper, zero-based here).
+        start: Index of the first instruction.
+        end: Index one past the last instruction.
+        successors: Block ids reachable from the terminator.
+        predecessors: Block ids with an edge into this block.  The paper's
+            ``d_i`` (indegree) is ``len(predecessors)`` plus one for the
+            entry block's virtual edge.
+    """
+
+    bid: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Number of instructions ``n_i``."""
+        return self.end - self.start
+
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end)
+
+
+class ControlFlowGraph:
+    """The CFG of a program.
+
+    Args:
+        program: The underlying program.
+        blocks: Basic blocks in address order.
+    """
+
+    def __init__(self, program: Program, blocks: list[BasicBlock]) -> None:
+        self.program = program
+        self.blocks = blocks
+        self.block_of_instruction = [0] * len(program)
+        for b in blocks:
+            for i in b.instruction_indices():
+                self.block_of_instruction[i] = b.bid
+        self.entry_block = self.block_of_instruction[0]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block(self, bid: int) -> BasicBlock:
+        return self.blocks[bid]
+
+    def incoming_edges(self, bid: int) -> list[int]:
+        """Predecessor block ids (plus :data:`ENTRY_EDGE` for the entry)."""
+        preds = list(self.blocks[bid].predecessors)
+        if bid == self.entry_block:
+            preds.append(ENTRY_EDGE)
+        return preds
+
+    def edges(self) -> list[tuple[int, int]]:
+        """All (source, destination) block-id pairs."""
+        return [
+            (b.bid, s) for b in self.blocks for s in b.successors
+        ]
+
+    def successor_map(self) -> dict[int, list[int]]:
+        return {b.bid: list(b.successors) for b in self.blocks}
+
+    def summary(self) -> dict:
+        return {
+            "blocks": len(self.blocks),
+            "edges": len(self.edges()),
+            "instructions": len(self.program),
+            "max_block_size": max(b.size for b in self.blocks),
+        }
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the CFG of ``program``.
+
+    Leaders are the program entry, every branch/call target, and every
+    instruction following a terminator (branch, call, ret, halt).  Calls
+    and returns terminate blocks because they transfer control.
+    """
+    n = len(program)
+    leaders = {0}
+    for i, ins in enumerate(program.instructions):
+        target = program.target_of(i)
+        if target is not None:
+            leaders.add(target)
+        if (
+            ins.is_branch
+            or ins.op in (Opcode.CALL, Opcode.RET, Opcode.HALT)
+        ) and i + 1 < n:
+            leaders.add(i + 1)
+    starts = sorted(leaders)
+    blocks: list[BasicBlock] = []
+    for bid, start in enumerate(starts):
+        end = starts[bid + 1] if bid + 1 < len(starts) else n
+        blocks.append(BasicBlock(bid=bid, start=start, end=end))
+    start_to_bid = {b.start: b.bid for b in blocks}
+    for b in blocks:
+        last = b.end - 1
+        succ_instrs = program.successors_of(last)
+        for s in sorted(set(succ_instrs)):
+            sb = start_to_bid.get(s)
+            if sb is None:
+                # A successor that is not a leader can only arise from
+                # fallthrough into the middle of a block, which the leader
+                # construction prevents.
+                raise AssertionError(f"successor {s} is not a block leader")
+            if sb not in b.successors:
+                b.successors.append(sb)
+                blocks[sb].predecessors.append(b.bid)
+    return ControlFlowGraph(program, blocks)

@@ -1,0 +1,178 @@
+"""Marginal error probabilities from conditional ones (Section 4.2).
+
+Every instruction carries two conditional error probabilities: ``p^c``
+(previous instruction executed correctly) and ``p^e`` (previous instruction
+erred and the correction mechanism intervened).  The marginal probability
+follows the recurrence (Eq. 1)
+
+    p_k = p^e_k * p_{k-1} + p^c_k * (1 - p_{k-1})
+        = p^c_k + (p^e_k - p^c_k) * p_{k-1},
+
+which is affine in ``p_{k-1}``, so a whole basic block folds into
+``p_out = A + B * p_in`` with ``B = prod(p^e_k - p^c_k)``.  Across blocks,
+input error probabilities satisfy (Eq. 2)
+
+    p_in_i = sum_j  pa_ij * p_out_{t(j)},
+
+a linear system whose coefficient matrix is built from edge activation
+probabilities.  Tarjan's SCC decomposition processes the CFG in topological
+order, solving one (small) linear system per cyclic component.
+
+All probabilities are *random variables* over data variation; they are
+represented as aligned sample vectors (one coherent draw per sample index),
+and the systems are solved independently per sample with one batched
+``numpy`` call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfg.cfg import ControlFlowGraph, ENTRY_EDGE
+from repro.cfg.profile import ProfileResult
+from repro.cfg.tarjan import condensation_order
+
+__all__ = ["MarginalSolver", "BlockProbabilities"]
+
+
+@dataclass(slots=True)
+class BlockProbabilities:
+    """Per-block conditional probability samples.
+
+    Attributes:
+        pc: Array ``(n_i, S)`` — conditional error probabilities given the
+            previous instruction was correct, one row per instruction.
+        pe: Array ``(n_i, S)`` — conditional error probabilities given the
+            previous instruction erred.
+    """
+
+    pc: np.ndarray
+    pe: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.pc = np.asarray(self.pc, dtype=float)
+        self.pe = np.asarray(self.pe, dtype=float)
+        if self.pc.shape != self.pe.shape:
+            raise ValueError("pc and pe must have identical shapes")
+        if self.pc.ndim != 2:
+            raise ValueError("pc/pe must be (n_instructions, n_samples)")
+        for name, arr in (("pc", self.pc), ("pe", self.pe)):
+            if ((arr < 0) | (arr > 1)).any():
+                raise ValueError(f"{name} contains values outside [0, 1]")
+
+    @property
+    def n_instructions(self) -> int:
+        return self.pc.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        return self.pc.shape[1]
+
+
+class MarginalSolver:
+    """Solves for marginal instruction error probabilities.
+
+    Args:
+        cfg: The program CFG.
+        profile: Execution profile supplying edge activation probabilities.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, profile: ProfileResult) -> None:
+        self.cfg = cfg
+        self.profile = profile
+
+    def solve(
+        self, probabilities: dict[int, BlockProbabilities]
+    ) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+        """Compute marginal probabilities for every executed block.
+
+        Args:
+            probabilities: Mapping block id -> conditional samples.  Must
+                cover every executed block; sample counts must agree.
+
+        Returns:
+            ``(marginals, p_in)`` where ``marginals[bid]`` is an
+            ``(n_i, S)`` array of marginal error probabilities and
+            ``p_in[bid]`` the ``(S,)`` input error probability of the block.
+        """
+        executed = self.profile.executed_blocks()
+        if not executed:
+            return {}, {}
+        n_samples = None
+        for bid in executed:
+            if bid not in probabilities:
+                raise ValueError(f"missing probabilities for block {bid}")
+            s = probabilities[bid].n_samples
+            if n_samples is None:
+                n_samples = s
+            elif s != n_samples:
+                raise ValueError("inconsistent sample counts across blocks")
+            if probabilities[bid].n_instructions != self.cfg.block(bid).size:
+                raise ValueError(
+                    f"block {bid}: expected {self.cfg.block(bid).size} "
+                    f"instruction rows, got "
+                    f"{probabilities[bid].n_instructions}"
+                )
+
+        # Per-block affine transfer p_out = A + B p_in, vectorized over
+        # samples: A = fold with p_in = 0, B = prod(pe - pc).
+        a_coef: dict[int, np.ndarray] = {}
+        b_coef: dict[int, np.ndarray] = {}
+        for bid in executed:
+            bp = probabilities[bid]
+            x = np.zeros(n_samples)
+            for k in range(bp.n_instructions):
+                x = bp.pc[k] + (bp.pe[k] - bp.pc[k]) * x
+            a_coef[bid] = x
+            b_coef[bid] = np.prod(bp.pe - bp.pc, axis=0)
+
+        act: dict[int, dict[int, float]] = {
+            bid: self.profile.activation_probabilities(self.cfg, bid)
+            for bid in executed
+        }
+
+        # Restrict the graph to executed blocks and observed edges.
+        successors = {bid: [] for bid in executed}
+        for bid in executed:
+            for pred in act[bid]:
+                if pred != ENTRY_EDGE:
+                    successors[pred].append(bid)
+
+        p_in: dict[int, np.ndarray] = {}
+        for component in condensation_order(successors):
+            comp = sorted(component)
+            pos = {bid: i for i, bid in enumerate(comp)}
+            n = len(comp)
+            # (S, n, n) system per sample: (I - M) x = c.
+            m = np.zeros((n_samples, n, n))
+            c = np.zeros((n_samples, n))
+            for bid in comp:
+                i = pos[bid]
+                for pred, pa in act[bid].items():
+                    if pred == ENTRY_EDGE:
+                        # Program entry: flushed processor state, p_in = 1.
+                        c[:, i] += pa * 1.0
+                    elif pred in pos:
+                        m[:, i, pos[pred]] += pa * b_coef[pred]
+                        c[:, i] += pa * a_coef[pred]
+                    else:
+                        out = a_coef[pred] + b_coef[pred] * p_in[pred]
+                        c[:, i] += pa * out
+            eye = np.broadcast_to(np.eye(n), (n_samples, n, n))
+            x = np.linalg.solve(eye - m, c[:, :, None])[:, :, 0]
+            for bid in comp:
+                p_in[bid] = np.clip(x[:, pos[bid]], 0.0, 1.0)
+
+        # Fold the recurrence once more to obtain per-instruction marginals.
+        marginals: dict[int, np.ndarray] = {}
+        for bid in executed:
+            bp = probabilities[bid]
+            rows = np.empty_like(bp.pc)
+            x = p_in[bid]
+            for k in range(bp.n_instructions):
+                x = bp.pc[k] + (bp.pe[k] - bp.pc[k]) * x
+                rows[k] = x
+            marginals[bid] = rows
+        return marginals, p_in

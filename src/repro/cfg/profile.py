@@ -1,0 +1,102 @@
+"""Execution profiling: block counts and edge activation probabilities.
+
+The paper measures, for each basic block, the *activation probability* of
+each incoming edge as the fraction of the block's executions entered
+through that edge (Section 4.1), plus the execution counts ``e_i`` that
+weight the error-count sum in Section 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cfg.cfg import ControlFlowGraph, ENTRY_EDGE
+
+__all__ = ["EdgeProfiler", "ProfileResult"]
+
+
+@dataclass(slots=True)
+class ProfileResult:
+    """Profiling outcome.
+
+    Attributes:
+        block_counts: Executions ``e_i`` per block id.
+        edge_counts: Mapping ``(pred_bid, bid) -> count``; the virtual entry
+            edge uses ``pred_bid = ENTRY_EDGE``.
+        total_instructions: Total dynamic instructions executed.
+    """
+
+    block_counts: np.ndarray
+    edge_counts: dict[tuple[int, int], int]
+    total_instructions: int
+
+    def executed_blocks(self) -> list[int]:
+        """Ids of blocks executed at least once."""
+        return [int(b) for b in np.flatnonzero(self.block_counts)]
+
+    def activation_probabilities(
+        self, cfg: ControlFlowGraph, bid: int
+    ) -> dict[int, float]:
+        """``p^a`` per incoming edge of block ``bid`` (sums to 1).
+
+        Only edges observed at least once appear.  Returns an empty mapping
+        for never-executed blocks.
+        """
+        total = float(self.block_counts[bid])
+        if total == 0:
+            return {}
+        probs: dict[int, float] = {}
+        for pred in cfg.incoming_edges(bid):
+            count = self.edge_counts.get((pred, bid), 0)
+            if count:
+                probs[pred] = count / total
+        return probs
+
+
+class EdgeProfiler:
+    """An interpreter listener that accumulates block/edge counts.
+
+    Usage::
+
+        profiler = EdgeProfiler(cfg)
+        simulator.run(state, listener=profiler.listener)
+        result = profiler.result()
+    """
+
+    def __init__(self, cfg: ControlFlowGraph) -> None:
+        self.cfg = cfg
+        n_instr = len(cfg.program)
+        self._block_of = cfg.block_of_instruction
+        self._is_leader = [False] * n_instr
+        for b in cfg.blocks:
+            self._is_leader[b.start] = True
+        self._block_counts = np.zeros(len(cfg), dtype=np.int64)
+        self._edge_counts: dict[tuple[int, int], int] = {}
+        self._instructions = 0
+        # The first executed block is entered through the virtual edge.
+        self._pending_edge_source = ENTRY_EDGE
+        self._started = False
+
+    def listener(self, pc: int, a: int, b: int, r: int, next_pc: int) -> None:
+        """Interpreter listener callback."""
+        self._instructions += 1
+        if not self._started or self._is_leader[pc]:
+            if not self._started and not self._is_leader[pc]:
+                raise AssertionError("execution must start at a block leader")
+            bid = self._block_of[pc]
+            self._block_counts[bid] += 1
+            key = (self._pending_edge_source, bid)
+            self._edge_counts[key] = self._edge_counts.get(key, 0) + 1
+            self._started = True
+        if 0 <= next_pc < len(self._is_leader) and self._is_leader[next_pc]:
+            self._pending_edge_source = self._block_of[pc]
+
+    def result(self) -> ProfileResult:
+        """Snapshot of the accumulated profile."""
+        return ProfileResult(
+            block_counts=self._block_counts.copy(),
+            edge_counts=dict(self._edge_counts),
+            total_instructions=self._instructions,
+        )

@@ -1,0 +1,81 @@
+"""Tarjan's strongly-connected-components algorithm (iterative).
+
+The paper uses Tarjan's algorithm [23] to decompose the CFG into SCCs and
+process them in topological order, writing one linear system per component
+(Section 4.2).  The implementation below is iterative (no recursion-depth
+limits on large CFGs) and returns components in topological order of the
+condensation — sources first — which is the processing order the marginal
+solver needs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["strongly_connected_components", "condensation_order"]
+
+
+def strongly_connected_components(
+    successors: dict[int, list[int]]
+) -> list[list[int]]:
+    """SCCs of a directed graph, in *reverse* topological order.
+
+    Args:
+        successors: Adjacency mapping; every node must appear as a key.
+
+    Returns:
+        A list of components (each a list of node ids).  Tarjan's algorithm
+        emits each SCC only after all SCCs it can reach, i.e. reverse
+        topological order of the condensation.
+    """
+    index_counter = 0
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    result: list[list[int]] = []
+
+    for root in successors:
+        if root in index:
+            continue
+        # Iterative DFS: work holds (node, iterator position).
+        work = [(root, 0)]
+        while work:
+            node, pi = work[-1]
+            if pi == 0:
+                index[node] = lowlink[node] = index_counter
+                index_counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            succ = successors[node]
+            for i in range(pi, len(succ)):
+                nxt = succ[i]
+                if nxt not in index:
+                    work[-1] = (node, i + 1)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                result.append(component)
+    return result
+
+
+def condensation_order(
+    successors: dict[int, list[int]]
+) -> list[list[int]]:
+    """SCCs in topological order (sources of the condensation first)."""
+    return list(reversed(strongly_connected_components(successors)))

@@ -1,0 +1,168 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro info
+    python -m repro list
+    python -m repro estimate gsm.decode [--speculation 1.15] [--json]
+    python -m repro table2 [--max-instructions N] [--json]
+    python -m repro sweep bitcount --points 1.0,1.1,1.15,1.2
+
+``info`` prints the processor operating point, ``estimate`` runs the full
+train+estimate flow for one benchmark, ``table2`` regenerates the paper's
+Table 2 across the suite, and ``sweep`` maps error rate and net
+performance over speculation ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core import ErrorRateEstimator, ProcessorModel
+from repro.workloads import list_workloads, load_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Program error-rate estimation for timing-speculative "
+            "processors (DAC 2019 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print the processor operating point")
+    sub.add_parser("list", help="list available benchmarks")
+
+    est = sub.add_parser("estimate", help="estimate one benchmark")
+    est.add_argument("benchmark", choices=list_workloads())
+    est.add_argument("--speculation", type=float, default=1.15)
+    est.add_argument("--max-instructions", type=int, default=None)
+    est.add_argument("--json", action="store_true")
+
+    tab = sub.add_parser("table2", help="regenerate Table 2")
+    tab.add_argument("--max-instructions", type=int, default=None)
+    tab.add_argument("--json", action="store_true")
+
+    swp = sub.add_parser("sweep", help="speculation-ratio sweep")
+    swp.add_argument("benchmark", choices=list_workloads())
+    swp.add_argument(
+        "--points", default="1.00,1.05,1.10,1.15,1.20,1.25",
+        help="comma-separated speculation ratios",
+    )
+    swp.add_argument("--max-instructions", type=int, default=300_000)
+    return parser
+
+
+def _estimate_one(processor, name, max_instructions=None):
+    workload = load_workload(name)
+    estimator = ErrorRateEstimator(processor)
+    artifacts = estimator.train(
+        workload.program,
+        setup=workload.setup(workload.dataset("small")),
+        max_instructions=workload.budget("small"),
+    )
+    return estimator.estimate(
+        workload.program,
+        artifacts,
+        setup=workload.setup(workload.dataset("large")),
+        max_instructions=max_instructions or workload.budget("large"),
+    )
+
+
+def _cmd_info(args, out) -> int:
+    processor = ProcessorModel()
+    for key, value in processor.describe().items():
+        val = f"{value:.1f}" if isinstance(value, float) else value
+        out.write(f"{key:26s} {val}\n")
+    return 0
+
+
+def _cmd_list(args, out) -> int:
+    for name in list_workloads():
+        out.write(name + "\n")
+    return 0
+
+
+def _cmd_estimate(args, out) -> int:
+    processor = ProcessorModel(speculation=args.speculation)
+    report = _estimate_one(processor, args.benchmark, args.max_instructions)
+    if args.json:
+        out.write(json.dumps(report.table_row(), indent=2) + "\n")
+    else:
+        out.write(str(report) + "\n")
+        perf = processor.performance.improvement_percent(
+            report.error_rate_mean / 100.0
+        )
+        out.write(f"net performance vs baseline: {perf:+.2f}%\n")
+    return 0
+
+
+def _cmd_table2(args, out) -> int:
+    processor = ProcessorModel()
+    rows = []
+    for name in list_workloads():
+        report = _estimate_one(processor, name, args.max_instructions)
+        rows.append(report.table_row())
+        if not args.json:
+            out.write(str(report) + "\n")
+    if args.json:
+        out.write(json.dumps(rows, indent=2) + "\n")
+    return 0
+
+
+def _cmd_sweep(args, out) -> int:
+    points = [float(p) for p in args.points.split(",") if p.strip()]
+    if not points:
+        out.write("no sweep points given\n")
+        return 2
+    base = ProcessorModel()
+    shared = {
+        "datapath_model": base.datapath_model,
+        "ssta": base.ssta,
+        "control_analyzer": base.control_analyzer,
+        "data_analyzer": base.data_analyzer,
+    }
+    out.write(f"{'spec':>6s} {'MHz':>7s} {'ER%':>8s} {'perf%':>8s}\n")
+    for speculation in points:
+        processor = ProcessorModel(
+            pipeline=base.pipeline, library=base.library,
+            speculation=speculation,
+        )
+        processor.__dict__.update(shared)
+        report = _estimate_one(
+            processor, args.benchmark, args.max_instructions
+        )
+        perf = processor.performance.improvement_percent(
+            report.error_rate_mean / 100.0
+        )
+        out.write(
+            f"{speculation:6.2f} {processor.working_frequency_mhz:7.0f} "
+            f"{report.error_rate_mean:8.3f} {perf:+8.2f}\n"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "list": _cmd_list,
+    "estimate": _cmd_estimate,
+    "table2": _cmd_table2,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,155 @@
+"""Simulation-phase data collection.
+
+One architecture-level pass over the large input dataset gathers everything
+the statistical model needs: exact block execution counts and edge
+activation counts (the profile), plus a reservoir of *joint* per-block
+execution samples — for each sampled execution of a block, the operand
+records of all its instructions together with the incoming edge and the
+record preceding entry.  Joint rows preserve the adjacent-instruction
+correlation that the Chen–Stein dependency neighborhoods and the variance
+of lambda rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cfg.cfg import ControlFlowGraph, ENTRY_EDGE
+from repro.cfg.profile import ProfileResult
+from repro.cpu.interpreter import StepRecord
+
+__all__ = ["BlockExecutionSample", "SimulationCollector"]
+
+
+@dataclass(slots=True)
+class BlockExecutionSample:
+    """One sampled execution of a basic block.
+
+    Attributes:
+        pred: Block id the execution was entered from (:data:`ENTRY_EDGE`
+            for the program entry).
+        entry_prev: The dynamic record executed just before entering the
+            block (``None`` at program start).
+        records: The block's executed records, in instruction order.
+    """
+
+    pred: int
+    entry_prev: StepRecord | None
+    records: list[StepRecord]
+
+
+class SimulationCollector:
+    """Interpreter listener: profile + per-block joint reservoirs.
+
+    Args:
+        cfg: The program CFG.
+        reservoir_size: Max sampled executions kept per block.
+        seed: Reservoir-sampling seed (deterministic collection).
+    """
+
+    def __init__(
+        self, cfg: ControlFlowGraph, reservoir_size: int = 160, seed=17
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError("reservoir_size must be >= 1")
+        self.cfg = cfg
+        self.reservoir_size = reservoir_size
+        self._rng = as_rng(seed)
+        n_instr = len(cfg.program)
+        self._is_leader = [False] * n_instr
+        for b in cfg.blocks:
+            self._is_leader[b.start] = True
+        self._block_of = cfg.block_of_instruction
+        self._block_counts = np.zeros(len(cfg), dtype=np.int64)
+        self._edge_counts: dict[tuple[int, int], int] = {}
+        self._instructions = 0
+        self.reservoirs: dict[int, list[BlockExecutionSample]] = {}
+        self._pending_pred = ENTRY_EDGE
+        self._prev_record: StepRecord | None = None
+        self._current: BlockExecutionSample | None = None
+        self._current_bid = -1
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+
+    def listener(self, pc: int, a: int, b: int, r: int, next_pc: int) -> None:
+        record = StepRecord(pc, a, b, r, next_pc)
+        self._instructions += 1
+        if not self._started or self._is_leader[pc]:
+            self._enter_block(self._block_of[pc])
+            self._started = True
+        if self._current is not None:
+            self._current.records.append(record)
+        is_exit = (
+            0 <= next_pc < len(self._is_leader) and self._is_leader[next_pc]
+        ) or next_pc == pc
+        if is_exit:
+            self._leave_block()
+            self._pending_pred = self._block_of[pc]
+        self._prev_record = record
+
+    def _enter_block(self, bid: int) -> None:
+        self._block_counts[bid] += 1
+        key = (self._pending_pred, bid)
+        self._edge_counts[key] = self._edge_counts.get(key, 0) + 1
+        self._current_bid = bid
+        count = int(self._block_counts[bid])
+        reservoir = self.reservoirs.setdefault(bid, [])
+        if len(reservoir) < self.reservoir_size:
+            slot = len(reservoir)
+            reservoir.append(None)  # type: ignore[arg-type]
+        else:
+            j = int(self._rng.integers(count))
+            if j >= self.reservoir_size:
+                self._current = None
+                return
+            slot = j
+        sample = BlockExecutionSample(
+            pred=self._pending_pred,
+            entry_prev=self._prev_record,
+            records=[],
+        )
+        reservoir[slot] = sample
+        self._current = sample
+
+    def _leave_block(self) -> None:
+        if self._current is not None:
+            expected = self.cfg.block(self._current_bid).size
+            if len(self._current.records) != expected:
+                # Partial block execution (shouldn't happen with maximal
+                # blocks) — drop the sample defensively.
+                res = self.reservoirs[self._current_bid]
+                res.remove(self._current)
+        self._current = None
+
+    # ------------------------------------------------------------------ #
+
+    def profile(self) -> ProfileResult:
+        """The profiling half of the collection."""
+        return ProfileResult(
+            block_counts=self._block_counts.copy(),
+            edge_counts=dict(self._edge_counts),
+            total_instructions=self._instructions,
+        )
+
+    def samples(self) -> dict[int, list[BlockExecutionSample]]:
+        """Per-block joint execution samples (completed ones only).
+
+        A sample is complete when it covers the whole block; an execution
+        cut short by the instruction budget leaves a partial sample in the
+        reservoir, which is filtered here.
+        """
+        out: dict[int, list[BlockExecutionSample]] = {}
+        for bid, res in self.reservoirs.items():
+            expected = self.cfg.block(bid).size
+            complete = [
+                s
+                for s in res
+                if s is not None and len(s.records) == expected
+            ]
+            if complete:
+                out[bid] = complete
+        return out

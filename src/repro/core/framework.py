@@ -1,0 +1,350 @@
+"""The end-to-end error-rate estimation flow.
+
+Two phases, mirroring Section 6.2:
+
+* **Training** — execute the program on its *training* (small) dataset,
+  capture one pipeline window per (basic block, incoming edge), and run the
+  gate-level control-network characterization; fit the datapath timing
+  model (once per processor).
+* **Simulation** — execute the program on its *evaluation* (large) dataset
+  at architecture level, collect the profile and joint operand samples,
+  evaluate the instruction error model, solve the CFG linear systems for
+  marginal probabilities, and assemble the statistical estimate: Gaussian
+  lambda (CLT + Stein bound), Poisson mixture (Eq. 14 + Chen–Stein bound),
+  and the bound CDFs of Section 6.4.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cfg.cfg import ControlFlowGraph, build_cfg
+from repro.cfg.marginal import MarginalSolver
+from repro.core.collect import SimulationCollector
+from repro.core.errormodel import InstructionErrorModel
+from repro.core.processor import ProcessorModel
+from repro.core.results import ErrorRateReport
+from repro.cpu.interpreter import FunctionalSimulator
+from repro.cpu.program import Program
+from repro.cpu.state import MachineState
+from repro.dta.characterize import (
+    ControlCharacterizer,
+    ControlSampleCollector,
+    ControlTimingModel,
+)
+from repro.sta.gaussian import Gaussian
+from repro.stats.chen_stein import chen_stein_bound
+from repro.stats.mixture import PoissonGaussianMixture
+from repro.stats.stein import stein_normal_bound
+
+__all__ = ["ErrorRateEstimator", "TrainingArtifacts"]
+
+
+@dataclass(slots=True)
+class TrainingArtifacts:
+    """Everything the training phase produces for one program."""
+
+    cfg: ControlFlowGraph
+    control_model: ControlTimingModel
+    characterizer: ControlCharacterizer
+    training_seconds: float
+    training_instructions: int
+
+    def save(self, path) -> None:
+        """Persist the trained control model (JSON).
+
+        The CFG and characterizer are deterministic functions of the
+        program and processor, so only the (expensive) characterized
+        timing needs storing; reload with
+        :meth:`ErrorRateEstimator.load_artifacts`.
+        """
+        import json
+
+        doc = {
+            "control_model": self.control_model.to_json(),
+            "training_seconds": self.training_seconds,
+            "training_instructions": self.training_instructions,
+        }
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+
+
+class ErrorRateEstimator:
+    """The paper's framework, end to end.
+
+    Args:
+        processor: Hardware configuration under analysis.
+        n_data_samples: Data-variation sample count used to represent the
+            probability random variables.
+    """
+
+    def __init__(
+        self, processor: ProcessorModel, n_data_samples: int = 128
+    ) -> None:
+        if n_data_samples < 2:
+            raise ValueError("n_data_samples must be >= 2")
+        self.processor = processor
+        self.n_data_samples = n_data_samples
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: training
+    # ------------------------------------------------------------------ #
+
+    def train(
+        self,
+        program: Program,
+        setup=None,
+        max_instructions: int = 2_000_000,
+    ) -> TrainingArtifacts:
+        """Characterize the program's control network on a training run.
+
+        Args:
+            program: The program.
+            setup: Optional callable ``setup(state, )`` initializing the
+                machine (training/small dataset).
+            max_instructions: Budget for the training execution.
+        """
+        start = time.perf_counter()
+        cfg = build_cfg(program)
+        simulator = FunctionalSimulator(program)
+        state = MachineState()
+        if setup is not None:
+            setup(state)
+        collector = ControlSampleCollector(cfg)
+        result = simulator.run(
+            state, max_instructions=max_instructions,
+            listener=collector.listener,
+        )
+        characterizer = ControlCharacterizer(
+            self.processor.pipeline,
+            self.processor.control_analyzer,
+            program,
+            self.processor.scheme,
+            self.processor.clock_period,
+        )
+        control_model = characterizer.characterize(collector.samples)
+        # The datapath model is shared across programs; its (cached)
+        # construction is charged to the first training phase that uses it.
+        _ = self.processor.datapath_model
+        elapsed = time.perf_counter() - start
+        return TrainingArtifacts(
+            cfg=cfg,
+            control_model=control_model,
+            characterizer=characterizer,
+            training_seconds=elapsed,
+            training_instructions=result.instructions,
+        )
+
+    def load_artifacts(self, program: Program, path) -> TrainingArtifacts:
+        """Reload artifacts persisted by :meth:`TrainingArtifacts.save`.
+
+        The CFG and characterizer are rebuilt for this estimator's
+        processor; the stored control model must have been trained at the
+        same clock period to be meaningful.
+        """
+        import json
+
+        with open(path) as handle:
+            doc = json.load(handle)
+        cfg = build_cfg(program)
+        characterizer = ControlCharacterizer(
+            self.processor.pipeline,
+            self.processor.control_analyzer,
+            program,
+            self.processor.scheme,
+            self.processor.clock_period,
+        )
+        return TrainingArtifacts(
+            cfg=cfg,
+            control_model=ControlTimingModel.from_json(
+                doc["control_model"]
+            ),
+            characterizer=characterizer,
+            training_seconds=float(doc["training_seconds"]),
+            training_instructions=int(doc["training_instructions"]),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: simulation + estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate(
+        self,
+        program: Program,
+        artifacts: TrainingArtifacts,
+        setup=None,
+        max_instructions: int = 5_000_000,
+        reservoir_size: int = 160,
+        seed: int = 0,
+    ) -> ErrorRateReport:
+        """Estimate the program's error-rate distribution on a dataset."""
+        start = time.perf_counter()
+        cfg = artifacts.cfg
+        simulator = FunctionalSimulator(program)
+        state = MachineState()
+        if setup is not None:
+            setup(state)
+        collector = SimulationCollector(cfg, reservoir_size=reservoir_size)
+        simulator.run(
+            state, max_instructions=max_instructions,
+            listener=collector.listener,
+        )
+        profile = collector.profile()
+        samples = collector.samples()
+        self._characterize_missing(artifacts, samples)
+
+        error_model = InstructionErrorModel(
+            self.processor, program, cfg, artifacts.control_model
+        )
+        conditionals = error_model.all_block_probabilities(
+            samples, n_samples=self.n_data_samples, seed=seed
+        )
+        # A block whose only execution was cut off by the instruction
+        # budget has no complete sample; treat it as error-free (its
+        # weight is at most one truncated execution).
+        import numpy as _np
+
+        for bid in profile.executed_blocks():
+            if bid not in conditionals:
+                n_i = cfg.block(bid).size
+                from repro.cfg.marginal import BlockProbabilities
+
+                conditionals[bid] = BlockProbabilities(
+                    pc=_np.zeros((n_i, self.n_data_samples)),
+                    pe=_np.zeros((n_i, self.n_data_samples)),
+                )
+        solver = MarginalSolver(cfg, profile)
+        marginals, p_in = solver.solve(conditionals)
+        executions = {
+            bid: int(profile.block_counts[bid])
+            for bid in profile.executed_blocks()
+        }
+        stein = stein_normal_bound(marginals, executions)
+        chen = chen_stein_bound(
+            marginals,
+            {bid: bp.pe for bid, bp in conditionals.items()},
+            p_in,
+            executions,
+        )
+        lam = Gaussian(stein.mean, stein.variance)
+        mixture = PoissonGaussianMixture(lam)
+        elapsed = time.perf_counter() - start
+        return ErrorRateReport(
+            program=program.name,
+            total_instructions=profile.total_instructions,
+            static_instructions=len(program),
+            basic_blocks=len(cfg),
+            characterized_pairs=len(artifacts.control_model),
+            lam=lam,
+            mixture=mixture,
+            stein=stein,
+            chen_stein=chen,
+            training_seconds=artifacts.training_seconds,
+            simulation_seconds=elapsed,
+        )
+
+    def _characterize_missing(self, artifacts, samples) -> None:
+        """On-demand characterization for blocks/edges unseen in training.
+
+        Blocks reached only by the evaluation dataset get characterized
+        from the simulation-phase window (with the single pre-entry record
+        as the pipeline-sharing tail).
+        """
+        model = artifacts.control_model
+        for bid, block_samples in sorted(samples.items()):
+            preds_needed = {s.pred for s in block_samples}
+            for pred in sorted(preds_needed):
+                try:
+                    model.get(bid, pred, 0)
+                    continue
+                except KeyError:
+                    pass
+                example = next(
+                    s for s in block_samples if s.pred == pred
+                )
+                tail = [example.entry_prev] if example.entry_prev else []
+                artifacts.characterizer.characterize_edge(
+                    bid, pred, tail, example.records, model
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        program: Program,
+        train_setup=None,
+        eval_setup=None,
+        max_instructions: int = 5_000_000,
+    ) -> ErrorRateReport:
+        """Convenience: train then estimate in one call."""
+        artifacts = self.train(program, setup=train_setup)
+        return self.estimate(
+            program,
+            artifacts,
+            setup=eval_setup,
+            max_instructions=max_instructions,
+        )
+
+    def instruction_breakdown(
+        self,
+        program: Program,
+        artifacts: TrainingArtifacts,
+        setup=None,
+        max_instructions: int = 1_000_000,
+        seed: int = 0,
+    ) -> list[dict]:
+        """Per-static-instruction contribution to the expected error count.
+
+        Returns one row per executed instruction, sorted by decreasing
+        contribution to lambda: ``{"block", "position", "index",
+        "instruction", "executions", "mean_probability",
+        "expected_errors", "share"}`` — the view an architect uses to
+        locate *where* a kernel is vulnerable.
+        """
+        cfg = artifacts.cfg
+        simulator = FunctionalSimulator(program)
+        state = MachineState()
+        if setup is not None:
+            setup(state)
+        collector = SimulationCollector(cfg)
+        simulator.run(
+            state, max_instructions=max_instructions,
+            listener=collector.listener,
+        )
+        profile = collector.profile()
+        samples = collector.samples()
+        self._characterize_missing(artifacts, samples)
+        error_model = InstructionErrorModel(
+            self.processor, program, cfg, artifacts.control_model
+        )
+        conditionals = error_model.all_block_probabilities(
+            samples, n_samples=self.n_data_samples, seed=seed
+        )
+        marginals, _ = MarginalSolver(cfg, profile).solve(conditionals)
+        rows: list[dict] = []
+        lam_total = 0.0
+        for bid, probs in marginals.items():
+            executions = int(profile.block_counts[bid])
+            block = cfg.block(bid)
+            for k in range(probs.shape[0]):
+                p_mean = float(probs[k].mean())
+                contribution = executions * p_mean
+                lam_total += contribution
+                rows.append(
+                    {
+                        "block": bid,
+                        "position": k,
+                        "index": block.start + k,
+                        "instruction": str(program[block.start + k]),
+                        "executions": executions,
+                        "mean_probability": p_mean,
+                        "expected_errors": contribution,
+                    }
+                )
+        for row in rows:
+            row["share"] = (
+                row["expected_errors"] / lam_total if lam_total > 0 else 0.0
+            )
+        rows.sort(key=lambda r: -r["expected_errors"])
+        return rows

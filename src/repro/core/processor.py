@@ -1,0 +1,197 @@
+"""The processor-under-analysis bundle.
+
+Collects everything hardware-side in one object: the synthetic pipeline
+netlist (LEON3 integer-unit stand-in), the timing library, the correlated
+process-variation model, the STA/SSTA engines, the DTA analyzers split into
+control and data endpoint sets, the error-correction scheme, and the
+operating frequencies (guardbanded baseline and speculative working point,
+Section 6.1).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from repro._util import check_positive
+from repro.cpu.correction import CorrectionScheme, ReplayHalfFrequency
+from repro.dta.algorithm1 import StageDTSAnalyzer
+from repro.dta.algorithm2 import InstructionDTSAnalyzer
+from repro.dta.datapath import DatapathTimingModel
+from repro.dta.trainer import DatapathTrainer
+from repro.netlist.gates import EndpointKind
+from repro.netlist.generator import PipelineConfig, PipelineNetlist, generate_pipeline
+from repro.netlist.library import TimingLibrary
+from repro.perf.model import TSPerformanceModel
+from repro.sta.sta import StaticTimingAnalysis
+from repro.sta.ssta import StatisticalTimingAnalysis
+from repro.variation.process import ProcessVariationModel, VariationConfig
+
+__all__ = ["ProcessorModel", "default_processor"]
+
+
+class ProcessorModel:
+    """A timing-speculative processor configuration.
+
+    Args:
+        pipeline: Generated pipeline netlist (default configuration when
+            omitted).
+        library: Timing library.
+        variation_config: Process-variation decomposition parameters.
+        scheme: Error-correction scheme (replay at half frequency by
+            default, as in Section 6.1).
+        speculation: Working-frequency ratio over the guardbanded baseline
+            (1.15 in the paper).
+        yield_quantile: SSTA timing-yield target defining the baseline
+            frequency.
+        droop_guardband: Delay derate applied when computing the baseline
+            frequency, modelling the low-voltage corner PrimeTime signs off
+            at (the paper guardbands for a 10% droop at 0.81 V while the
+            chip runs at 0.9 V).  The derate inflates the baseline period,
+            which is exactly the pessimism timing speculation reclaims.
+        clock_period_override: Explicit speculative clock period (ps),
+            bypassing the baseline/speculation derivation (for sweeps).
+        paths_per_endpoint: Path-enumeration depth for the DTA analyzers.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineNetlist | None = None,
+        library: TimingLibrary | None = None,
+        variation_config: VariationConfig | None = None,
+        scheme: CorrectionScheme | None = None,
+        speculation: float = 1.15,
+        yield_quantile: float = 0.9987,
+        droop_guardband: float = 1.04,
+        clock_period_override: float | None = None,
+        paths_per_endpoint: int = 12,
+    ) -> None:
+        check_positive("speculation", speculation)
+        check_positive("droop_guardband", droop_guardband)
+        self.pipeline = pipeline or generate_pipeline()
+        self.library = library or TimingLibrary()
+        self.variation = ProcessVariationModel(
+            self.pipeline.netlist, self.library, variation_config
+        )
+        self.scheme = scheme or ReplayHalfFrequency()
+        self.speculation = speculation
+        self.yield_quantile = yield_quantile
+        self.droop_guardband = droop_guardband
+        self.clock_period_override = clock_period_override
+        self.paths_per_endpoint = paths_per_endpoint
+
+    # ------------------------------------------------------------------ #
+    # Timing engines
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def sta(self) -> StaticTimingAnalysis:
+        return StaticTimingAnalysis(self.pipeline.netlist, self.library)
+
+    @cached_property
+    def ssta(self) -> StatisticalTimingAnalysis:
+        return StatisticalTimingAnalysis(
+            self.pipeline.netlist, self.library, self.variation
+        )
+
+    @cached_property
+    def baseline_period(self) -> float:
+        """Guardbanded (droop-derated SSTA timing-yield) clock period, ps."""
+        return self.droop_guardband * self.ssta.min_clock_period(
+            self.yield_quantile
+        )
+
+    @property
+    def baseline_frequency_mhz(self) -> float:
+        return 1.0e6 / self.baseline_period
+
+    @property
+    def clock_period(self) -> float:
+        """Speculative working clock period in ps."""
+        if self.clock_period_override is not None:
+            return self.clock_period_override
+        return self.baseline_period / self.speculation
+
+    @property
+    def working_frequency_mhz(self) -> float:
+        return 1.0e6 / self.clock_period
+
+    # ------------------------------------------------------------------ #
+    # DTA analyzers
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def control_analyzer(self) -> InstructionDTSAnalyzer:
+        """Algorithm 2 over the control endpoints (Section 4)."""
+        return InstructionDTSAnalyzer(
+            StageDTSAnalyzer(
+                self.pipeline.netlist,
+                self.library,
+                self.variation,
+                paths_per_endpoint=self.paths_per_endpoint,
+                endpoint_kind=EndpointKind.CONTROL,
+            )
+        )
+
+    @cached_property
+    def data_analyzer(self) -> InstructionDTSAnalyzer:
+        """Algorithm 2 over the data endpoints (datapath training)."""
+        return InstructionDTSAnalyzer(
+            StageDTSAnalyzer(
+                self.pipeline.netlist,
+                self.library,
+                self.variation,
+                paths_per_endpoint=self.paths_per_endpoint,
+                endpoint_kind=EndpointKind.DATA,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared models
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def datapath_model(self) -> DatapathTimingModel:
+        """Trained datapath timing model (fitted once per processor)."""
+        trainer = DatapathTrainer(
+            self.pipeline, self.data_analyzer, self.library.setup_time
+        )
+        model, _ = trainer.train()
+        return model
+
+    @cached_property
+    def performance(self) -> TSPerformanceModel:
+        return TSPerformanceModel(
+            speculation=self.speculation,
+            penalty_cycles=self.scheme.penalty_cycles(
+                self.pipeline.num_stages
+            ),
+        )
+
+    def control_data_covariance(self, sigma_c: float, sigma_d: float) -> float:
+        """Approximate slack covariance between control and data Gaussians.
+
+        The control network and datapath share the chip-global variation
+        component; their spatial components are largely independent
+        (different placement regions).
+        """
+        return self.variation.config.global_fraction * sigma_c * sigma_d
+
+    def describe(self) -> dict:
+        """Operating-point summary (the Section 6.1 numbers)."""
+        return {
+            "gates": len(self.pipeline.netlist),
+            "stages": self.pipeline.num_stages,
+            "baseline_frequency_mhz": self.baseline_frequency_mhz,
+            "working_frequency_mhz": self.working_frequency_mhz,
+            "speculation": self.speculation,
+            "clock_period_ps": self.clock_period,
+            "correction": self.scheme.name,
+            "penalty_cycles": self.scheme.penalty_cycles(
+                self.pipeline.num_stages
+            ),
+        }
+
+
+def default_processor(**overrides) -> ProcessorModel:
+    """The paper's experimental configuration (Section 6.1 analogue)."""
+    return ProcessorModel(**overrides)

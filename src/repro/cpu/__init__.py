@@ -1,0 +1,52 @@
+"""A SPARC-V8-flavoured in-order processor substrate.
+
+Provides the program-side half of the framework: a compact RISC ISA with
+condition codes (standing in for the LEON3 integer unit's SPARC V8), an
+assembler, a fast functional instruction-set simulator used for datapath
+activity characterization and profiling, a pipeline occupancy model that
+feeds the control-network characterizer, and the error-correction schemes
+whose dynamic effect conditions the instruction error probabilities.
+"""
+
+from repro.cpu.isa import (
+    Opcode,
+    Instruction,
+    OpClass,
+    op_class,
+    WORD_BITS,
+    WORD_MASK,
+)
+from repro.cpu.program import Program
+from repro.cpu.assembler import assemble, AssemblyError
+from repro.cpu.state import MachineState, Flags
+from repro.cpu.interpreter import FunctionalSimulator, ExecutionResult, StepRecord
+from repro.cpu.pipeline import PipelineScheduler, InstructionWindow
+from repro.cpu.correction import (
+    CorrectionScheme,
+    ReplayHalfFrequency,
+    PipelineFlush,
+    NoCorrection,
+)
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "OpClass",
+    "op_class",
+    "WORD_BITS",
+    "WORD_MASK",
+    "Program",
+    "assemble",
+    "AssemblyError",
+    "MachineState",
+    "Flags",
+    "FunctionalSimulator",
+    "ExecutionResult",
+    "StepRecord",
+    "PipelineScheduler",
+    "InstructionWindow",
+    "CorrectionScheme",
+    "ReplayHalfFrequency",
+    "PipelineFlush",
+    "NoCorrection",
+]

@@ -1,0 +1,200 @@
+"""A small two-pass assembler for the repro ISA.
+
+Syntax (one instruction per line; ``;`` or ``#`` start comments)::
+
+    loop:                     ; labels end with a colon
+        li    r1, 10
+        add   r2, r2, r1      ; register-register
+        addcc r2, r2, 1       ; register-immediate, sets condition codes
+        cmp   r2, r3          ; alias of subcc r0, r2, r3
+        ld    r4, [r2+4]
+        st    r4, [r2+8]
+        bne   loop
+        halt
+
+Aliases: ``mov rd, rs`` (= ``add rd, rs, 0``), ``cmp`` (= ``subcc`` to
+``r0``), ``inc``/``dec rd`` and ``clr rd``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cpu.isa import BRANCH_OPS, Instruction, NUM_REGS, Opcode
+from repro.cpu.program import Program
+
+__all__ = ["assemble", "AssemblyError"]
+
+
+class AssemblyError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):\s*(.*)$")
+_MEM_RE = re.compile(
+    r"^\[\s*(r\d+)\s*(?:([+-])\s*(0[xX][0-9a-fA-F]+|\d+))?\s*\]$"
+)
+
+_THREE_OP = {
+    "add": Opcode.ADD,
+    "sub": Opcode.SUB,
+    "and": Opcode.AND,
+    "or": Opcode.OR,
+    "xor": Opcode.XOR,
+    "sll": Opcode.SLL,
+    "srl": Opcode.SRL,
+    "sra": Opcode.SRA,
+    "mul": Opcode.MUL,
+}
+
+
+def _reg(tok: str, line_no: int) -> int:
+    if not re.fullmatch(r"r\d+", tok):
+        raise AssemblyError(f"line {line_no}: expected register, got {tok!r}")
+    n = int(tok[1:])
+    if not 0 <= n < NUM_REGS:
+        raise AssemblyError(f"line {line_no}: register out of range: {tok}")
+    return n
+
+
+def _imm(tok: str, line_no: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError as exc:
+        raise AssemblyError(
+            f"line {line_no}: expected immediate, got {tok!r}"
+        ) from exc
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [t.strip() for t in rest.split(",")] if rest.strip() else []
+
+
+def _parse_line(
+    mnemonic: str, ops: list[str], line_no: int
+) -> Instruction:
+    set_cc = False
+    if mnemonic.endswith("cc") and mnemonic[:-2] in _THREE_OP:
+        set_cc = True
+        mnemonic = mnemonic[:-2]
+
+    if mnemonic in _THREE_OP:
+        if len(ops) != 3:
+            raise AssemblyError(
+                f"line {line_no}: {mnemonic} needs 3 operands"
+            )
+        rd = _reg(ops[0], line_no)
+        rs1 = _reg(ops[1], line_no)
+        if ops[2].startswith("r") and re.fullmatch(r"r\d+", ops[2]):
+            return Instruction(
+                _THREE_OP[mnemonic], rd=rd, rs1=rs1,
+                rs2=_reg(ops[2], line_no), set_cc=set_cc,
+            )
+        return Instruction(
+            _THREE_OP[mnemonic], rd=rd, rs1=rs1,
+            imm=_imm(ops[2], line_no), set_cc=set_cc,
+        )
+
+    if mnemonic == "cmp":
+        if len(ops) != 2:
+            raise AssemblyError(f"line {line_no}: cmp needs 2 operands")
+        rs1 = _reg(ops[0], line_no)
+        if re.fullmatch(r"r\d+", ops[1]):
+            return Instruction(
+                Opcode.SUB, rd=0, rs1=rs1, rs2=_reg(ops[1], line_no),
+                set_cc=True,
+            )
+        return Instruction(
+            Opcode.SUB, rd=0, rs1=rs1, imm=_imm(ops[1], line_no), set_cc=True
+        )
+
+    if mnemonic == "mov":
+        if len(ops) != 2:
+            raise AssemblyError(f"line {line_no}: mov needs 2 operands")
+        return Instruction(
+            Opcode.ADD, rd=_reg(ops[0], line_no), rs1=_reg(ops[1], line_no),
+            imm=0,
+        )
+
+    if mnemonic == "clr":
+        return Instruction(Opcode.LI, rd=_reg(ops[0], line_no), imm=0)
+
+    if mnemonic in ("inc", "dec"):
+        rd = _reg(ops[0], line_no)
+        op = Opcode.ADD if mnemonic == "inc" else Opcode.SUB
+        return Instruction(op, rd=rd, rs1=rd, imm=1)
+
+    if mnemonic == "li":
+        if len(ops) != 2:
+            raise AssemblyError(f"line {line_no}: li needs 2 operands")
+        return Instruction(
+            Opcode.LI, rd=_reg(ops[0], line_no), imm=_imm(ops[1], line_no)
+        )
+
+    if mnemonic in ("ld", "st"):
+        if len(ops) != 2:
+            raise AssemblyError(f"line {line_no}: {mnemonic} needs 2 operands")
+        rd = _reg(ops[0], line_no)
+        m = _MEM_RE.match(ops[1])
+        if not m:
+            raise AssemblyError(
+                f"line {line_no}: bad memory operand {ops[1]!r}"
+            )
+        rs1 = _reg(m.group(1), line_no)
+        offset = int(m.group(3) or "0", 0)
+        if m.group(2) == "-":
+            offset = -offset
+        op = Opcode.LD if mnemonic == "ld" else Opcode.ST
+        return Instruction(op, rd=rd, rs1=rs1, imm=offset)
+
+    branch = {o.value: o for o in BRANCH_OPS}
+    if mnemonic in branch:
+        if len(ops) != 1:
+            raise AssemblyError(f"line {line_no}: {mnemonic} needs a target")
+        return Instruction(branch[mnemonic], target=ops[0])
+
+    if mnemonic == "call":
+        if len(ops) != 1:
+            raise AssemblyError(f"line {line_no}: call needs a target")
+        return Instruction(Opcode.CALL, target=ops[0])
+
+    if mnemonic == "ret":
+        return Instruction(Opcode.RET)
+    if mnemonic == "halt":
+        return Instruction(Opcode.HALT)
+    if mnemonic == "nop":
+        return Instruction(Opcode.NOP)
+
+    raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble ``source`` text into a :class:`Program`."""
+    instructions: list[Instruction] = []
+    labels: dict[str, int] = {}
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";")[0].split("#")[0].strip()
+        while line:
+            m = _LABEL_RE.match(line)
+            if m:
+                label = m.group(1)
+                if label in labels:
+                    raise AssemblyError(
+                        f"line {line_no}: duplicate label {label!r}"
+                    )
+                labels[label] = len(instructions)
+                line = m.group(2).strip()
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            rest = parts[1] if len(parts) > 1 else ""
+            instructions.append(
+                _parse_line(mnemonic, _split_operands(rest), line_no)
+            )
+            line = ""
+    if not instructions:
+        raise AssemblyError("no instructions in source")
+    try:
+        return Program(instructions, labels, name=name)
+    except ValueError as exc:
+        raise AssemblyError(str(exc)) from exc

@@ -1,0 +1,110 @@
+"""Error-detection/correction schemes and their dynamic effects.
+
+Two effects matter to the framework (Sections 4.1 and 6.1):
+
+1. *Conditioning* — after a correction event, the next instruction
+   transitions the datapath from the state the correction mechanism left
+   behind, not from the errant instruction's state, activating different
+   timing paths.  Each scheme therefore emulates the corrected pipeline
+   state for computing the conditional error probability p^e (the paper's
+   nop-insertion instrumentation).
+
+2. *Performance* — every corrected error costs recovery cycles, feeding the
+   error-rate-to-performance mapping of Section 6.3.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_nonnegative, check_positive
+from repro.cpu.interpreter import StepRecord
+from repro.cpu.pipeline import InstructionWindow
+
+__all__ = [
+    "CorrectionScheme",
+    "ReplayHalfFrequency",
+    "PipelineFlush",
+    "NoCorrection",
+]
+
+
+class CorrectionScheme:
+    """Base class for error-correction mechanisms."""
+
+    #: Human-readable scheme name.
+    name: str = "abstract"
+
+    def penalty_cycles(self, pipeline_depth: int) -> float:
+        """Average clock cycles lost per corrected timing error."""
+        raise NotImplementedError
+
+    def emulate(self, window: InstructionWindow, k: int) -> InstructionWindow:
+        """Pipeline window seen by slot ``k`` when its predecessor erred."""
+        raise NotImplementedError
+
+    def guarantees_correctness(self) -> bool:
+        """Whether detection+correction guarantee architectural correctness."""
+        return True
+
+
+class ReplayHalfFrequency(CorrectionScheme):
+    """Instruction replay at half frequency (Bowman et al. [4], Section 6.1).
+
+    On error detection the clock is halved, the pipeline is flushed, and the
+    errant instruction is reissued; the replayed instruction cannot err at
+    half frequency.  For a 6-stage pipeline the paper charges 24 cycles per
+    event: a flush-and-refill of the pipeline (2 x depth at the halved
+    clock, counted in full-frequency cycles).
+
+    The conditioning emulation inserts a bubble before the instruction: the
+    replayed predecessor commits architecturally, but the instruction sees a
+    freshly refilled (nop-like) pipeline.
+    """
+
+    name = "replay-half-frequency"
+
+    def __init__(self, cycles_per_stage: float = 4.0) -> None:
+        check_positive("cycles_per_stage", cycles_per_stage)
+        self.cycles_per_stage = cycles_per_stage
+
+    def penalty_cycles(self, pipeline_depth: int) -> float:
+        check_positive("pipeline_depth", pipeline_depth)
+        return self.cycles_per_stage * pipeline_depth
+
+    def emulate(self, window: InstructionWindow, k: int) -> InstructionWindow:
+        return window.with_bubble_before(k)
+
+
+class PipelineFlush(CorrectionScheme):
+    """Plain pipeline flush and refetch (RazorII-style [9]).
+
+    Cheaper than half-frequency replay: one pipeline refill per event.
+    """
+
+    name = "pipeline-flush"
+
+    def __init__(self, extra_cycles: float = 1.0) -> None:
+        check_nonnegative("extra_cycles", extra_cycles)
+        self.extra_cycles = extra_cycles
+
+    def penalty_cycles(self, pipeline_depth: int) -> float:
+        check_positive("pipeline_depth", pipeline_depth)
+        return pipeline_depth + self.extra_cycles
+
+    def emulate(self, window: InstructionWindow, k: int) -> InstructionWindow:
+        return window.with_bubble_before(k)
+
+
+class NoCorrection(CorrectionScheme):
+    """Detection without correction — errors propagate (baseline for
+    ablations; not a safe operating mode)."""
+
+    name = "none"
+
+    def penalty_cycles(self, pipeline_depth: int) -> float:
+        return 0.0
+
+    def emulate(self, window: InstructionWindow, k: int) -> InstructionWindow:
+        return window  # the next instruction sees the errant state unchanged
+
+    def guarantees_correctness(self) -> bool:
+        return False

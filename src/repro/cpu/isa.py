@@ -1,0 +1,188 @@
+"""Instruction-set definition.
+
+A compact SPARC-V8-flavoured RISC: 16 general registers (``r0`` hardwired
+to zero), 16-bit data words matching the synthetic pipeline's datapath
+width, integer condition codes, and the usual ALU / memory / control
+instruction groups.  Instructions carry an optional ``set_cc`` flag like
+SPARC's ``cc``-suffixed opcodes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "WORD_BITS",
+    "WORD_MASK",
+    "NUM_REGS",
+    "Opcode",
+    "OpClass",
+    "Instruction",
+    "op_class",
+    "BRANCH_OPS",
+]
+
+WORD_BITS = 16
+WORD_MASK = (1 << WORD_BITS) - 1
+NUM_REGS = 16
+#: Link register used by ``call``/``ret``.
+LINK_REG = 15
+
+
+class Opcode(enum.Enum):
+    """Executable operations."""
+
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SRA = "sra"
+    MUL = "mul"
+    LD = "ld"
+    ST = "st"
+    LI = "li"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BGT = "bgt"
+    BLE = "ble"
+    BCC = "bcc"  # carry clear (unsigned >=)
+    BCS = "bcs"  # carry set (unsigned <)
+    BA = "ba"
+    CALL = "call"
+    RET = "ret"
+    HALT = "halt"
+    NOP = "nop"
+
+
+class OpClass(enum.Enum):
+    """Datapath-relevant grouping, selecting the timing-model features."""
+
+    ADDER = "adder"  # add/sub/compares: ripple-carry unit
+    LOGIC = "logic"  # bitwise unit
+    SHIFT = "shift"  # barrel shifter
+    MULT = "mult"  # array-multiplier slice
+    LOAD = "load"  # address adder + memory alignment
+    STORE = "store"  # address adder
+    CONTROL = "control"  # branches/calls: control network only
+    OTHER = "other"  # li / nop / halt
+
+
+_OP_CLASS: dict[Opcode, OpClass] = {
+    Opcode.ADD: OpClass.ADDER,
+    Opcode.SUB: OpClass.ADDER,
+    Opcode.AND: OpClass.LOGIC,
+    Opcode.OR: OpClass.LOGIC,
+    Opcode.XOR: OpClass.LOGIC,
+    Opcode.SLL: OpClass.SHIFT,
+    Opcode.SRL: OpClass.SHIFT,
+    Opcode.SRA: OpClass.SHIFT,
+    Opcode.MUL: OpClass.MULT,
+    Opcode.LD: OpClass.LOAD,
+    Opcode.ST: OpClass.STORE,
+    Opcode.LI: OpClass.OTHER,
+    Opcode.BEQ: OpClass.CONTROL,
+    Opcode.BNE: OpClass.CONTROL,
+    Opcode.BLT: OpClass.CONTROL,
+    Opcode.BGE: OpClass.CONTROL,
+    Opcode.BGT: OpClass.CONTROL,
+    Opcode.BLE: OpClass.CONTROL,
+    Opcode.BCC: OpClass.CONTROL,
+    Opcode.BCS: OpClass.CONTROL,
+    Opcode.BA: OpClass.CONTROL,
+    Opcode.CALL: OpClass.CONTROL,
+    Opcode.RET: OpClass.CONTROL,
+    Opcode.HALT: OpClass.OTHER,
+    Opcode.NOP: OpClass.OTHER,
+}
+
+BRANCH_OPS = frozenset(
+    {
+        Opcode.BEQ,
+        Opcode.BNE,
+        Opcode.BLT,
+        Opcode.BGE,
+        Opcode.BGT,
+        Opcode.BLE,
+        Opcode.BCC,
+        Opcode.BCS,
+        Opcode.BA,
+    }
+)
+
+
+def op_class(op: Opcode) -> OpClass:
+    """The datapath class of an opcode."""
+    return _OP_CLASS[op]
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One static instruction.
+
+    Register-register ALU forms set ``rs2``; register-immediate forms leave
+    ``rs2`` as ``None`` and use ``imm``.  Memory ops use ``rs1 + imm``
+    addressing (``rd`` is the destination for ``ld`` and the *source* data
+    register for ``st``).  Branches and calls carry a symbolic ``target``
+    resolved by the program container.
+
+    Attributes:
+        op: The opcode.
+        rd: Destination register (data register for stores).
+        rs1: First source register.
+        rs2: Second source register, or ``None`` for immediate forms.
+        imm: Immediate value (16-bit, two's complement as needed).
+        target: Branch/call target label.
+        set_cc: Whether the instruction updates the condition codes.
+    """
+
+    op: Opcode
+    rd: int = 0
+    rs1: int = 0
+    rs2: int | None = None
+    imm: int = 0
+    target: str | None = None
+    set_cc: bool = False
+
+    def __post_init__(self) -> None:
+        for name, reg in (("rd", self.rd), ("rs1", self.rs1)):
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"{name} out of range: {reg}")
+        if self.rs2 is not None and not 0 <= self.rs2 < NUM_REGS:
+            raise ValueError(f"rs2 out of range: {self.rs2}")
+        if self.op in BRANCH_OPS or self.op == Opcode.CALL:
+            if self.target is None:
+                raise ValueError(f"{self.op.value} requires a target label")
+
+    @property
+    def op_class(self) -> OpClass:
+        return _OP_CLASS[self.op]
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.op in BRANCH_OPS and self.op != Opcode.BA
+
+    def __str__(self) -> str:
+        cc = "cc" if self.set_cc else ""
+        op = self.op.value + cc
+        if self.op in BRANCH_OPS or self.op == Opcode.CALL:
+            return f"{op} {self.target}"
+        if self.op in (Opcode.HALT, Opcode.NOP, Opcode.RET):
+            return op
+        if self.op == Opcode.LI:
+            return f"{op} r{self.rd}, {self.imm}"
+        if self.op in (Opcode.LD, Opcode.ST):
+            sign = "-" if self.imm < 0 else "+"
+            return f"{op} r{self.rd}, [r{self.rs1}{sign}{abs(self.imm)}]"
+        if self.rs2 is not None:
+            return f"{op} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        return f"{op} r{self.rd}, r{self.rs1}, {self.imm}"

@@ -1,0 +1,76 @@
+"""Architectural state of the modelled processor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.isa import NUM_REGS, WORD_MASK
+
+__all__ = ["Flags", "MachineState", "MEMORY_WORDS"]
+
+#: Size of the word-addressed data memory.
+MEMORY_WORDS = 1 << 16
+
+
+@dataclass(slots=True)
+class Flags:
+    """Integer condition codes (SPARC icc): zero, negative, carry, overflow."""
+
+    z: bool = False
+    n: bool = False
+    c: bool = False
+    v: bool = False
+
+    def as_int(self) -> int:
+        """Pack into a 4-bit value (z | n<<1 | c<<2 | v<<3)."""
+        return (
+            int(self.z) | (int(self.n) << 1) | (int(self.c) << 2)
+            | (int(self.v) << 3)
+        )
+
+
+class MachineState:
+    """Registers, flags, memory, and program counter.
+
+    ``r0`` reads as zero and ignores writes.  Memory is word-addressed with
+    16-bit words and wraps modulo :data:`MEMORY_WORDS`.
+    """
+
+    __slots__ = ("regs", "flags", "memory", "pc", "halted")
+
+    def __init__(self) -> None:
+        self.regs = [0] * NUM_REGS
+        self.flags = Flags()
+        self.memory = [0] * MEMORY_WORDS
+        self.pc = 0
+        self.halted = False
+
+    def read_reg(self, index: int) -> int:
+        return self.regs[index]
+
+    def write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.regs[index] = value & WORD_MASK
+
+    def read_mem(self, address: int) -> int:
+        return self.memory[address % MEMORY_WORDS]
+
+    def write_mem(self, address: int, value: int) -> None:
+        self.memory[address % MEMORY_WORDS] = value & WORD_MASK
+
+    def load_words(self, base: int, values) -> None:
+        """Bulk-initialize memory starting at ``base``."""
+        for i, v in enumerate(values):
+            self.write_mem(base + i, int(v))
+
+    def dump_words(self, base: int, count: int) -> list[int]:
+        """Read ``count`` consecutive words starting at ``base``."""
+        return [self.read_mem(base + i) for i in range(count)]
+
+    def reset(self) -> None:
+        """Back to the power-on state."""
+        self.regs = [0] * NUM_REGS
+        self.flags = Flags()
+        self.memory = [0] * MEMORY_WORDS
+        self.pc = 0
+        self.halted = False

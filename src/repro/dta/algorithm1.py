@@ -1,0 +1,281 @@
+"""Algorithm 1 — dynamic timing slack of a pipeline stage.
+
+For every capture endpoint of a stage, scan its list of most critical paths
+in criticality order and select the first *activated* one (Definition 3.3);
+the stage DTS is the (statistical) minimum slack over the selected paths.
+
+Under SSTA (Section 3), slacks are Gaussians, so the criticality order is
+ambiguous; per the paper the scan runs twice — once ordered by worst-case
+(1st percentile) slack, once by best-case (99th percentile) slack — and the
+union of selected paths feeds a greedy pairwise statistical minimum [21].
+
+Endpoints whose every path keeps ``margin`` sigmas of positive slack at the
+analyzed clock period are skipped by default: they cannot produce a
+near-zero or negative DTS and therefore cannot influence error
+probabilities (pass ``include_safe=True`` to analyze them anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import check_in, check_positive
+from repro.logicsim.activity import ActivityTrace
+from repro.netlist.gates import EndpointKind, GateType
+from repro.netlist.library import TimingLibrary
+from repro.netlist.netlist import Netlist
+from repro.netlist.paths import Path, PathEnumerator
+from repro.sta.gaussian import Gaussian
+from repro.sta.ssta import statistical_min
+from repro.variation.process import ProcessVariationModel
+
+__all__ = ["StageDTSAnalyzer", "StageDTS"]
+
+_MODES = {"statistical", "deterministic"}
+
+
+@dataclass(slots=True)
+class StageDTS:
+    """DTS result for one (stage, cycle).
+
+    Attributes:
+        slack: Gaussian DTS (zero-variance in deterministic mode), or
+            ``None`` when no analyzed path was activated — the stage cannot
+            produce a timing error in that cycle.
+        paths: The activated critical paths that entered the statistical
+            minimum (the paper's AP set).
+    """
+
+    slack: Gaussian | None
+    paths: list[Path]
+
+    @property
+    def is_safe(self) -> bool:
+        return self.slack is None
+
+
+class _EndpointPaths:
+    """Pre-processed path data for one capture endpoint."""
+
+    __slots__ = (
+        "endpoint",
+        "paths",
+        "delay_mean",
+        "delay_var",
+        "order_nominal",
+        "order_worst",
+        "order_best",
+        "risk_metric",
+        "gather",
+        "segments",
+        "lengths",
+    )
+
+    def __init__(self, endpoint, paths, delay_mean, delay_var, z):
+        self.endpoint = endpoint
+        self.paths = paths
+        self.delay_mean = delay_mean
+        self.delay_var = delay_var
+        sd = np.sqrt(delay_var)
+        # Slack percentiles at period T are T - setup - (mean +/- z sd);
+        # criticality orderings are therefore period-independent.
+        self.order_nominal = np.argsort(-delay_mean, kind="stable")
+        self.order_worst = np.argsort(-(delay_mean + z * sd), kind="stable")
+        self.order_best = np.argsort(-(delay_mean - z * sd), kind="stable")
+        self.risk_metric = float((delay_mean + z * sd).max()) if paths else -np.inf
+        # Flattened gate-index gather for fast all-gates-activated checks:
+        # one fancy-index + reduceat per trace instead of one per path.
+        self.lengths = np.array([len(p.gates) for p in paths], dtype=int)
+        self.gather = np.concatenate(
+            [np.asarray(p.gates, dtype=int) for p in paths]
+        ) if paths else np.empty(0, dtype=int)
+        self.segments = np.concatenate(
+            [[0], np.cumsum(self.lengths)[:-1]]
+        ) if paths else np.empty(0, dtype=int)
+
+    def activation_matrix(self, activated: np.ndarray) -> np.ndarray:
+        """(n_paths, n_cycles) matrix: path fully activated per cycle."""
+        counts = np.add.reduceat(
+            activated[:, self.gather].astype(np.int16), self.segments, axis=1
+        )
+        return counts == self.lengths[None, :]
+
+
+class StageDTSAnalyzer:
+    """Algorithm 1 over a netlist with optional process variation.
+
+    Args:
+        netlist: The pipeline netlist.
+        library: Timing library.
+        variation: Process-variation model; required for statistical mode.
+            A default model is built when omitted.
+        paths_per_endpoint: How many most-critical paths to pre-enumerate
+            per endpoint (the paper iterates the full ``P(e)``; beyond this
+            depth paths are provably less critical than the K-th and are
+            treated as safe).
+        endpoint_kind: Restrict analysis to ``CONTROL`` or ``DATA``
+            endpoints (Section 4 characterizes the two sets separately);
+            ``None`` analyzes both.
+        margin: Risk margin in sigmas for the safe-endpoint filter and the
+            percentile scans (2.326 = 1st/99th percentiles, as in the
+            paper; larger is more conservative).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: TimingLibrary,
+        variation: ProcessVariationModel | None = None,
+        paths_per_endpoint: int = 12,
+        endpoint_kind: EndpointKind | None = None,
+        margin: float = 2.326,
+    ) -> None:
+        check_positive("paths_per_endpoint", paths_per_endpoint)
+        check_positive("margin", margin)
+        self.netlist = netlist
+        self.library = library
+        self.variation = variation or ProcessVariationModel(netlist, library)
+        self.paths_per_endpoint = paths_per_endpoint
+        self.endpoint_kind = endpoint_kind
+        self.margin = margin
+        self._enumerator = PathEnumerator(
+            netlist, netlist.nominal_delays(library)
+        )
+        self._stage_endpoints: dict[int, list[_EndpointPaths]] = {}
+        for s in range(netlist.num_stages):
+            self._stage_endpoints[s] = [
+                self._prepare_endpoint(g.gid)
+                for g in netlist.endpoints(stage=s, kind=endpoint_kind)
+                if g.gtype == GateType.DFF
+            ]
+
+    def _prepare_endpoint(self, endpoint: int) -> _EndpointPaths:
+        paths = self._enumerator.critical_paths(
+            endpoint, k=self.paths_per_endpoint
+        )
+        means = np.empty(len(paths))
+        variances = np.empty(len(paths))
+        for i, p in enumerate(paths):
+            means[i], variances[i] = self.variation.path_delay_moments(p.gates)
+        return _EndpointPaths(endpoint, paths, means, variances, self.margin)
+
+    # ------------------------------------------------------------------ #
+
+    def endpoints(self, stage: int) -> list[int]:
+        """Analyzed capture endpoints of ``stage``."""
+        return [ep.endpoint for ep in self._stage_endpoints[stage]]
+
+    def risky_endpoints(self, stage: int, clock_period: float) -> list[int]:
+        """Endpoints that can reach near-zero/negative slack at this period."""
+        threshold = clock_period - self.library.setup_time
+        return [
+            ep.endpoint
+            for ep in self._stage_endpoints[stage]
+            if ep.risk_metric > threshold
+        ]
+
+    # ------------------------------------------------------------------ #
+    # AP selection (lines 3-21 of Algorithm 1), vectorized over cycles.
+    # ------------------------------------------------------------------ #
+
+    def ap_trace(
+        self,
+        stage: int,
+        activity: ActivityTrace,
+        clock_period: float,
+        mode: str = "statistical",
+        include_safe: bool = False,
+    ) -> list[list[Path]]:
+        """The AP(N, s, t) sets for every cycle of an activity trace.
+
+        For each analyzed endpoint and each criticality ordering (nominal
+        in deterministic mode; worst-case and best-case percentile orders
+        in statistical mode) the first activated path is selected.
+        """
+        check_in("mode", mode, _MODES)
+        n_cycles = activity.n_cycles
+        result: list[list[Path]] = [[] for _ in range(n_cycles)]
+        threshold = clock_period - self.library.setup_time
+        for ep in self._stage_endpoints[stage]:
+            if not include_safe and ep.risk_metric <= threshold:
+                continue
+            if not ep.paths:
+                continue
+            # (n_paths, n_cycles) activation matrix for this endpoint.
+            act = ep.activation_matrix(activity.activated).T
+            orders = (
+                (ep.order_nominal,)
+                if mode == "deterministic"
+                else (ep.order_worst, ep.order_best)
+            )
+            chosen = np.full((len(orders), n_cycles), -1, dtype=int)
+            for oi, order in enumerate(orders):
+                ordered = act[order]
+                any_active = ordered.any(axis=0)
+                first = ordered.argmax(axis=0)
+                chosen[oi, any_active] = np.asarray(order)[first[any_active]]
+            for t in range(n_cycles):
+                picked = {int(i) for i in chosen[:, t] if i >= 0}
+                result[t].extend(ep.paths[i] for i in sorted(picked))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Line 22: statistical minimum over the AP slacks.
+    # ------------------------------------------------------------------ #
+
+    def combine(
+        self, paths: list[Path], clock_period: float, mode: str = "statistical"
+    ) -> Gaussian | None:
+        """Reduce an AP set to the stage DTS (``SL(CP(AP))``)."""
+        check_in("mode", mode, _MODES)
+        if not paths:
+            return None
+        setup = self.library.setup_time
+        if mode == "deterministic":
+            worst = max(p.delay for p in paths)
+            return Gaussian(clock_period - worst - setup, 0.0)
+        slacks = []
+        for p in paths:
+            mean, var = self.variation.path_delay_moments(p.gates)
+            slacks.append(Gaussian(clock_period - mean - setup, var))
+        if len(slacks) == 1:
+            return slacks[0]
+        n = len(paths)
+        cov = np.zeros((n, n))
+        for i in range(n):
+            cov[i, i] = slacks[i].var
+            for j in range(i + 1, n):
+                cov[i, j] = cov[j, i] = self.variation.path_cov(
+                    paths[i].gates, paths[j].gates
+                )
+        return statistical_min(slacks, cov)
+
+    def dts_trace(
+        self,
+        stage: int,
+        activity: ActivityTrace,
+        clock_period: float,
+        mode: str = "statistical",
+        include_safe: bool = False,
+    ) -> list[StageDTS]:
+        """DTS of ``stage`` for every cycle of ``activity`` (Algorithm 1)."""
+        aps = self.ap_trace(stage, activity, clock_period, mode, include_safe)
+        return [
+            StageDTS(self.combine(ap, clock_period, mode), ap) for ap in aps
+        ]
+
+    def dts(
+        self,
+        stage: int,
+        t: int,
+        activity: ActivityTrace,
+        clock_period: float,
+        mode: str = "statistical",
+        include_safe: bool = False,
+    ) -> StageDTS:
+        """DTS of ``stage`` at a single cycle ``t``."""
+        return self.dts_trace(
+            stage, activity, clock_period, mode, include_safe
+        )[t]

@@ -1,0 +1,121 @@
+"""Algorithm 2 — dynamic timing slack of an instruction.
+
+An instruction's DTS is the minimum of the DTS of every pipeline stage at
+the cycle the instruction occupies that stage:
+
+    InstDTS(N, t) = min over s of DTS(N, s, t + s)
+
+Under SSTA the per-stage DTS values are correlated Gaussians (they may even
+share gates); rather than combining already-reduced stage minima — which
+would lose the cross-stage covariance — the analyzer unions the activated
+critical paths (AP sets) of all the instruction's (stage, cycle) pairs and
+performs a single statistical minimum over them.
+"""
+
+from __future__ import annotations
+
+from repro._util import check_in
+from repro.dta.algorithm1 import StageDTSAnalyzer
+from repro.logicsim.activity import ActivityTrace
+from repro.netlist.paths import Path
+from repro.sta.gaussian import Gaussian
+
+__all__ = ["InstructionDTSAnalyzer"]
+
+
+class InstructionDTSAnalyzer:
+    """Algorithm 2 on top of a :class:`StageDTSAnalyzer`.
+
+    Args:
+        stage_analyzer: The Algorithm 1 engine to draw AP sets from.
+    """
+
+    def __init__(self, stage_analyzer: StageDTSAnalyzer) -> None:
+        self.stage_analyzer = stage_analyzer
+
+    @property
+    def num_stages(self) -> int:
+        return self.stage_analyzer.netlist.num_stages
+
+    def instruction_ap(
+        self,
+        activity: ActivityTrace,
+        entry_cycle: int,
+        clock_period: float,
+        mode: str = "statistical",
+        ap_traces: list[list[list[Path]]] | None = None,
+        include_safe: bool = False,
+    ) -> list[Path]:
+        """Union of AP sets over the instruction's (stage, cycle) pairs.
+
+        ``entry_cycle`` is the cycle the instruction enters stage 0.  Pairs
+        that fall outside the trace window are skipped.  ``ap_traces`` may
+        carry precomputed per-stage AP traces (from
+        :meth:`StageDTSAnalyzer.ap_trace`) to amortize work across the many
+        instructions of a basic-block window.
+        """
+        check_in("mode", mode, {"statistical", "deterministic"})
+        union: list[Path] = []
+        seen: set[tuple] = set()
+        for s in range(self.num_stages):
+            t = entry_cycle + s
+            if not 0 <= t < activity.n_cycles:
+                continue
+            if ap_traces is not None:
+                ap = ap_traces[s][t]
+            else:
+                ap = self.stage_analyzer.ap_trace(
+                    s, activity, clock_period, mode, include_safe
+                )[t]
+            for p in ap:
+                key = (p.gates, p.sink)
+                if key not in seen:
+                    seen.add(key)
+                    union.append(p)
+        return union
+
+    def instruction_dts(
+        self,
+        activity: ActivityTrace,
+        entry_cycle: int,
+        clock_period: float,
+        mode: str = "statistical",
+        ap_traces: list[list[list[Path]]] | None = None,
+        include_safe: bool = False,
+    ) -> Gaussian | None:
+        """DTS of the instruction entering the pipeline at ``entry_cycle``.
+
+        Returns ``None`` when no analyzed path is activated along the
+        instruction's journey — it cannot experience a timing error.
+        """
+        union = self.instruction_ap(
+            activity, entry_cycle, clock_period, mode, ap_traces, include_safe
+        )
+        return self.stage_analyzer.combine(union, clock_period, mode)
+
+    def window_dts(
+        self,
+        activity: ActivityTrace,
+        entry_cycles: list[int],
+        clock_period: float,
+        mode: str = "statistical",
+        include_safe: bool = False,
+    ) -> list[Gaussian | None]:
+        """Instruction DTS for many instructions sharing one trace window.
+
+        Computes each stage's AP trace once and reuses it for every
+        instruction — the dominant cost amortization during basic-block
+        characterization.
+        """
+        ap_traces = [
+            self.stage_analyzer.ap_trace(
+                s, activity, clock_period, mode, include_safe
+            )
+            for s in range(self.num_stages)
+        ]
+        return [
+            self.instruction_dts(
+                activity, t, clock_period, mode, ap_traces=ap_traces
+            )
+            for t in entry_cycles
+        ]

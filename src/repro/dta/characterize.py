@@ -1,0 +1,282 @@
+"""Control-network DTS characterization (Section 4).
+
+The control network performs (nearly) the same work every time a basic
+block executes, so its DTS is characterized *once per basic block per
+incoming edge*: the block's instructions — preceded by the tail of the
+predecessor block, since two blocks share the pipeline at the boundary —
+are pushed through the pipeline model, the resulting switching activity is
+analyzed with Algorithms 1 and 2 restricted to the control endpoints, and
+the per-instruction DTS Gaussians are recorded.
+
+Each (block, edge) pair is characterized twice: once as executed (giving
+the conditional DTS behind p^c) and once with a bubble inserted before
+every instruction — the paper's nop-instrumentation emulating the pipeline
+state the error-correction mechanism leaves behind (giving p^e).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cfg.cfg import ControlFlowGraph, ENTRY_EDGE
+from repro.cpu.correction import CorrectionScheme
+from repro.cpu.interpreter import StepRecord
+from repro.cpu.pipeline import InstructionWindow, PipelineScheduler
+from repro.cpu.program import Program
+from repro.dta.algorithm2 import InstructionDTSAnalyzer
+from repro.logicsim.simulator import LevelizedSimulator
+from repro.logicsim.stimulus import StimulusEncoder
+from repro.sta.gaussian import Gaussian
+
+__all__ = ["ControlKey", "ControlTimingModel", "ControlCharacterizer",
+           "ControlSampleCollector"]
+
+#: Key into the control timing model: (block id, predecessor id, instr pos).
+ControlKey = tuple[int, int, int]
+
+
+@dataclass(slots=True)
+class ControlTimingModel:
+    """Characterized control-network DTS per (block, edge, instruction).
+
+    Attributes:
+        normal: ``(bid, pred, k) -> Gaussian | None`` — control DTS given
+            normal pipeline flow (behind p^c).  ``None`` means no risky
+            control path was activated.
+        corrected: Same, under the correction-scheme emulation (behind
+            p^e).
+    """
+
+    normal: dict[ControlKey, Gaussian | None] = field(default_factory=dict)
+    corrected: dict[ControlKey, Gaussian | None] = field(default_factory=dict)
+    _by_block: dict[tuple[int, int], list[int]] = field(default_factory=dict)
+
+    def record(
+        self,
+        key: ControlKey,
+        normal: Gaussian | None,
+        corrected: Gaussian | None,
+    ) -> None:
+        self.normal[key] = normal
+        self.corrected[key] = corrected
+        bid, pred, k = key
+        self._by_block.setdefault((bid, k), []).append(pred)
+
+    def get(
+        self, bid: int, pred: int, k: int
+    ) -> tuple[Gaussian | None, Gaussian | None]:
+        """Lookup with fallback to any characterized edge of the block.
+
+        Edges that appear during large-dataset simulation but were never
+        taken during training fall back to an arbitrary characterized edge
+        of the same block (their control activity differs only in the
+        shared-pipeline boundary cycles).
+        """
+        key = (bid, pred, k)
+        if key in self.normal:
+            return self.normal[key], self.corrected[key]
+        preds = self._by_block.get((bid, k))
+        if not preds:
+            raise KeyError(f"block {bid} instruction {k} was never characterized")
+        fallback = (bid, preds[0], k)
+        return self.normal[fallback], self.corrected[fallback]
+
+    def __len__(self) -> int:
+        return len(self.normal)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Serialize the characterized model to JSON."""
+        import json
+
+        def encode(table):
+            return [
+                {
+                    "block": b,
+                    "pred": p,
+                    "k": k,
+                    "mean": None if g is None else g.mean,
+                    "var": None if g is None else g.var,
+                }
+                for (b, p, k), g in sorted(table.items())
+            ]
+
+        return json.dumps(
+            {
+                "normal": encode(self.normal),
+                "corrected": encode(self.corrected),
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ControlTimingModel":
+        """Rebuild a model serialized by :meth:`to_json`."""
+        import json
+
+        doc = json.loads(text)
+
+        def decode(rows):
+            out = {}
+            for row in rows:
+                key = (int(row["block"]), int(row["pred"]), int(row["k"]))
+                if row["mean"] is None:
+                    out[key] = None
+                else:
+                    out[key] = Gaussian(float(row["mean"]), float(row["var"]))
+            return out
+
+        model = cls()
+        normal = decode(doc["normal"])
+        corrected = decode(doc["corrected"])
+        if set(normal) != set(corrected):
+            raise ValueError("normal/corrected key sets disagree")
+        for key in sorted(normal):
+            model.record(key, normal[key], corrected[key])
+        return model
+
+
+class ControlSampleCollector:
+    """Interpreter listener capturing one execution window per CFG edge.
+
+    For every (block, predecessor) pair, stores the block's executed
+    records together with the trailing records of the path leading into it
+    (the pipeline-sharing context).
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, tail_length: int = 5) -> None:
+        self.cfg = cfg
+        self.tail_length = tail_length
+        self._is_leader = [False] * len(cfg.program)
+        for b in cfg.blocks:
+            self._is_leader[b.start] = True
+        self._block_of = cfg.block_of_instruction
+        max_block = max(b.size for b in cfg.blocks)
+        self._history: deque[StepRecord] = deque(
+            maxlen=tail_length + max_block
+        )
+        self._pending_pred = ENTRY_EDGE
+        self._open: dict[tuple[int, int], int] = {}
+        #: (bid, pred) -> (tail records, block records)
+        self.samples: dict[
+            tuple[int, int], tuple[list[StepRecord], list[StepRecord]]
+        ] = {}
+        self._started = False
+
+    def listener(self, pc: int, a: int, b: int, r: int, next_pc: int) -> None:
+        if not self._started or self._is_leader[pc]:
+            bid = self._block_of[pc]
+            key = (bid, self._pending_pred)
+            if key not in self.samples and key not in self._open:
+                self._open[key] = len(self._history)
+            self._started = True
+        record = StepRecord(pc, a, b, r, next_pc)
+        self._history.append(record)
+        leaving = (
+            0 <= next_pc < len(self._is_leader) and self._is_leader[next_pc]
+        ) or next_pc == pc
+        if leaving:
+            self._flush_completed(pc)
+            self._pending_pred = self._block_of[pc]
+
+    def _flush_completed(self, last_pc: int) -> None:
+        bid = self._block_of[last_pc]
+        block = self.cfg.block(bid)
+        done = [key for key in self._open if key[0] == bid]
+        for key in done:
+            hist = list(self._history)
+            n = block.size
+            block_records = hist[-n:]
+            if [rec.index for rec in block_records] != list(
+                block.instruction_indices()
+            ):
+                # Partial capture (history overflow or interrupted block).
+                del self._open[key]
+                continue
+            tail = hist[max(0, len(hist) - n - self.tail_length) : len(hist) - n]
+            self.samples[key] = (tail, block_records)
+            del self._open[key]
+
+
+class ControlCharacterizer:
+    """Runs the gate-level control-network characterization.
+
+    Args:
+        pipeline: Generated pipeline netlist (with signal map).
+        analyzer: Instruction DTS analyzer restricted to control endpoints.
+        program: The program under analysis.
+        scheme: Error-correction scheme (supplies the p^e emulation).
+        clock_period: Speculative clock period (ps).
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        analyzer: InstructionDTSAnalyzer,
+        program: Program,
+        scheme: CorrectionScheme,
+        clock_period: float,
+    ) -> None:
+        self.pipeline = pipeline
+        self.analyzer = analyzer
+        self.program = program
+        self.scheme = scheme
+        self.clock_period = clock_period
+        self.scheduler = PipelineScheduler(
+            program, num_stages=pipeline.num_stages
+        )
+        self.simulator = LevelizedSimulator(pipeline.netlist)
+        self.encoder = StimulusEncoder(pipeline)
+
+    def _window_dts(
+        self, window: InstructionWindow, slot_indices: list[int]
+    ) -> list[Gaussian | None]:
+        schedule = self.scheduler.schedule(window)
+        source_values = self.encoder.encode_schedule(schedule)
+        activity = self.simulator.activity(source_values)
+        return self.analyzer.window_dts(
+            activity, slot_indices, self.clock_period
+        )
+
+    def characterize_edge(
+        self,
+        bid: int,
+        pred: int,
+        tail: list[StepRecord],
+        block_records: list[StepRecord],
+        model: ControlTimingModel,
+    ) -> None:
+        """Characterize one (block, incoming edge) pair into ``model``."""
+        tail_slots: list[StepRecord | None] = list(tail)
+        n = len(block_records)
+        # Normal flow: predecessor tail + block.
+        normal_window = InstructionWindow(tail_slots + list(block_records))
+        normal_entries = [len(tail_slots) + k for k in range(n)]
+        dts_c = self._window_dts(normal_window, normal_entries)
+        # Corrected flow: the scheme's emulation applied before every
+        # instruction (the paper inserts a nop before each one).
+        corrected = InstructionWindow(list(tail_slots))
+        positions = []
+        for rec in block_records:
+            emulated = self.scheme.emulate(
+                InstructionWindow(corrected.slots + [rec]),
+                len(corrected.slots),
+            )
+            corrected = emulated
+            positions.append(len(corrected.slots) - 1)
+        dts_e = self._window_dts(corrected, positions)
+        for k in range(n):
+            model.record((bid, pred, k), dts_c[k], dts_e[k])
+
+    def characterize(
+        self, samples: dict[tuple[int, int], tuple[list, list]]
+    ) -> ControlTimingModel:
+        """Characterize every captured (block, edge) sample."""
+        model = ControlTimingModel()
+        for (bid, pred), (tail, block_records) in sorted(samples.items()):
+            self.characterize_edge(bid, pred, tail, block_records, model)
+        return model

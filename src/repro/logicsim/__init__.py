@@ -1,0 +1,28 @@
+"""Functional gate-level simulation and switching-activity capture.
+
+Provides the VCD(t) input of Algorithm 1: which gates are *activated*
+(Definition 3.2 — settled output value changes) in each clock cycle.  The
+simulator is levelized and vectorized over cycles, and the stimulus encoder
+maps per-cycle pipeline occupancy (which instruction is in which stage, with
+which operand values) onto the netlist's source flip-flops and inputs.
+"""
+
+from repro.logicsim.simulator import LevelizedSimulator
+from repro.logicsim.activity import ActivityTrace
+from repro.logicsim.stimulus import (
+    StageOccupancy,
+    PipelineCycle,
+    StimulusEncoder,
+    int_to_bits,
+    mix64,
+)
+
+__all__ = [
+    "LevelizedSimulator",
+    "ActivityTrace",
+    "StageOccupancy",
+    "PipelineCycle",
+    "StimulusEncoder",
+    "int_to_bits",
+    "mix64",
+]

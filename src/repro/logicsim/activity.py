@@ -1,0 +1,58 @@
+"""Switching-activity container — the VCD(t) sets consumed by Algorithm 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ActivityTrace"]
+
+
+@dataclass(slots=True)
+class ActivityTrace:
+    """Per-cycle gate activation information.
+
+    Attributes:
+        activated: Boolean array ``(n_cycles, n_gates)``; entry ``[t, g]``
+            is True when gate ``g`` is activated in cycle ``t``
+            (Definition 3.2).
+        values: Boolean array of settled gate values, same shape.
+    """
+
+    activated: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.activated.shape != self.values.shape:
+            raise ValueError("activated and values must have the same shape")
+
+    @property
+    def n_cycles(self) -> int:
+        return self.activated.shape[0]
+
+    @property
+    def n_gates(self) -> int:
+        return self.activated.shape[1]
+
+    def vcd(self, t: int) -> np.ndarray:
+        """Boolean activation mask for cycle ``t`` (the paper's VCD(t))."""
+        return self.activated[t]
+
+    def activated_set(self, t: int) -> set[int]:
+        """Set of activated gate ids in cycle ``t``."""
+        return set(np.flatnonzero(self.activated[t]).tolist())
+
+    def is_path_activated(self, t: int, gates) -> bool:
+        """True if *all* gates of a path are activated in cycle ``t``
+        (Definition 3.3)."""
+        mask = self.activated[t]
+        return bool(np.all(mask[np.asarray(gates, dtype=int)]))
+
+    def activity_factor(self) -> float:
+        """Fraction of (cycle, gate) slots that toggled — a sanity metric."""
+        return float(self.activated.mean())
+
+    def final_state(self) -> np.ndarray:
+        """Settled values after the last cycle (chains window simulations)."""
+        return self.values[-1].copy()

@@ -1,0 +1,155 @@
+"""Encoding of pipeline occupancy into netlist source values.
+
+The control-network characterization of Section 4 drives the processor
+netlist with the instruction sequence of a basic block.  Here the per-cycle
+pipeline state — which static instruction occupies each stage and with which
+operand values — is mapped deterministically onto the generated netlist's
+source flip-flops and inputs:
+
+* *control sources* of a stage receive a hash expansion of the occupying
+  instruction's identity token, so the same static instruction always drives
+  the same control-bit pattern (the paper's observation that a basic block
+  activates the same control paths on every execution);
+* *data sources* receive the binary representation of the occupying
+  instruction's operand values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.generator import PipelineNetlist
+
+__all__ = [
+    "mix64",
+    "int_to_bits",
+    "StageOccupancy",
+    "PipelineCycle",
+    "StimulusEncoder",
+]
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """SplitMix64 finalizer — a stable, platform-independent bit mixer."""
+    z = (value + 0x9E3779B97F4A7C15) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def int_to_bits(value: int, width: int) -> list[bool]:
+    """Little-endian bit decomposition of ``value`` truncated to ``width``."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return [bool((value >> i) & 1) for i in range(width)]
+
+
+def token_bits(token: int, width: int) -> list[bool]:
+    """Expand an identity token into ``width`` pseudo-random (stable) bits."""
+    bits: list[bool] = []
+    chunk = 0
+    while len(bits) < width:
+        word = mix64((token & _MASK64) ^ mix64(chunk + 1))
+        bits.extend(int_to_bits(word, min(64, width - len(bits))))
+        chunk += 1
+    return bits
+
+
+@dataclass(slots=True)
+class StageOccupancy:
+    """What occupies one pipeline stage in one cycle.
+
+    Attributes:
+        token: Identity token of the occupying static instruction (0 for a
+            bubble/nop — drives an all-stable idle pattern).
+        op_token: Coarser token identifying the *opcode* (shared by all
+            instructions with the same operation).
+        class_token: Coarsest token identifying the opcode *class*.
+        data: Mapping from data-bus name (as published by the generated
+            :class:`PipelineNetlist`) to the integer value it should carry.
+            Missing buses default to 0.
+
+    The three-level hierarchy mirrors real pipeline control state, most of
+    which depends only on the instruction's kind: consecutive similar
+    instructions flip few control bits, so long control paths see quiet
+    side inputs and can activate coherently — without the hierarchy every
+    control bit would toggle with probability one half per cycle and deep
+    control paths would (unrealistically) never activate.
+    """
+
+    token: int = 0
+    op_token: int = 0
+    class_token: int = 0
+    data: dict[str, int] = field(default_factory=dict)
+    #: Semantic control-bit overrides (bit position -> value), applied
+    #: after the hash encoding.  Used for functional selects that real
+    #: decoders derive from the opcode (ALU unit select, subtract enable,
+    #: load select): leaving them hash-random would route, say, an ADD's
+    #: result bus through the multiplier.
+    ctrl_overrides: dict[int, bool] = field(default_factory=dict)
+
+
+#: One cycle of pipeline state: one :class:`StageOccupancy` per stage.
+PipelineCycle = list[StageOccupancy]
+
+
+class StimulusEncoder:
+    """Maps schedules of :class:`PipelineCycle` onto simulator source values.
+
+    Args:
+        pipeline: The generated pipeline netlist with its signal map.
+    """
+
+    def __init__(self, pipeline: PipelineNetlist) -> None:
+        self.pipeline = pipeline
+        self.netlist = pipeline.netlist
+        self.source_ids = [g.gid for g in self.netlist.gates if g.is_endpoint]
+        self._source_pos = {gid: i for i, gid in enumerate(self.source_ids)}
+
+    @property
+    def n_sources(self) -> int:
+        return len(self.source_ids)
+
+    def encode_cycle(self, cycle: PipelineCycle) -> np.ndarray:
+        """Encode one pipeline cycle into a source-value row."""
+        row = np.zeros(self.n_sources, dtype=bool)
+        num_stages = self.pipeline.num_stages
+        if len(cycle) != num_stages:
+            raise ValueError(
+                f"cycle must have {num_stages} stage entries, got {len(cycle)}"
+            )
+        for s, occ in enumerate(cycle):
+            ctrl = self.pipeline.ctrl_src[s]
+            n = len(ctrl)
+            # Mix the stage index in so the same instruction produces
+            # distinct (but fixed) patterns in different stages.  Half the
+            # control bits encode the opcode class, a quarter the opcode,
+            # and a quarter the full static instruction (see
+            # StageOccupancy).
+            stage_salt = mix64(s + 101)
+            levels = (
+                token_bits(mix64(occ.class_token ^ stage_salt), n),
+                token_bits(mix64(occ.op_token ^ stage_salt), n),
+                token_bits(mix64(occ.token ^ stage_salt), n),
+            )
+            for i, gid in enumerate(ctrl):
+                level = 0 if i % 4 < 2 else (1 if i % 4 == 2 else 2)
+                bit = occ.ctrl_overrides.get(i)
+                row[self._source_pos[gid]] = (
+                    levels[level][i] if bit is None else bit
+                )
+            for bus_name, gids in self.pipeline.data_src[s].items():
+                value = occ.data.get(bus_name, 0)
+                for gid, bit in zip(gids, int_to_bits(value, len(gids))):
+                    row[self._source_pos[gid]] = bit
+        return row
+
+    def encode_schedule(self, schedule: list[PipelineCycle]) -> np.ndarray:
+        """Encode a multi-cycle schedule into ``(n_cycles, n_sources)``."""
+        if not schedule:
+            raise ValueError("schedule must contain at least one cycle")
+        return np.stack([self.encode_cycle(c) for c in schedule])

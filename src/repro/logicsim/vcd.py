@@ -1,0 +1,150 @@
+"""Value Change Dump (VCD) export/import for activity traces.
+
+The paper's flow (Figure 1) hands switching activity to the DTA tool as a
+VCD file produced by functional simulation.  This module writes
+:class:`~repro.logicsim.activity.ActivityTrace` objects as standard IEEE
+1364 VCD (one scalar variable per gate output, one timestamp per clock
+cycle) and reads such files back, so traces can be inspected with ordinary
+waveform viewers or produced by external simulators.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro.logicsim.activity import ActivityTrace
+from repro.netlist.netlist import Netlist
+
+__all__ = ["write_vcd", "read_vcd", "trace_from_values"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Compact VCD identifier code for variable ``index``."""
+    if index < 0:
+        raise ValueError("index must be non-negative")
+    out = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, len(_ID_CHARS))
+        out.append(_ID_CHARS[rem])
+    return "".join(out)
+
+
+def write_vcd(
+    trace: ActivityTrace,
+    netlist: Netlist,
+    file,
+    timescale: str = "1ns",
+    module: str = "repro",
+) -> None:
+    """Write an activity trace as a VCD document.
+
+    Args:
+        trace: The simulated trace (settled values per cycle).
+        netlist: Supplies signal names; sizes must match the trace.
+        file: A text file object (or anything with ``write``).
+        timescale: VCD timescale directive (one cycle = one tick).
+        module: Scope name for the variable declarations.
+    """
+    if trace.n_gates != len(netlist):
+        raise ValueError(
+            f"trace has {trace.n_gates} gates, netlist has {len(netlist)}"
+        )
+    w = file.write
+    w("$date repro activity trace $end\n")
+    w(f"$timescale {timescale} $end\n")
+    w(f"$scope module {module} $end\n")
+    ids = [_identifier(g) for g in range(trace.n_gates)]
+    for gate in netlist.gates:
+        name = gate.name.replace(" ", "_").replace("/", ".")
+        w(f"$var wire 1 {ids[gate.gid]} {name} $end\n")
+    w("$upscope $end\n")
+    w("$enddefinitions $end\n")
+    # Initial dump: every signal's value at cycle 0.
+    w("$dumpvars\n")
+    for g in range(trace.n_gates):
+        w(f"{int(trace.values[0, g])}{ids[g]}\n")
+    w("$end\n")
+    w("#0\n")
+    for t in range(1, trace.n_cycles):
+        changed = np.flatnonzero(trace.values[t] != trace.values[t - 1])
+        if len(changed) == 0:
+            continue
+        w(f"#{t}\n")
+        for g in changed:
+            w(f"{int(trace.values[t, g])}{ids[g]}\n")
+
+
+def read_vcd(file) -> tuple[np.ndarray, list[str]]:
+    """Read a (scalar-only) VCD document.
+
+    Returns ``(values, names)`` where ``values`` is a boolean array of
+    shape ``(n_cycles, n_vars)`` holding each variable's value at every
+    integer timestamp from 0 to the last one present, and ``names`` the
+    declared variable names in declaration order.
+    """
+    id_to_col: dict[str, int] = {}
+    names: list[str] = []
+    changes: list[tuple[int, int, bool]] = []  # (time, column, value)
+    time = 0
+    in_definitions = True
+    for raw in file:
+        line = raw.strip()
+        if not line:
+            continue
+        if in_definitions:
+            if line.startswith("$var"):
+                parts = line.split()
+                # $var wire 1 <id> <name> $end
+                if len(parts) < 6:
+                    raise ValueError(f"malformed $var line: {line!r}")
+                ident, name = parts[3], parts[4]
+                id_to_col[ident] = len(names)
+                names.append(name)
+            elif line.startswith("$enddefinitions"):
+                in_definitions = False
+            continue
+        if line.startswith("$"):
+            continue  # $dumpvars / $end markers
+        if line.startswith("#"):
+            time = int(line[1:])
+            continue
+        value_char, ident = line[0], line[1:]
+        if value_char not in "01":
+            raise ValueError(f"unsupported VCD value {value_char!r}")
+        if ident not in id_to_col:
+            raise ValueError(f"undeclared VCD identifier {ident!r}")
+        changes.append((time, id_to_col[ident], value_char == "1"))
+    if not names:
+        raise ValueError("VCD contains no variable declarations")
+    n_cycles = max((t for t, _, _ in changes), default=0) + 1
+    values = np.zeros((n_cycles, len(names)), dtype=bool)
+    # Apply changes in time order, carrying values forward.
+    changes.sort(key=lambda c: c[0])
+    current = np.zeros(len(names), dtype=bool)
+    cursor = 0
+    for t in range(n_cycles):
+        while cursor < len(changes) and changes[cursor][0] == t:
+            _, col, val = changes[cursor]
+            current[col] = val
+            cursor += 1
+        values[t] = current
+    return values, names
+
+
+def trace_from_values(values: np.ndarray) -> ActivityTrace:
+    """Rebuild an :class:`ActivityTrace` from settled values.
+
+    Cycle 0 is taken as the baseline (nothing activated) — matching a
+    dump that begins from the design's quiescent state.
+    """
+    values = np.asarray(values, dtype=bool)
+    if values.ndim != 2:
+        raise ValueError("values must be (n_cycles, n_gates)")
+    activated = np.zeros_like(values)
+    activated[1:] = values[1:] != values[:-1]
+    return ActivityTrace(activated=activated, values=values)

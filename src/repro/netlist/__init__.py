@@ -1,0 +1,43 @@
+"""Gate-level netlist substrate.
+
+Provides the netlist graph the paper's dynamic timing analysis operates on
+(Section 3): gates and nets, endpoint flip-flops split into *control* and
+*data* sets, a Liberty-like timing library, timing-path enumeration
+(Definition 3.1), and a synthetic pipeline netlist generator standing in for
+the synthesized LEON3 integer unit.
+"""
+
+from repro.netlist.gates import Gate, GateType, EndpointKind, evaluate_gate
+from repro.netlist.library import CellTiming, TimingLibrary
+from repro.netlist.netlist import Netlist
+from repro.netlist.paths import Path, PathEnumerator
+from repro.netlist.builders import (
+    build_ripple_adder,
+    build_logic_unit,
+    build_barrel_shifter,
+    build_array_multiplier,
+    build_random_cloud,
+    build_comparator,
+)
+from repro.netlist.generator import PipelineConfig, PipelineNetlist, generate_pipeline
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "EndpointKind",
+    "evaluate_gate",
+    "CellTiming",
+    "TimingLibrary",
+    "Netlist",
+    "Path",
+    "PathEnumerator",
+    "build_ripple_adder",
+    "build_logic_unit",
+    "build_barrel_shifter",
+    "build_array_multiplier",
+    "build_random_cloud",
+    "build_comparator",
+    "PipelineConfig",
+    "PipelineNetlist",
+    "generate_pipeline",
+]

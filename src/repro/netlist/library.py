@@ -1,0 +1,160 @@
+"""A miniature Liberty-style timing library.
+
+Provides nominal cell delays with a linear load model, flip-flop timing
+parameters (clock-to-Q, setup), and the per-cell variability fraction used
+by the process-variation model.  Numbers are loosely calibrated to a 45 nm
+standard-cell library at the typical corner so that the synthetic pipeline's
+maximum frequency lands in the several-hundred-MHz range the paper reports.
+
+Libraries serialize to/from a JSON document (the role a ``.lib`` file
+plays in a real flow), so alternative corners can be stored beside the
+code and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro._util import check_nonnegative, check_positive
+from repro.netlist.gates import GateType
+
+__all__ = ["CellTiming", "TimingLibrary"]
+
+
+@dataclass(frozen=True, slots=True)
+class CellTiming:
+    """Timing data for one cell type.
+
+    Attributes:
+        intrinsic_delay: Pin-to-pin delay at zero load, in picoseconds.
+        load_delay: Added delay per fanout connection, in picoseconds.
+        sigma_fraction: One-sigma process variability as a fraction of the
+            nominal delay.
+    """
+
+    intrinsic_delay: float
+    load_delay: float
+    sigma_fraction: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("intrinsic_delay", self.intrinsic_delay)
+        check_nonnegative("load_delay", self.load_delay)
+        check_nonnegative("sigma_fraction", self.sigma_fraction)
+
+
+_DEFAULT_CELLS: dict[GateType, CellTiming] = {
+    GateType.INPUT: CellTiming(0.0, 0.0, 0.0),
+    GateType.DFF: CellTiming(70.0, 4.0, 0.05),  # clock-to-Q
+    GateType.BUF: CellTiming(20.0, 3.5, 0.05),
+    GateType.NOT: CellTiming(14.0, 3.5, 0.05),
+    GateType.AND2: CellTiming(28.0, 4.0, 0.05),
+    GateType.OR2: CellTiming(30.0, 4.0, 0.05),
+    GateType.NAND2: CellTiming(22.0, 4.0, 0.05),
+    GateType.NOR2: CellTiming(24.0, 4.0, 0.05),
+    GateType.XOR2: CellTiming(42.0, 4.5, 0.05),
+    GateType.XNOR2: CellTiming(44.0, 4.5, 0.05),
+    GateType.MUX2: CellTiming(38.0, 4.5, 0.05),
+    GateType.MAJ3: CellTiming(46.0, 5.0, 0.05),
+}
+
+
+class TimingLibrary:
+    """Cell timing lookups with a linear fanout-load delay model.
+
+    Args:
+        cells: Optional overrides, merged over the built-in 45 nm-like
+            defaults.
+        setup_time: Flip-flop setup time in picoseconds.
+        derate: Global multiplicative delay derate.  Values above 1 model a
+            slower operating condition (e.g. the reduced-voltage corner used
+            for guardbanding in Section 6.1); below 1 a faster one.
+    """
+
+    def __init__(
+        self,
+        cells: dict[GateType, CellTiming] | None = None,
+        setup_time: float = 32.0,
+        derate: float = 1.0,
+    ) -> None:
+        check_nonnegative("setup_time", setup_time)
+        check_positive("derate", derate)
+        self._cells = dict(_DEFAULT_CELLS)
+        if cells:
+            self._cells.update(cells)
+        self.setup_time = setup_time
+        self.derate = derate
+
+    def cell(self, gtype: GateType) -> CellTiming:
+        """Return the :class:`CellTiming` record for ``gtype``."""
+        return self._cells[gtype]
+
+    def delay(self, gtype: GateType, fanout: int = 1) -> float:
+        """Nominal delay of a ``gtype`` instance driving ``fanout`` loads (ps)."""
+        check_nonnegative("fanout", fanout)
+        cell = self._cells[gtype]
+        return self.derate * (cell.intrinsic_delay + cell.load_delay * fanout)
+
+    def sigma_fraction(self, gtype: GateType) -> float:
+        """One-sigma variability of ``gtype`` as a fraction of nominal delay."""
+        return self._cells[gtype].sigma_fraction
+
+    def with_derate(self, derate: float) -> "TimingLibrary":
+        """Return a copy of this library with a different global derate."""
+        return TimingLibrary(
+            cells=self._cells, setup_time=self.setup_time, derate=derate
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    def to_json(self) -> str:
+        """Serialize the library to a JSON document."""
+        doc = {
+            "setup_time": self.setup_time,
+            "derate": self.derate,
+            "cells": {
+                gtype.value: {
+                    "intrinsic_delay": cell.intrinsic_delay,
+                    "load_delay": cell.load_delay,
+                    "sigma_fraction": cell.sigma_fraction,
+                }
+                for gtype, cell in sorted(
+                    self._cells.items(), key=lambda kv: kv[0].value
+                )
+            },
+        }
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TimingLibrary":
+        """Load a library from :meth:`to_json` output."""
+        doc = json.loads(text)
+        try:
+            cells = {
+                GateType(name): CellTiming(
+                    intrinsic_delay=float(spec["intrinsic_delay"]),
+                    load_delay=float(spec["load_delay"]),
+                    sigma_fraction=float(spec["sigma_fraction"]),
+                )
+                for name, spec in doc["cells"].items()
+            }
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"malformed library document: {exc}") from exc
+        return cls(
+            cells=cells,
+            setup_time=float(doc.get("setup_time", 32.0)),
+            derate=float(doc.get("derate", 1.0)),
+        )
+
+    def save(self, path) -> None:
+        """Write the library JSON to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "TimingLibrary":
+        """Read a library JSON from ``path``."""
+        with open(path) as handle:
+            return cls.from_json(handle.read())

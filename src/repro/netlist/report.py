@@ -1,0 +1,140 @@
+"""Netlist structure reporting.
+
+Summarizes a netlist the way a synthesis report would: cell-type
+composition, logic-depth and fanout distributions, per-stage breakdown,
+and the critical-path profile under a library — the numbers a designer
+checks before trusting any timing analysis built on top.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.gates import EndpointKind, GateType
+from repro.netlist.library import TimingLibrary
+from repro.netlist.netlist import Netlist
+
+__all__ = ["NetlistReport", "analyze_netlist"]
+
+
+@dataclass(slots=True)
+class NetlistReport:
+    """Structural and timing profile of a netlist.
+
+    Attributes:
+        cell_counts: Instances per cell type name.
+        stage_composition: Per stage: combinational gate count, control
+            endpoints, data endpoints.
+        logic_depth: Per-gate levelization depth (combinational only).
+        fanout: Per-gate fanout counts.
+        endpoint_arrivals: Worst arrival per capture endpoint (ps), when a
+            library was supplied.
+    """
+
+    cell_counts: dict[str, int]
+    stage_composition: dict[int, dict[str, int]]
+    logic_depth: np.ndarray
+    fanout: np.ndarray
+    endpoint_arrivals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_depth(self) -> int:
+        return int(self.logic_depth.max()) if len(self.logic_depth) else 0
+
+    @property
+    def mean_fanout(self) -> float:
+        return float(self.fanout.mean()) if len(self.fanout) else 0.0
+
+    def depth_histogram(self, bins: int = 8) -> list[tuple[str, int]]:
+        """Logic-depth histogram as (range label, count) rows."""
+        if len(self.logic_depth) == 0:
+            return []
+        counts, edges = np.histogram(self.logic_depth, bins=bins)
+        return [
+            (f"{int(lo)}-{int(hi)}", int(c))
+            for lo, hi, c in zip(edges[:-1], edges[1:], counts)
+        ]
+
+    def critical_endpoints(self, n: int = 5) -> list[tuple[str, float]]:
+        """The ``n`` endpoints with the worst arrival times."""
+        ranked = sorted(
+            self.endpoint_arrivals.items(), key=lambda kv: -kv[1]
+        )
+        return ranked[:n]
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = ["netlist report", "=" * 40]
+        lines.append("cell composition:")
+        for name, count in sorted(
+            self.cell_counts.items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {name:8s} {count:6d}")
+        lines.append(
+            f"logic depth: max {self.max_depth}, "
+            f"mean fanout {self.mean_fanout:.2f}"
+        )
+        lines.append("per-stage composition (comb/ctrl/data):")
+        for stage, comp in sorted(self.stage_composition.items()):
+            lines.append(
+                f"  stage {stage}: {comp['combinational']:5d} / "
+                f"{comp['control_endpoints']:3d} / "
+                f"{comp['data_endpoints']:3d}"
+            )
+        if self.endpoint_arrivals:
+            lines.append("most critical endpoints:")
+            for name, arrival in self.critical_endpoints():
+                lines.append(f"  {name:24s} {arrival:8.1f} ps")
+        return "\n".join(lines)
+
+
+def analyze_netlist(
+    netlist: Netlist, library: TimingLibrary | None = None
+) -> NetlistReport:
+    """Build a :class:`NetlistReport` for ``netlist``."""
+    cell_counts = Counter(g.gtype.value for g in netlist.gates)
+
+    stage_composition: dict[int, dict[str, int]] = {}
+    for s in range(netlist.num_stages):
+        stage_composition[s] = {
+            "combinational": sum(
+                1
+                for g in netlist.gates
+                if g.is_combinational and g.stage == s
+            ),
+            "control_endpoints": len(
+                netlist.endpoints(stage=s, kind=EndpointKind.CONTROL)
+            ),
+            "data_endpoints": len(
+                netlist.endpoints(stage=s, kind=EndpointKind.DATA)
+            ),
+        }
+
+    depth = np.zeros(len(netlist), dtype=int)
+    for gid in netlist.topological_order():
+        gate = netlist.gate(gid)
+        depth[gid] = 1 + max(
+            (depth[i] for i in gate.inputs if netlist.gate(i).is_combinational),
+            default=0,
+        )
+    comb_ids = [g.gid for g in netlist.gates if g.is_combinational]
+    fanout = np.array([netlist.fanout_count(g) for g in comb_ids])
+
+    arrivals: dict[str, float] = {}
+    if library is not None:
+        from repro.sta.sta import StaticTimingAnalysis
+
+        sta = StaticTimingAnalysis(netlist, library)
+        for e in sta.capture_endpoints():
+            arrivals[netlist.gate(e).name] = sta.endpoint_arrival(e)
+
+    return NetlistReport(
+        cell_counts=dict(cell_counts),
+        stage_composition=stage_composition,
+        logic_depth=depth[comb_ids],
+        fanout=fanout,
+        endpoint_arrivals=arrivals,
+    )

@@ -1,0 +1,176 @@
+"""Structural Verilog export and import.
+
+A real release of this framework would interoperate with synthesis flows,
+so netlists round-trip through a gate-level structural Verilog subset: one
+module, one wire per gate output, primitive instances for the cell types
+(``DFF`` instances with ``.D``/``.Q`` pins; combinational cells with
+``.A``/``.B``/``.C`` inputs and ``.Y`` output).  Placement and endpoint
+classification travel in structured comments so a round trip is lossless.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.gates import EndpointKind, GateType
+from repro.netlist.netlist import Netlist
+
+__all__ = ["write_verilog", "read_verilog"]
+
+_CELL_NAMES = {
+    GateType.BUF: "BUF",
+    GateType.NOT: "INV",
+    GateType.AND2: "AND2",
+    GateType.OR2: "OR2",
+    GateType.NAND2: "NAND2",
+    GateType.NOR2: "NOR2",
+    GateType.XOR2: "XOR2",
+    GateType.XNOR2: "XNOR2",
+    GateType.MUX2: "MUX2",
+    GateType.MAJ3: "MAJ3",
+    GateType.DFF: "DFF",
+}
+_NAME_TO_TYPE = {v: k for k, v in _CELL_NAMES.items()}
+_PIN_ORDER = ("A", "B", "C")
+
+
+def _wire(gate) -> str:
+    return "n%d" % gate.gid
+
+
+def _escape(name: str) -> str:
+    return name.replace("/", "__").replace(".", "_")
+
+
+def write_verilog(netlist: Netlist, file, module: str | None = None) -> None:
+    """Write the netlist as structural Verilog."""
+    w = file.write
+    module = module or _escape(netlist.name)
+    inputs = [g for g in netlist.gates if g.gtype == GateType.INPUT]
+    w(f"// repro structural netlist: {netlist.name}\n")
+    w(f"// stages={netlist.num_stages} gates={len(netlist)}\n")
+    ports = ["clk"] + [_wire(g) for g in inputs]
+    w(f"module {module} ({', '.join(ports)});\n")
+    w("  input clk;\n")
+    for g in inputs:
+        w(f"  input {_wire(g)};\n")
+    for g in netlist.gates:
+        if g.gtype != GateType.INPUT:
+            w(f"  wire {_wire(g)};\n")
+    for g in netlist.gates:
+        meta = (
+            f"// name={g.name} stage={g.stage} x={g.x:.3f} y={g.y:.3f}"
+            + (f" kind={g.endpoint_kind.value}" if g.endpoint_kind else "")
+        )
+        if g.gtype == GateType.INPUT:
+            w(f"  {meta} gid={g.gid}\n")
+            continue
+        if g.gtype == GateType.DFF:
+            pins = f".C(clk), .D({_wire(netlist.gate(g.inputs[0]))}), .Q({_wire(g)})"
+        else:
+            ins = ", ".join(
+                f".{_PIN_ORDER[i]}({_wire(netlist.gate(src))})"
+                for i, src in enumerate(g.inputs)
+            )
+            pins = f"{ins}, .Y({_wire(g)})"
+        w(f"  {_CELL_NAMES[g.gtype]} u{g.gid} ({pins}); {meta}\n")
+    w("endmodule\n")
+
+
+_INSTANCE_RE = re.compile(
+    r"^\s*(?P<cell>\w+)\s+u(?P<gid>\d+)\s*\((?P<pins>.*)\)\s*;\s*"
+    r"//\s*(?P<meta>.*)$"
+)
+_INPUT_META_RE = re.compile(r"^\s*//\s*(?P<meta>name=.*)$")
+_PIN_RE = re.compile(r"\.(?P<pin>\w+)\(\s*(?P<net>\w+)\s*\)")
+_HEADER_RE = re.compile(r"//\s*stages=(\d+)")
+
+
+def _parse_meta(meta: str) -> dict:
+    out = {}
+    for token in meta.split():
+        if "=" in token:
+            key, value = token.split("=", 1)
+            out[key] = value
+    return out
+
+
+def read_verilog(file) -> Netlist:
+    """Parse structural Verilog written by :func:`write_verilog`.
+
+    Reconstructs names, stages, placement, and endpoint kinds from the
+    structured comments; gate ids are preserved (instances may appear in
+    any order).
+    """
+    text = file.read() if hasattr(file, "read") else str(file)
+    header = _HEADER_RE.search(text)
+    if not header:
+        raise ValueError("missing repro netlist header comment")
+    num_stages = int(header.group(1))
+    module_name = re.search(r"module\s+(\w+)", text)
+    nl = Netlist(
+        name=module_name.group(1) if module_name else "imported",
+        num_stages=num_stages,
+    )
+
+    entries = []  # (gid, gtype, inputs(net names), meta)
+    input_metas = []
+    for line in text.splitlines():
+        m = _INSTANCE_RE.match(line)
+        if m:
+            pins = dict(
+                (p.group("pin"), p.group("net"))
+                for p in _PIN_RE.finditer(m.group("pins"))
+            )
+            entries.append(
+                (
+                    int(m.group("gid")),
+                    _NAME_TO_TYPE[m.group("cell")],
+                    pins,
+                    _parse_meta(m.group("meta")),
+                )
+            )
+            continue
+        m = _INPUT_META_RE.match(line)
+        if m and "kind=" in m.group("meta"):
+            meta = _parse_meta(m.group("meta"))
+            input_metas.append(meta)
+
+    def net_to_gid(net: str) -> int:
+        if not net.startswith("n"):
+            raise ValueError(f"unexpected net name {net!r}")
+        return int(net[1:])
+
+    # Rebuild in gid order (inputs carry their gid in the meta comment).
+    records: dict[int, tuple] = {}
+    for meta in input_metas:
+        records[int(meta["gid"])] = (GateType.INPUT, {}, meta)
+    for gid, gtype, pins, meta in entries:
+        records[gid] = (gtype, pins, meta)
+    if sorted(records) != list(range(len(records))):
+        raise ValueError("netlist instance ids are not dense")
+
+    pending_dff: list[tuple[int, int]] = []
+    for gid in range(len(records)):
+        gtype, pins, meta = records[gid]
+        kind = (
+            EndpointKind(meta["kind"]) if "kind" in meta else None
+        )
+        stage = int(meta.get("stage", 0))
+        x = float(meta.get("x", 0.0))
+        y = float(meta.get("y", 0.0))
+        name = meta.get("name", f"g{gid}")
+        if gtype == GateType.INPUT:
+            nl.add_input(name, stage, kind or EndpointKind.CONTROL, x=x, y=y)
+        elif gtype == GateType.DFF:
+            nl.add_dff(name, None, stage, kind or EndpointKind.CONTROL, x=x, y=y)
+            pending_dff.append((gid, net_to_gid(pins["D"])))
+        else:
+            inputs = tuple(
+                net_to_gid(pins[_PIN_ORDER[i]])
+                for i in range(len(pins) - 1)  # minus the Y pin
+            )
+            nl.add_gate(name, gtype, inputs, stage, x=x, y=y)
+    for dff, driver in pending_dff:
+        nl.connect_dff(dff, driver)
+    return nl

@@ -1,0 +1,79 @@
+"""Error rate to performance mapping.
+
+The TS processor runs ``speculation`` times faster than the guardbanded
+baseline but pays ``penalty_cycles`` per corrected timing error, so with
+error rate ``ER`` (errors per executed instruction, one instruction per
+cycle ideal flow):
+
+    speedup(ER) = speculation / (1 + penalty_cycles * ER)
+
+This reproduces the paper's quoted operating points: at 1.15x speculation
+and a 24-cycle replay penalty an error rate of 0.4% yields +4.93%
+performance and 1.068% yields -8.46%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_nonnegative, check_positive
+
+__all__ = ["TSPerformanceModel"]
+
+
+class TSPerformanceModel:
+    """Performance of a timing-speculative processor vs. its baseline.
+
+    Args:
+        speculation: Frequency ratio over the non-speculative baseline
+            (1.15 in Section 6.1).
+        penalty_cycles: Recovery cycles per corrected error (24 for replay
+            at half frequency on the 6-stage pipeline).
+    """
+
+    def __init__(
+        self, speculation: float = 1.15, penalty_cycles: float = 24.0
+    ) -> None:
+        check_positive("speculation", speculation)
+        check_nonnegative("penalty_cycles", penalty_cycles)
+        self.speculation = speculation
+        self.penalty_cycles = penalty_cycles
+
+    def speedup(self, error_rate):
+        """Throughput ratio vs. baseline for error rate(s) in [0, 1]."""
+        er = np.asarray(error_rate, dtype=float)
+        out = self.speculation / (1.0 + self.penalty_cycles * er)
+        return out if out.ndim else float(out)
+
+    def improvement_percent(self, error_rate):
+        """Performance improvement in percent (negative = degradation)."""
+        out = (np.asarray(self.speedup(error_rate)) - 1.0) * 100.0
+        return out if out.ndim else float(out)
+
+    def breakeven_error_rate(self) -> float:
+        """Error rate at which speculation stops paying off."""
+        if self.penalty_cycles == 0:
+            return 1.0
+        return (self.speculation - 1.0) / self.penalty_cycles
+
+    def error_rate_for_improvement(self, improvement_percent: float) -> float:
+        """Inverse mapping: error rate producing a given improvement."""
+        target = 1.0 + improvement_percent / 100.0
+        if target <= 0:
+            raise ValueError("improvement implies non-positive throughput")
+        er = (self.speculation / target - 1.0) / max(
+            self.penalty_cycles, 1e-12
+        )
+        return float(er)
+
+    def energy_ratio(self, error_rate, voltage_ratio: float = 1.0):
+        """First-order dynamic-energy ratio vs. baseline.
+
+        Timing speculation is often used for voltage scaling instead of
+        overclocking; energy scales with V^2 and with the replay overhead.
+        """
+        check_positive("voltage_ratio", voltage_ratio)
+        er = np.asarray(error_rate, dtype=float)
+        work = 1.0 + self.penalty_cycles * er
+        out = voltage_ratio**2 * work
+        return out if out.ndim else float(out)

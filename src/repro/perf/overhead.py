@@ -1,0 +1,125 @@
+"""Error-detection hardware overhead model (Section 6.1's cost side).
+
+Razor-style detection augments *risky* capture flip-flops with shadow
+logic.  The paper cites the evolution from 44 extra transistors per
+flip-flop (original Razor [11]) to ~3 (iRazor [24]), and quotes <0.9%
+power and 3.8% area overhead for its LEON3-class design [4].  This module
+estimates those overheads for a netlist at a chosen working period: the
+risky-endpoint set comes from SSTA (endpoints whose worst slack can
+approach zero), transistor counts from a standard per-cell table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_nonnegative, check_positive
+from repro.netlist.gates import GateType
+from repro.netlist.netlist import Netlist
+from repro.sta.ssta import StatisticalTimingAnalysis
+
+__all__ = ["DetectionOverhead", "estimate_detection_overhead",
+           "TRANSISTORS_PER_CELL"]
+
+#: Static-CMOS transistor counts per cell type.
+TRANSISTORS_PER_CELL: dict[GateType, int] = {
+    GateType.INPUT: 0,
+    GateType.DFF: 24,
+    GateType.BUF: 4,
+    GateType.NOT: 2,
+    GateType.AND2: 6,
+    GateType.OR2: 6,
+    GateType.NAND2: 4,
+    GateType.NOR2: 4,
+    GateType.XOR2: 10,
+    GateType.XNOR2: 10,
+    GateType.MUX2: 10,
+    GateType.MAJ3: 12,
+}
+
+
+@dataclass(slots=True)
+class DetectionOverhead:
+    """Estimated error-detection cost.
+
+    Attributes:
+        total_transistors: Transistor count of the unprotected design.
+        protected_endpoints: Capture flip-flops needing shadow logic.
+        total_endpoints: All capture flip-flops.
+        extra_transistors: Added detection transistors.
+        area_overhead_percent: Added transistors relative to the design.
+        power_overhead_percent: First-order power estimate (detection
+            logic switches only on the monitored nets; scaled by the
+            protected fraction and a duty factor).
+    """
+
+    total_transistors: int
+    protected_endpoints: int
+    total_endpoints: int
+    extra_transistors: int
+    area_overhead_percent: float
+    power_overhead_percent: float
+
+    @property
+    def protected_fraction(self) -> float:
+        if self.total_endpoints == 0:
+            return 0.0
+        return self.protected_endpoints / self.total_endpoints
+
+
+def estimate_detection_overhead(
+    netlist: Netlist,
+    ssta: StatisticalTimingAnalysis,
+    clock_period: float,
+    transistors_per_shadow: int = 3,
+    margin_sigmas: float = 3.0,
+    power_duty: float = 0.3,
+) -> DetectionOverhead:
+    """Estimate iRazor-class detection overhead at a working period.
+
+    Args:
+        netlist: The design.
+        ssta: Statistical timing engine for the risky-endpoint test.
+        clock_period: Speculative working period (ps).
+        transistors_per_shadow: Detection transistors per protected
+            flip-flop (3 for iRazor [24]; 44 for the original Razor [11]).
+        margin_sigmas: An endpoint is protected when its worst path can
+            come within this many sigmas of violating the period.
+        power_duty: Fraction of cycles the detection window is exercised,
+            for the first-order power estimate.
+    """
+    check_positive("clock_period", clock_period)
+    check_nonnegative("transistors_per_shadow", transistors_per_shadow)
+    check_positive("margin_sigmas", margin_sigmas)
+    if not 0.0 <= power_duty <= 1.0:
+        raise ValueError("power_duty must be in [0, 1]")
+
+    total = sum(
+        TRANSISTORS_PER_CELL[g.gtype] for g in netlist.gates
+    )
+    threshold = clock_period - ssta.library.setup_time
+    protected = 0
+    endpoints = 0
+    for g in netlist.gates:
+        if g.gtype != GateType.DFF:
+            continue
+        endpoints += 1
+        paths = ssta.enumerator.critical_paths(g.gid, k=4)
+        risky = False
+        for p in paths:
+            mean, var = ssta.variation.path_delay_moments(p.gates)
+            if mean + margin_sigmas * var**0.5 > threshold:
+                risky = True
+                break
+        protected += int(risky)
+    extra = protected * transistors_per_shadow
+    area = 100.0 * extra / total if total else 0.0
+    power = area * power_duty
+    return DetectionOverhead(
+        total_transistors=total,
+        protected_endpoints=protected,
+        total_endpoints=endpoints,
+        extra_transistors=extra,
+        area_overhead_percent=area,
+        power_overhead_percent=power,
+    )

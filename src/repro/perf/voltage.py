@@ -1,0 +1,100 @@
+"""Voltage scaling for timing speculation.
+
+Timing speculation can be spent on *frequency* (overclock at nominal
+voltage, Section 6.1's experiment) or on *energy* (hold frequency and
+undervolt until the same slack is consumed — the Razor use case [11]).
+This module provides the standard alpha-power-law delay/voltage model that
+converts between the two views, so the framework's error-rate-vs-clock-
+period curves double as error-rate-vs-voltage curves.
+
+Delay model (alpha-power law):  d(V) = k * V / (V - Vth)^alpha, normalized
+to the nominal operating voltage.  Dynamic energy scales as V^2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_positive
+
+__all__ = ["VoltageScalingModel"]
+
+
+class VoltageScalingModel:
+    """Alpha-power-law delay and energy vs supply voltage.
+
+    Args:
+        v_nominal: Nominal supply voltage (the paper's 0.9 V).
+        v_threshold: Device threshold voltage.
+        alpha: Velocity-saturation exponent (~1.3 for 45 nm class).
+    """
+
+    def __init__(
+        self,
+        v_nominal: float = 0.9,
+        v_threshold: float = 0.35,
+        alpha: float = 1.3,
+    ) -> None:
+        check_positive("v_nominal", v_nominal)
+        check_positive("alpha", alpha)
+        if not 0.0 < v_threshold < v_nominal:
+            raise ValueError("need 0 < v_threshold < v_nominal")
+        self.v_nominal = v_nominal
+        self.v_threshold = v_threshold
+        self.alpha = alpha
+
+    # ------------------------------------------------------------------ #
+
+    def delay_factor(self, voltage) -> np.ndarray | float:
+        """Gate-delay multiplier at ``voltage`` relative to nominal."""
+        v = np.asarray(voltage, dtype=float)
+        if np.any(v <= self.v_threshold):
+            raise ValueError("voltage must exceed the threshold voltage")
+        nominal = self.v_nominal / (
+            (self.v_nominal - self.v_threshold) ** self.alpha
+        )
+        out = (v / (v - self.v_threshold) ** self.alpha) / nominal
+        return out if out.ndim else float(out)
+
+    def voltage_for_delay_factor(
+        self, factor: float, tolerance: float = 1e-9
+    ) -> float:
+        """Inverse of :meth:`delay_factor` (bisection; factor >= ~0.5)."""
+        check_positive("factor", factor)
+        lo = self.v_threshold + 1e-6
+        hi = 5.0 * self.v_nominal
+        if self.delay_factor(hi) > factor:
+            raise ValueError(f"delay factor {factor} unreachable")
+        for _ in range(200):
+            mid = 0.5 * (lo + hi)
+            if self.delay_factor(mid) > factor:
+                lo = mid
+            else:
+                hi = mid
+            if hi - lo < tolerance:
+                break
+        return 0.5 * (lo + hi)
+
+    # ------------------------------------------------------------------ #
+
+    def undervolt_for_speculation(self, speculation: float) -> float:
+        """Voltage consuming the same slack as a ``speculation`` overclock.
+
+        Overclocking by ``s`` shrinks the cycle to ``1/s`` of baseline at
+        unchanged delays; equivalently, holding frequency and slowing
+        gates by ``s`` consumes the same fraction of slack — the voltage
+        where the delay factor equals ``s``.
+        """
+        check_positive("speculation", speculation)
+        return self.voltage_for_delay_factor(speculation)
+
+    def energy_saving_percent(self, speculation: float) -> float:
+        """Dynamic-energy saving of the equivalent undervolt (percent)."""
+        v = self.undervolt_for_speculation(speculation)
+        return 100.0 * (1.0 - (v / self.v_nominal) ** 2)
+
+    def guardband_voltage(self, droop_fraction: float = 0.1) -> float:
+        """The droop-corner sign-off voltage (0.81 V in Section 6.1)."""
+        if not 0.0 <= droop_fraction < 1.0:
+            raise ValueError("droop fraction must be in [0, 1)")
+        return self.v_nominal * (1.0 - droop_fraction)

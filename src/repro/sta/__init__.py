@@ -1,0 +1,26 @@
+"""Static and statistical static timing analysis.
+
+Deterministic STA supplies arrival times, endpoint slacks, and the maximum
+non-speculative frequency; SSTA turns slacks into Gaussians under the
+process-variation model, with Clark moment-matching for statistical min/max
+and the greedy pairwise reduction of [21] for sets of correlated path slacks.
+"""
+
+from repro.sta.gaussian import Gaussian
+from repro.sta.clark import clark_max, clark_min, clark_max_coefficients
+from repro.sta.sta import StaticTimingAnalysis, TimingReport
+from repro.sta.ssta import StatisticalTimingAnalysis, statistical_min
+from repro.sta.yield_analysis import YieldAnalysis, YieldCurve
+
+__all__ = [
+    "YieldAnalysis",
+    "YieldCurve",
+    "Gaussian",
+    "clark_max",
+    "clark_min",
+    "clark_max_coefficients",
+    "StaticTimingAnalysis",
+    "TimingReport",
+    "StatisticalTimingAnalysis",
+    "statistical_min",
+]

@@ -1,0 +1,110 @@
+"""Clark's moment-matching for the max/min of correlated Gaussians.
+
+C. E. Clark's 1961 formulas give the first two moments of ``max(X, Y)`` for
+jointly Gaussian ``(X, Y)`` and — crucially for chained reductions — the
+covariance of the max with any third Gaussian.  The paper's Algorithm 1 uses
+a greedy sequence of pairwise *minimum* operations [21] to combine activated
+path slacks; minima are computed as ``-max(-X, -Y)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.sta.gaussian import Gaussian
+
+__all__ = [
+    "clark_max",
+    "clark_min",
+    "clark_max_coefficients",
+    "clark_min_arrays",
+]
+
+_EPS = 1e-12
+
+
+def _theta(var_x: float, var_y: float, cov_xy: float) -> float:
+    """Clark's theta: std of X - Y."""
+    return float(np.sqrt(max(var_x + var_y - 2.0 * cov_xy, 0.0)))
+
+
+def clark_max_coefficients(
+    x: Gaussian, y: Gaussian, cov_xy: float
+) -> tuple[Gaussian, float, float]:
+    """Moments of ``max(X, Y)`` plus linear covariance-propagation weights.
+
+    Returns ``(m, wx, wy)`` where ``m`` approximates ``max(X, Y)`` and, for
+    any Gaussian ``Z``, ``cov(max(X, Y), Z) ~= wx * cov(X, Z) + wy *
+    cov(Y, Z)`` (Clark's third formula with ``wx = Phi(alpha)``).
+    """
+    theta = _theta(x.var, y.var, cov_xy)
+    if theta < _EPS:
+        # X - Y is (almost) deterministic: the max is whichever has the
+        # larger mean.
+        if x.mean >= y.mean:
+            return x, 1.0, 0.0
+        return y, 0.0, 1.0
+    alpha = (x.mean - y.mean) / theta
+    phi = float(stats.norm.pdf(alpha))
+    cphi = float(stats.norm.cdf(alpha))
+    mean = x.mean * cphi + y.mean * (1.0 - cphi) + theta * phi
+    second = (
+        (x.var + x.mean**2) * cphi
+        + (y.var + y.mean**2) * (1.0 - cphi)
+        + (x.mean + y.mean) * theta * phi
+    )
+    var = max(second - mean**2, 0.0)
+    return Gaussian(mean, var), cphi, 1.0 - cphi
+
+
+def clark_max(x: Gaussian, y: Gaussian, cov_xy: float = 0.0) -> Gaussian:
+    """Gaussian moment-matched approximation of ``max(X, Y)``."""
+    m, _, _ = clark_max_coefficients(x, y, cov_xy)
+    return m
+
+
+def clark_min(x: Gaussian, y: Gaussian, cov_xy: float = 0.0) -> Gaussian:
+    """Gaussian moment-matched approximation of ``min(X, Y)``.
+
+    Uses ``min(X, Y) = -max(-X, -Y)``; the covariance is unchanged by the
+    joint negation.
+    """
+    neg = clark_max(
+        Gaussian(-x.mean, x.var), Gaussian(-y.mean, y.var), cov_xy
+    )
+    return Gaussian(-neg.mean, neg.var)
+
+
+def clark_min_arrays(m1, v1, m2, v2, cov):
+    """Vectorized Clark minimum of two jointly Gaussian arrays.
+
+    All inputs broadcast elementwise; returns ``(mean, var)`` arrays of the
+    approximation of ``min(X, Y)``.  Degenerate pairs (``theta ~ 0``)
+    collapse to whichever argument has the smaller mean.
+    """
+    m1 = np.asarray(m1, dtype=float)
+    v1 = np.asarray(v1, dtype=float)
+    m2 = np.asarray(m2, dtype=float)
+    v2 = np.asarray(v2, dtype=float)
+    cov = np.asarray(cov, dtype=float)
+    theta = np.sqrt(np.maximum(v1 + v2 - 2.0 * cov, 0.0))
+    safe_theta = np.where(theta < _EPS, 1.0, theta)
+    # max(-X, -Y): alpha = (m2 - m1) / theta.
+    alpha = (m2 - m1) / safe_theta
+    phi = stats.norm.pdf(alpha)
+    cphi = stats.norm.cdf(alpha)
+    neg_mean = -m1 * cphi - m2 * (1.0 - cphi) + theta * phi
+    second = (
+        (v1 + m1**2) * cphi
+        + (v2 + m2**2) * (1.0 - cphi)
+        - (m1 + m2) * theta * phi
+    )
+    var = np.maximum(second - neg_mean**2, 0.0)
+    mean = -neg_mean
+    degenerate = theta < _EPS
+    if np.any(degenerate):
+        pick_first = m1 <= m2
+        mean = np.where(degenerate, np.where(pick_first, m1, m2), mean)
+        var = np.where(degenerate, np.where(pick_first, v1, v2), var)
+    return mean, var

@@ -1,0 +1,190 @@
+"""Statistical static timing analysis.
+
+Replaces STA's fixed delays with the correlated Gaussian gate-delay model,
+giving Gaussian path slacks, percentile slacks (the 1st/99th percentiles
+drive the two-pass critical-path scan of Section 3), and the statistical
+minimum over a set of correlated path slacks via the greedy pairwise Clark
+reduction of Sinha et al. [21].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import check_in
+from repro.netlist.gates import GateType
+from repro.netlist.library import TimingLibrary
+from repro.netlist.netlist import Netlist
+from repro.netlist.paths import Path, PathEnumerator
+from repro.sta.clark import clark_max_coefficients
+from repro.sta.gaussian import Gaussian
+from repro.variation.process import ProcessVariationModel
+
+__all__ = ["StatisticalTimingAnalysis", "statistical_min", "statistical_max"]
+
+_ORDERINGS = {"criticality", "reverse", "given"}
+
+
+def _pairwise_reduce(
+    items: list[Gaussian], cov: np.ndarray, order: str, minimum: bool
+) -> Gaussian:
+    check_in("order", order, _ORDERINGS)
+    n = len(items)
+    if n == 0:
+        raise ValueError("cannot reduce an empty set of Gaussians")
+    if n == 1:
+        return items[0]
+    cov = np.asarray(cov, dtype=float)
+    if cov.shape != (n, n):
+        raise ValueError(f"covariance must be ({n}, {n}), got {cov.shape}")
+    if order == "given":
+        idx = list(range(n))
+    else:
+        # 'criticality': most critical first (smallest mean for a min,
+        # largest mean for a max); 'reverse' is the opposite.
+        idx = sorted(range(n), key=lambda i: items[i].mean, reverse=not minimum)
+        if order == "reverse":
+            idx.reverse()
+    current = items[idx[0]]
+    # cov(current, X_j) for every original index j.
+    cvec = cov[idx[0], :].astype(float).copy()
+    for j in idx[1:]:
+        x, y = current, items[j]
+        c = float(cvec[j])
+        if minimum:
+            m, wx, wy = clark_max_coefficients(
+                Gaussian(-x.mean, x.var), Gaussian(-y.mean, y.var), c
+            )
+            current = Gaussian(-m.mean, m.var)
+        else:
+            current, wx, wy = clark_max_coefficients(x, y, c)
+        # cov(combined, X_k) = wx cov(prev, X_k) + wy cov(X_j, X_k); the
+        # weights are identical for min since both arguments are negated.
+        cvec = wx * cvec + wy * cov[j, :]
+    return current
+
+
+def statistical_min(
+    slacks: list[Gaussian], cov: np.ndarray, order: str = "criticality"
+) -> Gaussian:
+    """Gaussian approximation of ``min`` over correlated Gaussians.
+
+    ``cov[i, j]`` is the covariance between ``slacks[i]`` and ``slacks[j]``
+    (the diagonal is ignored in favour of each Gaussian's own variance).
+    ``order`` selects the greedy pairwise combination order ([21]):
+    ``'criticality'`` (default — most critical first), ``'reverse'``, or
+    ``'given'``.
+    """
+    return _pairwise_reduce(list(slacks), cov, order, minimum=True)
+
+
+def statistical_max(
+    values: list[Gaussian], cov: np.ndarray, order: str = "criticality"
+) -> Gaussian:
+    """Gaussian approximation of ``max`` over correlated Gaussians."""
+    return _pairwise_reduce(list(values), cov, order, minimum=False)
+
+
+class StatisticalTimingAnalysis:
+    """SSTA engine over a netlist, library, and process-variation model.
+
+    Args:
+        netlist: The netlist to analyze.
+        library: Timing library.
+        variation: Correlated gate-delay model; if omitted, a default
+            :class:`ProcessVariationModel` is constructed.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: TimingLibrary,
+        variation: ProcessVariationModel | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.variation = variation or ProcessVariationModel(netlist, library)
+        self.enumerator = PathEnumerator(
+            netlist, netlist.nominal_delays(library)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Path-level queries
+    # ------------------------------------------------------------------ #
+
+    def path_delay(self, path: Path) -> Gaussian:
+        """Gaussian distribution of the path's delay (ps)."""
+        mean, var = self.variation.path_delay_moments(path.gates)
+        return Gaussian(mean, var)
+
+    def path_slack(self, path: Path, clock_period: float) -> Gaussian:
+        """Gaussian slack ``SL(p)`` of a path at the given clock period."""
+        d = self.path_delay(path)
+        return Gaussian(clock_period - d.mean - self.library.setup_time, d.var)
+
+    def percentile_slack(
+        self, path: Path, clock_period: float, q: float
+    ) -> float:
+        """The q-quantile of the path's slack (1st percentile = worst case)."""
+        return self.path_slack(path, clock_period).ppf(q)
+
+    def slack_cov(self, a: Path, b: Path) -> float:
+        """Covariance between the slacks of two paths (= delay covariance)."""
+        return self.variation.path_cov(a.gates, b.gates)
+
+    def slack_cov_matrix(self, paths: list[Path]) -> np.ndarray:
+        """Pairwise slack covariance matrix for a list of paths."""
+        n = len(paths)
+        cov = np.zeros((n, n))
+        for i in range(n):
+            mi, vi = self.variation.path_delay_moments(paths[i].gates)
+            cov[i, i] = vi
+            for j in range(i + 1, n):
+                cov[i, j] = cov[j, i] = self.slack_cov(paths[i], paths[j])
+        return cov
+
+    def min_slack(
+        self, paths: list[Path], clock_period: float, order: str = "criticality"
+    ) -> Gaussian:
+        """Statistical minimum of the slacks of the given paths."""
+        slacks = [self.path_slack(p, clock_period) for p in paths]
+        return statistical_min(slacks, self.slack_cov_matrix(paths), order)
+
+    # ------------------------------------------------------------------ #
+    # Netlist-level queries
+    # ------------------------------------------------------------------ #
+
+    def clock_period_distribution(self, paths_per_endpoint: int = 4) -> Gaussian:
+        """Distribution of the chip's minimum feasible clock period.
+
+        Statistical max over the most critical paths of every capture
+        endpoint (arrival + setup), with cross-path covariances.
+        """
+        paths: list[Path] = []
+        for g in self.netlist.gates:
+            if g.gtype != GateType.DFF:
+                continue
+            paths.extend(
+                self.enumerator.critical_paths(g.gid, k=paths_per_endpoint)
+            )
+        # Keep the globally longest subset to bound the O(n^2) covariance.
+        paths.sort(key=lambda p: p.delay, reverse=True)
+        paths = paths[:64]
+        delays = [self.path_delay(p) for p in paths]
+        arrivals = [
+            Gaussian(d.mean + self.library.setup_time, d.var) for d in delays
+        ]
+        cov = self.slack_cov_matrix(paths)
+        return statistical_max(arrivals, cov)
+
+    def min_clock_period(
+        self, yield_quantile: float = 0.9987, paths_per_endpoint: int = 4
+    ) -> float:
+        """Clock period (ps) meeting timing on a ``yield_quantile`` of chips."""
+        return self.clock_period_distribution(paths_per_endpoint).ppf(
+            yield_quantile
+        )
+
+    def max_frequency_mhz(self, yield_quantile: float = 0.9987) -> float:
+        """SSTA-guardbanded maximum frequency (MHz)."""
+        return 1.0e6 / self.min_clock_period(yield_quantile)

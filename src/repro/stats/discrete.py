@@ -1,0 +1,154 @@
+"""Discrete random variables.
+
+Section 5 notes that "with error probability distributions represented as
+discrete random variables, it is straightforward to compute their third
+and fourth moments".  This small value type packages that representation:
+a finite support with probability weights, exact (central) moments,
+mixtures, and the elementary transforms the framework's statistics use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+
+__all__ = ["DiscreteRV"]
+
+
+class DiscreteRV:
+    """A finite discrete distribution.
+
+    Args:
+        values: Support points.
+        weights: Non-negative weights (normalized internally); uniform
+            when omitted.
+    """
+
+    def __init__(self, values, weights=None) -> None:
+        self.values = np.asarray(values, dtype=float)
+        if self.values.ndim != 1 or len(self.values) == 0:
+            raise ValueError("values must be a non-empty 1-D array")
+        if weights is None:
+            self.weights = np.full(len(self.values), 1.0 / len(self.values))
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != self.values.shape:
+                raise ValueError("weights must match values")
+            if (w < 0).any():
+                raise ValueError("weights must be non-negative")
+            total = w.sum()
+            if total <= 0:
+                raise ValueError("weights must not all be zero")
+            self.weights = w / total
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_samples(cls, samples, bins: int | None = None) -> "DiscreteRV":
+        """Empirical distribution of samples (optionally histogram-binned)."""
+        samples = np.asarray(samples, dtype=float)
+        if bins is None:
+            values, counts = np.unique(samples, return_counts=True)
+            return cls(values, counts.astype(float))
+        counts, edges = np.histogram(samples, bins=bins)
+        centers = 0.5 * (edges[:-1] + edges[1:])
+        keep = counts > 0
+        return cls(centers[keep], counts[keep].astype(float))
+
+    @classmethod
+    def point_mass(cls, value: float) -> "DiscreteRV":
+        return cls(np.array([value]), np.array([1.0]))
+
+    @classmethod
+    def mixture(cls, components, weights) -> "DiscreteRV":
+        """Weighted mixture of discrete RVs."""
+        weights = np.asarray(weights, dtype=float)
+        if len(components) != len(weights):
+            raise ValueError("components and weights must align")
+        values = np.concatenate([c.values for c in components])
+        probs = np.concatenate(
+            [w * c.weights for c, w in zip(components, weights)]
+        )
+        return cls(values, probs)
+
+    # ------------------------------------------------------------------ #
+    # Moments
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean(self) -> float:
+        return float(self.weights @ self.values)
+
+    @property
+    def var(self) -> float:
+        return self.central_moment(2)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.var))
+
+    def moment(self, k: int) -> float:
+        """Raw moment E[X^k]."""
+        if k < 0:
+            raise ValueError("moment order must be non-negative")
+        return float(self.weights @ self.values**k)
+
+    def central_moment(self, k: int) -> float:
+        """Central moment E[(X - EX)^k]."""
+        centered = self.values - self.mean
+        return float(self.weights @ centered**k)
+
+    def abs_central_moment(self, k: int) -> float:
+        """Absolute central moment E[|X - EX|^k] (Eq. 11's ingredient)."""
+        centered = np.abs(self.values - self.mean)
+        return float(self.weights @ centered**k)
+
+    @property
+    def skewness(self) -> float:
+        s = self.std
+        return self.central_moment(3) / s**3 if s > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Transforms and queries
+    # ------------------------------------------------------------------ #
+
+    def map(self, fn) -> "DiscreteRV":
+        """Distribution of ``fn(X)`` (weights of equal outputs merge)."""
+        new_values = np.array([fn(v) for v in self.values], dtype=float)
+        uniq, inverse = np.unique(new_values, return_inverse=True)
+        probs = np.zeros(len(uniq))
+        np.add.at(probs, inverse, self.weights)
+        return DiscreteRV(uniq, probs)
+
+    def scaled(self, factor: float) -> "DiscreteRV":
+        return DiscreteRV(self.values * factor, self.weights.copy())
+
+    def shifted(self, delta: float) -> "DiscreteRV":
+        return DiscreteRV(self.values + delta, self.weights.copy())
+
+    def cdf(self, x: float) -> float:
+        return float(self.weights[self.values <= x].sum())
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        order = np.argsort(self.values)
+        cum = np.cumsum(self.weights[order])
+        idx = int(np.searchsorted(cum, q - 1e-12))
+        return float(self.values[order][min(idx, len(order) - 1)])
+
+    def sample(self, n: int, seed_or_rng=None) -> np.ndarray:
+        rng = as_rng(seed_or_rng)
+        return rng.choice(self.values, size=n, p=self.weights)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscreteRV(n={len(self)}, mean={self.mean:.4g}, "
+            f"std={self.std:.4g})"
+        )

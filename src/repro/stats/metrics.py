@@ -1,0 +1,43 @@
+"""Probability metrics: Kolmogorov and total variation distances.
+
+The Chen–Stein bound is stated in total variation; the paper converts to
+the Kolmogorov metric using ``d_K <= d_TV`` [14].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "kolmogorov_distance",
+    "kolmogorov_distance_functions",
+    "total_variation_distance",
+]
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """TV distance between two pmfs on a common support grid."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("pmfs must share a support grid")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def kolmogorov_distance(cdf_p: np.ndarray, cdf_q: np.ndarray) -> float:
+    """Kolmogorov distance between two CDFs evaluated on a common grid."""
+    cdf_p = np.asarray(cdf_p, dtype=float)
+    cdf_q = np.asarray(cdf_q, dtype=float)
+    if cdf_p.shape != cdf_q.shape:
+        raise ValueError("CDFs must share a support grid")
+    return float(np.abs(cdf_p - cdf_q).max())
+
+
+def kolmogorov_distance_functions(
+    cdf_p, cdf_q, grid: np.ndarray
+) -> float:
+    """Kolmogorov distance between two CDF callables on an evaluation grid."""
+    grid = np.asarray(grid, dtype=float)
+    p = np.array([cdf_p(x) for x in grid])
+    q = np.array([cdf_q(x) for x in grid])
+    return kolmogorov_distance(p, q)

@@ -1,0 +1,58 @@
+"""Exact Poisson binomial distribution.
+
+The sum of independent, non-identically distributed Bernoulli indicators.
+Computing it exactly is "prohibitively complex when there are more than a
+few indicators" [17] — which motivates the paper's limit-theorem
+approximations — but the O(n * k_max) dynamic program below is perfectly
+serviceable as ground truth for validation-scale inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["poisson_binomial_pmf", "poisson_binomial_cdf"]
+
+
+def poisson_binomial_pmf(
+    probabilities: np.ndarray, max_count: int | None = None
+) -> np.ndarray:
+    """Exact pmf of the sum of independent Bernoulli(p_i) indicators.
+
+    Args:
+        probabilities: Success probabilities, each in [0, 1].
+        max_count: Truncate the support at this count (the returned pmf may
+            then sum to < 1).  Defaults to ``len(probabilities)``.
+
+    Returns:
+        Array ``pmf`` with ``pmf[k] = P(sum = k)`` for
+        ``k = 0 .. max_count``.
+    """
+    p = np.asarray(probabilities, dtype=float)
+    if ((p < 0) | (p > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    n = len(p)
+    kmax = n if max_count is None else min(int(max_count), n)
+    if kmax < 0:
+        raise ValueError("max_count must be non-negative")
+    pmf = np.zeros(kmax + 1)
+    pmf[0] = 1.0
+    top = 0
+    for pi in p:
+        if pi == 0.0:
+            continue
+        new_top = min(top + 1, kmax)
+        # P_new(k) = P(k) (1 - pi) + P(k-1) pi, in-place from the top down.
+        pmf[1 : new_top + 1] = (
+            pmf[1 : new_top + 1] * (1.0 - pi) + pmf[0:new_top] * pi
+        )
+        pmf[0] *= 1.0 - pi
+        top = new_top
+    return pmf
+
+
+def poisson_binomial_cdf(
+    probabilities: np.ndarray, max_count: int | None = None
+) -> np.ndarray:
+    """Exact CDF of the Poisson binomial on ``k = 0 .. max_count``."""
+    return np.cumsum(poisson_binomial_pmf(probabilities, max_count))

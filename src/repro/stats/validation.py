@@ -1,0 +1,168 @@
+"""Dependent-indicator Monte Carlo for validating the approximations.
+
+The paper cannot validate its limit-theorem approximations with Monte Carlo
+because its baseline simulator is too slow; at reproduction scale we *can*,
+and this module provides the machinery: a random walk over the CFG driven
+by the profiled edge activation probabilities, with each instruction's
+error indicator drawn from its conditional probabilities (p^e when the
+previous indicator fired — exactly the dependence structure the Chen–Stein
+neighborhoods describe).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cfg.cfg import ControlFlowGraph, ENTRY_EDGE
+from repro.cfg.profile import ProfileResult
+
+__all__ = ["IndicatorChainSimulator"]
+
+
+class IndicatorChainSimulator:
+    """Samples program error counts from the dependent-indicator chain.
+
+    Args:
+        cfg: Program CFG.
+        profile: Edge activation probabilities and block counts.
+        pc: Block id -> ``(n_i, S)`` conditional probabilities (previous
+            correct).
+        pe: Block id -> ``(n_i, S)`` conditional probabilities (previous
+            errant).
+    """
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        profile: ProfileResult,
+        pc: dict[int, np.ndarray],
+        pe: dict[int, np.ndarray],
+    ) -> None:
+        self.cfg = cfg
+        self.profile = profile
+        self.pc = pc
+        self.pe = pe
+        # Outgoing transition distribution per executed block, from the
+        # observed edge counts.
+        self._transitions: dict[int, tuple[list[int], np.ndarray]] = {}
+        for bid in profile.executed_blocks():
+            dests, counts = [], []
+            for (src, dst), count in profile.edge_counts.items():
+                if src == bid and count > 0:
+                    dests.append(dst)
+                    counts.append(count)
+            if dests:
+                w = np.asarray(counts, dtype=float)
+                self._transitions[bid] = (dests, w / w.sum())
+
+    def sample_error_count(
+        self,
+        n_instructions: int,
+        seed_or_rng=None,
+        sample_index: int | None = None,
+    ) -> int:
+        """Walk ~``n_instructions`` dynamic instructions; count errors.
+
+        ``sample_index`` pins the data-variation sample used for the
+        probabilities (a random one is drawn per walk when omitted).
+        """
+        rng = as_rng(seed_or_rng)
+        entry = self.cfg.entry_block
+        bid = entry
+        errors = 0
+        executed = 0
+        prev_err = True  # flushed processor state: p_in = 1
+        # One coherent data-variation draw per walk: the probability
+        # random variables mix *across* runs, not within one (that is what
+        # lambda's distribution models).
+        walk_sample = (
+            int(rng.integers(self.pc[entry].shape[1]))
+            if sample_index is None and entry in self.pc
+            else sample_index
+        )
+        while executed < n_instructions:
+            pc_block = self.pc.get(bid)
+            if pc_block is None:
+                break
+            n_s = pc_block.shape[1]
+            s = (walk_sample if walk_sample is not None else 0) % n_s
+            pe_block = self.pe[bid]
+            for k in range(pc_block.shape[0]):
+                p = pe_block[k, s] if prev_err else pc_block[k, s]
+                prev_err = bool(rng.random() < p)
+                errors += int(prev_err)
+                executed += 1
+            trans = self._transitions.get(bid)
+            if trans is None:
+                bid = entry  # program finished: restart the walk
+                prev_err = True
+                continue
+            dests, probs = trans
+            bid = dests[int(rng.integers(len(dests)))] if len(dests) == 1 else (
+                dests[int(rng.choice(len(dests), p=probs))]
+            )
+        return errors
+
+    def sample_error_counts(
+        self, n_walks: int, n_instructions: int, seed_or_rng=None
+    ) -> np.ndarray:
+        """Sample ``n_walks`` independent error counts."""
+        rng = as_rng(seed_or_rng)
+        return np.array(
+            [
+                self.sample_error_count(n_instructions, rng)
+                for _ in range(n_walks)
+            ]
+        )
+
+    def sample_error_count_on_trace(
+        self,
+        block_trace: list[int],
+        seed_or_rng=None,
+        sample_index: int | None = None,
+    ) -> int:
+        """Chain the indicators along a *recorded* block sequence.
+
+        This matches the paper's formulation exactly: execution structure
+        (the ``e_i`` weights) is fixed, only the indicators are random.
+        Pure CFG walks (:meth:`sample_error_count`) additionally randomize
+        loop trip counts, adding variance the analytic model does not have.
+        """
+        rng = as_rng(seed_or_rng)
+        if sample_index is None:
+            any_block = next(iter(self.pc.values()))
+            sample_index = int(rng.integers(any_block.shape[1]))
+        errors = 0
+        prev_err = True  # flushed at program start
+        for bid in block_trace:
+            pc_block = self.pc.get(bid)
+            if pc_block is None:
+                continue
+            s = sample_index % pc_block.shape[1]
+            pe_block = self.pe[bid]
+            draws = rng.random(pc_block.shape[0])
+            for k in range(pc_block.shape[0]):
+                p = pe_block[k, s] if prev_err else pc_block[k, s]
+                prev_err = bool(draws[k] < p)
+                errors += int(prev_err)
+        return errors
+
+    def sample_error_counts_on_trace(
+        self, block_trace: list[int], n_walks: int, seed_or_rng=None
+    ) -> np.ndarray:
+        """``n_walks`` independent replays of a recorded block sequence."""
+        rng = as_rng(seed_or_rng)
+        return np.array(
+            [
+                self.sample_error_count_on_trace(block_trace, rng)
+                for _ in range(n_walks)
+            ]
+        )
+
+    def empirical_cdf(
+        self, counts: np.ndarray, grid: np.ndarray
+    ) -> np.ndarray:
+        """Empirical CDF of sampled counts on a count grid."""
+        counts = np.sort(np.asarray(counts))
+        return np.searchsorted(counts, grid, side="right") / len(counts)

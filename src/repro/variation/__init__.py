@@ -1,0 +1,13 @@
+"""Process-variation modelling.
+
+Gate delays become random variables decomposed into a chip-wide global
+component, a spatially correlated component (grid cells with an exponential
+distance kernel), and an independent random component — the standard D2D +
+within-die correlation structure the paper's SSTA requires, including the
+*spatial correlation property* highlighted in the abstract.
+"""
+
+from repro.variation.spatial import SpatialCorrelationModel
+from repro.variation.process import ProcessVariationModel, VariationConfig
+
+__all__ = ["SpatialCorrelationModel", "ProcessVariationModel", "VariationConfig"]

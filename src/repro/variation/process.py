@@ -1,0 +1,163 @@
+"""Per-gate delay variation model.
+
+Gate ``g``'s delay is ``d_g = mu_g + sigma_g * (sqrt(a)*G + sqrt(b)*S_g +
+sqrt(c)*R_g)`` where ``G`` is a chip-global standard normal shared by all
+gates, ``S_g`` the spatially correlated field value at ``g``'s placement,
+``R_g`` an independent standard normal, and ``a + b + c = 1``.  ``sigma_g``
+is the per-cell variability fraction times the nominal delay.
+
+The model supports both *analytic* use (covariances between gate and path
+delays, feeding SSTA) and *Monte Carlo* use (sampling whole chips, feeding
+validation experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._util import as_rng, check_nonnegative
+from repro.netlist.library import TimingLibrary
+from repro.netlist.netlist import Netlist
+from repro.variation.spatial import SpatialCorrelationModel
+
+__all__ = ["VariationConfig", "ProcessVariationModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class VariationConfig:
+    """Variance decomposition and spatial-kernel parameters.
+
+    Attributes:
+        global_fraction: Share of delay variance from die-to-die variation.
+        spatial_fraction: Share from the spatially correlated within-die
+            component.
+        random_fraction: Share from independent per-gate randomness.
+        cell_size: Spatial grid cell size (placement units).
+        correlation_length: Exponential kernel length.
+        sigma_scale: Extra multiplier on all sigmas (1.0 = library values).
+    """
+
+    global_fraction: float = 0.35
+    spatial_fraction: float = 0.40
+    random_fraction: float = 0.25
+    cell_size: float = 25.0
+    correlation_length: float = 100.0
+    sigma_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("global_fraction", "spatial_fraction", "random_fraction"):
+            check_nonnegative(name, getattr(self, name))
+        check_nonnegative("sigma_scale", self.sigma_scale)
+        total = self.global_fraction + self.spatial_fraction + self.random_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"variance fractions must sum to 1, got {total}"
+            )
+
+
+class ProcessVariationModel:
+    """Analytic and sampling interface to correlated gate-delay variation.
+
+    Args:
+        netlist: The placed netlist.
+        library: Timing library supplying nominal delays and sigma fractions.
+        config: Variance decomposition parameters.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        library: TimingLibrary,
+        config: VariationConfig | None = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library
+        self.config = config or VariationConfig()
+        self.mu = netlist.nominal_delays(library)
+        self.sigma = (
+            self.config.sigma_scale * netlist.sigma_fractions(library) * self.mu
+        )
+        self.spatial = SpatialCorrelationModel(
+            netlist.placements(),
+            cell_size=self.config.cell_size,
+            correlation_length=self.config.correlation_length,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Monte Carlo interface
+    # ------------------------------------------------------------------ #
+
+    def sample_chip(self, seed_or_rng=None) -> np.ndarray:
+        """Sample per-gate delays (ps) for one manufactured chip."""
+        rng = as_rng(seed_or_rng)
+        cfg = self.config
+        g = rng.standard_normal()
+        s = self.spatial.sample_field(rng)
+        r = rng.standard_normal(len(self.mu))
+        z = (
+            np.sqrt(cfg.global_fraction) * g
+            + np.sqrt(cfg.spatial_fraction) * s
+            + np.sqrt(cfg.random_fraction) * r
+        )
+        return np.maximum(self.mu + self.sigma * z, 0.0)
+
+    def sample_chips(self, n: int, seed_or_rng=None) -> np.ndarray:
+        """Sample ``n`` chips; returns an ``(n, n_gates)`` delay array."""
+        rng = as_rng(seed_or_rng)
+        return np.stack([self.sample_chip(rng) for _ in range(n)])
+
+    # ------------------------------------------------------------------ #
+    # Analytic interface
+    # ------------------------------------------------------------------ #
+
+    def gate_cov(self, i: int, j: int) -> float:
+        """Covariance between the delays of gates ``i`` and ``j`` (ps^2)."""
+        cfg = self.config
+        rho = (
+            cfg.global_fraction
+            + cfg.spatial_fraction * self.spatial.gate_correlation(i, j)
+            + (cfg.random_fraction if i == j else 0.0)
+        )
+        return float(self.sigma[i] * self.sigma[j] * rho)
+
+    def cov_matrix(self, gate_ids) -> np.ndarray:
+        """Delay covariance matrix for a list of gate ids."""
+        ids = np.asarray(gate_ids, dtype=int)
+        cfg = self.config
+        rho = cfg.global_fraction + cfg.spatial_fraction * (
+            self.spatial.correlation_matrix(ids)
+        )
+        cov = np.outer(self.sigma[ids], self.sigma[ids]) * rho
+        cov[np.diag_indices_from(cov)] = self.sigma[ids] ** 2
+        return cov
+
+    def path_delay_moments(self, gate_ids) -> tuple[float, float]:
+        """Mean and variance of the summed delay of a gate sequence."""
+        ids = np.asarray(gate_ids, dtype=int)
+        mean = float(self.mu[ids].sum())
+        var = float(self.cov_matrix(ids).sum())
+        return mean, var
+
+    def path_cov(self, gates_a, gates_b) -> float:
+        """Covariance between the summed delays of two gate sequences.
+
+        Shared gates contribute their full delay variance; distinct gates
+        contribute through the global and spatial components.
+        """
+        a = np.asarray(gates_a, dtype=int)
+        b = np.asarray(gates_b, dtype=int)
+        cfg = self.config
+        cells_a = self.spatial.cell_index[a]
+        cells_b = self.spatial.cell_index[b]
+        rho = cfg.global_fraction + cfg.spatial_fraction * (
+            self.spatial.cell_correlation[np.ix_(cells_a, cells_b)]
+        )
+        cov = np.outer(self.sigma[a], self.sigma[b]) * rho
+        # Shared gates: add the independent random component they share.
+        shared = np.equal.outer(a, b)
+        cov = cov + shared * np.outer(self.sigma[a], self.sigma[b]) * (
+            cfg.random_fraction
+        )
+        return float(cov.sum())

@@ -1,0 +1,62 @@
+"""The 12-benchmark suite (two per MiBench category, Section 6.2).
+
+Each workload packages an assembly program, seeded small/large dataset
+generators, and a Python reference verifier::
+
+    from repro.workloads import load_workload, list_workloads
+
+    wl = load_workload("bitcount")
+    dataset = wl.dataset("small")
+    setup = wl.setup(dataset)  # callable(state)
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Dataset, Workload, SCALES
+from repro.workloads.automotive import build_basicmath, build_bitcount
+from repro.workloads.network import build_dijkstra, build_patricia
+from repro.workloads.security import build_pgp_encode, build_pgp_decode
+from repro.workloads.consumer import build_tiff2bw, build_typeset
+from repro.workloads.office import build_ghostscript, build_stringsearch
+from repro.workloads.telecom import build_gsm_encode, build_gsm_decode
+
+__all__ = [
+    "Dataset",
+    "Workload",
+    "SCALES",
+    "WORKLOAD_BUILDERS",
+    "load_workload",
+    "list_workloads",
+]
+
+#: Builders in the paper's Table 2 row order.
+WORKLOAD_BUILDERS = {
+    "basicmath": build_basicmath,
+    "bitcount": build_bitcount,
+    "dijkstra": build_dijkstra,
+    "patricia": build_patricia,
+    "pgp.encode": build_pgp_encode,
+    "pgp.decode": build_pgp_decode,
+    "tiff2bw": build_tiff2bw,
+    "typeset": build_typeset,
+    "ghostscript": build_ghostscript,
+    "stringsearch": build_stringsearch,
+    "gsm.encode": build_gsm_encode,
+    "gsm.decode": build_gsm_decode,
+}
+
+
+def list_workloads() -> list[str]:
+    """Benchmark names in Table 2 order."""
+    return list(WORKLOAD_BUILDERS)
+
+
+def load_workload(name: str) -> Workload:
+    """Build the named workload (assembles the program)."""
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {list_workloads()}"
+        ) from None
+    return builder()

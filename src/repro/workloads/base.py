@@ -1,0 +1,108 @@
+"""Workload plumbing: programs plus seeded datasets and verifiers.
+
+Each workload mirrors a MiBench benchmark (two per suite category, Section
+6.2): an assembly program for the repro ISA, ``small`` (training) and
+``large`` (simulation) dataset generators that initialize machine state,
+and a Python *reference verifier* recomputing the expected results so the
+test suite can prove functional correctness of every program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro._util import as_rng, check_in
+from repro.cpu.assembler import assemble
+from repro.cpu.program import Program
+from repro.cpu.state import MachineState
+
+__all__ = ["Dataset", "Workload", "SCALES"]
+
+SCALES = ("small", "large")
+
+
+@dataclass(slots=True)
+class Dataset:
+    """A concrete dataset instance for one run.
+
+    Attributes:
+        scale: ``small`` or ``large``.
+        seed: Generator seed (dataset identity).
+        params: Free-form parameters the generator chose (sizes etc.),
+            available to the verifier.
+    """
+
+    scale: str
+    seed: int
+    params: dict = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class Workload:
+    """A benchmark program with its dataset machinery.
+
+    Attributes:
+        name: Benchmark name (matching the paper's Table 2 rows).
+        category: MiBench category.
+        source: Assembly source text.
+        program: The assembled program.
+        generate: ``generate(state, dataset)`` — initialize memory and
+            registers for a run.
+        verify: ``verify(state, dataset) -> bool`` — check the
+            architectural results after a run against a Python reference.
+        max_instructions: Per-scale execution budgets.
+    """
+
+    name: str
+    category: str
+    source: str
+    program: Program
+    generate: Callable[[MachineState, Dataset], None]
+    verify: Callable[[MachineState, Dataset], bool]
+    max_instructions: dict = field(
+        default_factory=lambda: {"small": 400_000, "large": 4_000_000}
+    )
+
+    def dataset(self, scale: str, seed: int | None = None) -> Dataset:
+        """Build the canonical dataset descriptor for a scale."""
+        check_in("scale", scale, set(SCALES))
+        if seed is None:
+            seed = 11 if scale == "small" else 97
+        return Dataset(scale=scale, seed=seed)
+
+    def setup(self, dataset: Dataset) -> Callable[[MachineState], None]:
+        """A ``setup(state)`` callable for the estimator API."""
+
+        def _setup(state: MachineState) -> None:
+            self.generate(state, dataset)
+
+        return _setup
+
+    def budget(self, scale: str) -> int:
+        return self.max_instructions[scale]
+
+
+def make_workload(
+    name: str,
+    category: str,
+    source: str,
+    generate,
+    verify,
+    max_instructions=None,
+) -> Workload:
+    """Assemble and wrap a workload definition."""
+    program = assemble(source, name=name)
+    w = Workload(
+        name=name,
+        category=category,
+        source=source,
+        program=program,
+        generate=generate,
+        verify=verify,
+    )
+    if max_instructions:
+        w.max_instructions = dict(max_instructions)
+    return w

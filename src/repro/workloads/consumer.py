@@ -1,0 +1,200 @@
+"""Consumer-category workloads: ``tiff2bw`` and ``typeset``.
+
+MiBench analogues: ``tiff2bw`` converts RGB pixel triples to weighted
+grayscale (multiply-accumulate per pixel); ``typeset`` performs greedy
+line-breaking over word widths with squared-slack badness accumulation
+(branch-heavy with occasional multiplies).
+"""
+
+from __future__ import annotations
+
+from repro._util import as_rng
+from repro.cpu.state import MachineState
+from repro.workloads.base import Dataset, Workload, make_workload
+
+__all__ = ["build_tiff2bw", "build_typeset"]
+
+_N_ADDR = 0x0FF0
+_IN = 0x1000
+_OUT = 0x4000
+_GRAY_OUT = 0x9000
+
+_TIFF2BW_SRC = """
+; tiff2bw: gray = (77 R + 150 G + 29 B) >> 8 per pixel.
+        ld   r10, [r0+0x0FF0]   ; N pixels
+        li   r2, 0x1000         ; rgb pointer
+        li   r3, 0x9000         ; gray pointer
+        li   r1, 0
+pixel_loop:
+        cmp  r1, r10
+        bge  done
+        ld   r4, [r2+0]         ; R
+        ld   r5, [r2+1]         ; G
+        ld   r6, [r2+2]         ; B
+        li   r7, 77
+        mul  r4, r4, r7
+        li   r7, 150
+        mul  r5, r5, r7
+        li   r7, 29
+        mul  r6, r6, r7
+        add  r4, r4, r5
+        add  r4, r4, r6
+        srl  r4, r4, 8
+        st   r4, [r3+0]
+        add  r2, r2, 3
+        inc  r3
+        inc  r1
+        ba   pixel_loop
+done:
+        halt
+"""
+
+
+def _tiff2bw_params(dataset: Dataset) -> dict:
+    n = 700 if dataset.scale == "small" else 10000
+    rng = as_rng(dataset.seed)
+    pixels = rng.integers(0, 256, size=3 * n)
+    return {"n": n, "pixels": pixels}
+
+
+def _tiff2bw_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _tiff2bw_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.load_words(_IN, p["pixels"])
+
+
+def _tiff2bw_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _tiff2bw_params(dataset)
+    px = [int(v) for v in p["pixels"]]
+    for i in range(p["n"]):
+        r, g, b = px[3 * i : 3 * i + 3]
+        gray = (77 * r + 150 * g + 29 * b) >> 8
+        if state.read_mem(_GRAY_OUT + i) != gray:
+            return False
+    return True
+
+
+def build_tiff2bw() -> Workload:
+    return make_workload(
+        "tiff2bw",
+        "consumer",
+        _TIFF2BW_SRC,
+        _tiff2bw_generate,
+        _tiff2bw_verify,
+    )
+
+
+# --------------------------------------------------------------------- #
+# typeset
+# --------------------------------------------------------------------- #
+
+_W_ADDR = 0x0FF1
+_S_ADDR = 0x0FF2
+_BADNESS_OUT = 0x4000
+_LINES_OUT = 0x4001
+
+_TYPESET_SRC = """
+; typeset: greedy line breaking; badness = sum of squared line slack.
+        ld   r10, [r0+0x0FF0]   ; N words
+        ld   r11, [r0+0x0FF1]   ; line width
+        ld   r12, [r0+0x0FF2]   ; space width
+        li   r1, 0              ; word index
+        li   r2, 0              ; used width on current line (0 = empty)
+        li   r8, 0              ; badness accumulator
+        li   r9, 0              ; line count
+word_loop:
+        cmp  r1, r10
+        bge  flush
+        li   r7, 0x1000
+        add  r7, r7, r1
+        ld   r3, [r7+0]         ; word width
+        cmp  r2, 0
+        beq  first_word
+        add  r4, r2, r12
+        add  r4, r4, r3
+        cmp  r4, r11
+        bgt  break_line
+        mov  r2, r4
+        ba   next_word
+first_word:
+        mov  r2, r3
+        ba   next_word
+break_line:
+        sub  r5, r11, r2        ; slack
+        mul  r5, r5, r5
+        add  r8, r8, r5
+        inc  r9
+        mov  r2, r3             ; word opens the new line
+next_word:
+        inc  r1
+        ba   word_loop
+flush:
+        cmp  r2, 0
+        beq  done
+        sub  r5, r11, r2
+        mul  r5, r5, r5
+        add  r8, r8, r5
+        inc  r9
+done:
+        st   r8, [r0+0x4000]
+        st   r9, [r0+0x4001]
+        halt
+"""
+
+
+def _typeset_params(dataset: Dataset) -> dict:
+    n = 1400 if dataset.scale == "small" else 24000
+    rng = as_rng(dataset.seed)
+    widths = rng.integers(1, 15, size=n)
+    return {"n": n, "widths": widths, "line_width": 60, "space": 1}
+
+
+def _typeset_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _typeset_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.write_mem(_W_ADDR, p["line_width"])
+    state.write_mem(_S_ADDR, p["space"])
+    state.load_words(_IN, p["widths"])
+
+
+def _typeset_reference(p: dict) -> tuple[int, int]:
+    width, space = p["line_width"], p["space"]
+    used = 0
+    badness = 0
+    lines = 0
+    for w in (int(v) for v in p["widths"]):
+        if used == 0:
+            used = w
+        elif used + space + w <= width:
+            used = used + space + w
+        else:
+            slack = width - used
+            badness = (badness + slack * slack) & 0xFFFF
+            lines += 1
+            used = w
+    if used:
+        slack = width - used
+        badness = (badness + slack * slack) & 0xFFFF
+        lines += 1
+    return badness, lines
+
+
+def _typeset_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _typeset_params(dataset)
+    badness, lines = _typeset_reference(p)
+    return (
+        state.read_mem(_BADNESS_OUT) == badness
+        and state.read_mem(_LINES_OUT) == lines & 0xFFFF
+    )
+
+
+def build_typeset() -> Workload:
+    return make_workload(
+        "typeset",
+        "consumer",
+        _TYPESET_SRC,
+        _typeset_generate,
+        _typeset_verify,
+    )

@@ -1,0 +1,314 @@
+"""Network-category workloads: ``dijkstra`` and ``patricia``.
+
+MiBench analogues: ``dijkstra`` computes single-source shortest paths on a
+dense adjacency matrix (repeated min-scan + relaxation, load/compare
+heavy); ``patricia`` maintains a binary trie over the top 12 key bits
+(pointer chasing, many small basic blocks — like the paper's patricia,
+which has by far the most blocks per instruction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cpu.state import MachineState
+from repro.workloads.base import Dataset, Workload, make_workload
+
+__all__ = ["build_dijkstra", "build_patricia"]
+
+_V_ADDR = 0x0FF0
+_R_ADDR = 0x0FF4
+_ADJ = 0x1000
+_DIST = 0x4000
+_VISITED = 0x4100
+_INF = 0x7FFF
+
+_DIJKSTRA_SRC = """
+; dijkstra: repeated single-source shortest paths on a dense matrix.
+        ld   r12, [r0+0x0FF4]   ; R repetitions
+outer_loop:
+        cmp  r12, 0
+        beq  all_done
+        ld   r7, [r0+0x0FF0]    ; V
+; ---- initialize dist / visited
+        li   r1, 0
+init_loop:
+        cmp  r1, r7
+        bge  init_done
+        li   r5, 0x7FFF
+        li   r6, 0x4000
+        add  r6, r6, r1
+        st   r5, [r6+0]
+        li   r5, 0
+        li   r6, 0x4100
+        add  r6, r6, r1
+        st   r5, [r6+0]
+        inc  r1
+        ba   init_loop
+init_done:
+        li   r5, 0
+        st   r5, [r0+0x4000]    ; dist[source=0] = 0
+        li   r1, 0              ; visited count
+iter_loop:
+        cmp  r1, r7
+        bge  dijkstra_end
+; ---- select unvisited vertex with minimum distance
+        li   r2, 0
+        li   r3, 0x7FFF
+        inc  r3                 ; best = 0x8000 (> any dist, unsigned)
+        li   r4, 0
+        li   r13, 0             ; found flag
+scan_loop:
+        cmp  r2, r7
+        bge  scan_done
+        li   r6, 0x4100
+        add  r6, r6, r2
+        ld   r5, [r6+0]
+        cmp  r5, 0
+        bne  scan_next
+        li   r6, 0x4000
+        add  r6, r6, r2
+        ld   r5, [r6+0]
+        cmp  r5, r3
+        bcc  scan_next          ; dist[i] >= best (unsigned)
+        mov  r3, r5
+        mov  r4, r2
+        li   r13, 1
+scan_next:
+        inc  r2
+        ba   scan_loop
+scan_done:
+        cmp  r13, 0
+        beq  dijkstra_end       ; nothing reachable left
+        li   r6, 0x4100
+        add  r6, r6, r4
+        li   r5, 1
+        st   r5, [r6+0]         ; visited[u] = 1
+        li   r6, 0x4000
+        add  r6, r6, r4
+        ld   r8, [r6+0]         ; dist[u]
+        mul  r9, r4, r7
+        li   r10, 0x1000
+        add  r9, r9, r10        ; adjacency row of u
+        li   r2, 0
+relax_loop:
+        cmp  r2, r7
+        bge  relax_done
+        add  r6, r9, r2
+        ld   r5, [r6+0]         ; w(u, v)
+        cmp  r5, 0
+        beq  relax_next
+        add  r5, r5, r8         ; candidate = dist[u] + w
+        li   r6, 0x4000
+        add  r6, r6, r2
+        ld   r11, [r6+0]
+        cmp  r5, r11
+        bcs  relax_store        ; candidate < dist[v] (unsigned borrow)
+        ba   relax_next
+relax_store:
+        st   r5, [r6+0]
+relax_next:
+        inc  r2
+        ba   relax_loop
+relax_done:
+        inc  r1
+        ba   iter_loop
+dijkstra_end:
+        dec  r12
+        ba   outer_loop
+all_done:
+        halt
+"""
+
+
+def _dijkstra_params(dataset: Dataset) -> dict:
+    if dataset.scale == "small":
+        v, reps = 14, 4
+    else:
+        v, reps = 20, 55
+    rng = as_rng(dataset.seed)
+    adj = rng.integers(1, 40, size=(v, v))
+    mask = rng.random((v, v)) < 0.35
+    adj = np.where(mask, adj, 0)
+    np.fill_diagonal(adj, 0)
+    return {"v": v, "reps": reps, "adj": adj}
+
+
+def _dijkstra_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _dijkstra_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_V_ADDR, p["v"])
+    state.write_mem(_R_ADDR, p["reps"])
+    state.load_words(_ADJ, p["adj"].ravel())
+
+
+def _dijkstra_reference(adj: np.ndarray) -> list[int]:
+    v = adj.shape[0]
+    dist = [_INF] * v
+    visited = [False] * v
+    dist[0] = 0
+    for _ in range(v):
+        best, u = 0x8000, None
+        for i in range(v):
+            if not visited[i] and dist[i] < best:
+                best, u = dist[i], i
+        if u is None:
+            break
+        visited[u] = True
+        for w in range(v):
+            weight = int(adj[u, w])
+            if weight and dist[u] + weight < dist[w]:
+                dist[w] = dist[u] + weight
+    return dist
+
+
+def _dijkstra_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _dijkstra_params(dataset)
+    expected = _dijkstra_reference(p["adj"])
+    return all(
+        state.read_mem(_DIST + i) == expected[i] for i in range(p["v"])
+    )
+
+
+def build_dijkstra() -> Workload:
+    return make_workload(
+        "dijkstra",
+        "network",
+        _DIJKSTRA_SRC,
+        _dijkstra_generate,
+        _dijkstra_verify,
+    )
+
+
+# --------------------------------------------------------------------- #
+# patricia
+# --------------------------------------------------------------------- #
+
+_N_ADDR = 0x0FF0
+_KEYS = 0x1000
+_POOL = 0x6000
+_HITS_OUT = 0x4000
+_NODES_OUT = 0x4001
+
+_PATRICIA_SRC = """
+; patricia: binary trie over the top 12 key bits (search then insert).
+        ld   r10, [r0+0x0FF0]   ; N keys
+        li   r8, 1              ; next free node index (0 is the root)
+        li   r9, 0              ; search hits
+        li   r1, 0              ; key index
+key_loop:
+        cmp  r1, r10
+        bge  done
+        li   r7, 0x1000
+        add  r7, r7, r1
+        ld   r2, [r7+0]         ; key
+; ---- search
+        li   r3, 0x6000         ; cur = root node address
+        li   r4, 15             ; bit position
+search_loop:
+        srl  r5, r2, r4
+        and  r5, r5, 1
+        add  r7, r3, r5         ; child pointer field
+        ld   r6, [r7+0]
+        cmp  r6, 0
+        beq  insert             ; missing child: not present
+        mov  r3, r6
+        subcc r4, r4, 1
+        cmp  r4, 3
+        bgt  search_loop
+        ld   r5, [r3+2]         ; leaf key
+        cmp  r5, r2
+        bne  insert
+        inc  r9                 ; hit: already inserted
+        ba   next_key
+; ---- insert (rewalk, allocating missing nodes)
+insert:
+        li   r3, 0x6000
+        li   r4, 15
+ins_loop:
+        srl  r5, r2, r4
+        and  r5, r5, 1
+        add  r7, r3, r5
+        ld   r6, [r7+0]
+        cmp  r6, 0
+        bne  ins_descend
+        sll  r6, r8, 2          ; allocate: address = pool + 4 * index
+        li   r11, 0x6000
+        add  r6, r6, r11
+        st   r6, [r7+0]
+        inc  r8
+ins_descend:
+        mov  r3, r6
+        subcc r4, r4, 1
+        cmp  r4, 3
+        bgt  ins_loop
+        st   r2, [r3+2]         ; leaf stores the full key
+next_key:
+        inc  r1
+        ba   key_loop
+done:
+        st   r9, [r0+0x4000]
+        st   r8, [r0+0x4001]
+        halt
+"""
+
+
+def _patricia_params(dataset: Dataset) -> dict:
+    n = 48 if dataset.scale == "small" else 760
+    rng = as_rng(dataset.seed)
+    # Clustered keys: routing tables have shared prefixes, which also
+    # exercises both trie reuse and collision overwrites.
+    prefixes = rng.integers(0, 64, size=n) << 10
+    keys = (prefixes | rng.integers(0, 1 << 10, size=n)) & 0xFFFF
+    return {"n": n, "keys": keys}
+
+
+def _patricia_reference(keys) -> tuple[int, int]:
+    """Replay the trie: returns (hits, nodes allocated)."""
+    children: dict[tuple, int] = {}  # path prefix -> node index
+    leaf_key: dict[tuple, int] = {}
+    next_free = 1
+    hits = 0
+    for key in (int(k) for k in keys):
+        path = tuple((key >> b) & 1 for b in range(15, 3, -1))
+        # Search: present iff all 12 children exist and leaf key matches.
+        present = all(
+            path[: d + 1] in children for d in range(12)
+        ) and leaf_key.get(path) == key
+        if present:
+            hits += 1
+            continue
+        for d in range(12):
+            prefix = path[: d + 1]
+            if prefix not in children:
+                children[prefix] = next_free
+                next_free += 1
+        leaf_key[path] = key
+    return hits, next_free
+
+
+def _patricia_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _patricia_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.load_words(_KEYS, p["keys"])
+
+
+def _patricia_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _patricia_params(dataset)
+    hits, nodes = _patricia_reference(p["keys"])
+    return (
+        state.read_mem(_HITS_OUT) == hits & 0xFFFF
+        and state.read_mem(_NODES_OUT) == nodes & 0xFFFF
+    )
+
+
+def build_patricia() -> Workload:
+    return make_workload(
+        "patricia",
+        "network",
+        _PATRICIA_SRC,
+        _patricia_generate,
+        _patricia_verify,
+    )

@@ -1,0 +1,297 @@
+"""Office-category workloads: ``ghostscript`` and ``stringsearch``.
+
+MiBench analogues: ``ghostscript`` rasterizes line segments into a 64x64
+framebuffer with Bresenham's algorithm (error-accumulator arithmetic, dense
+branching, stores); ``stringsearch`` is Boyer–Moore–Horspool over a 32-
+symbol alphabet with a precomputed bad-character shift table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cpu.state import MachineState
+from repro.workloads.base import Dataset, Workload, make_workload
+
+__all__ = ["build_ghostscript", "build_stringsearch"]
+
+_N_ADDR = 0x0FF0
+_SEGS = 0x1000
+_FB = 0x8000
+_PIXELS_OUT = 0x4000
+
+_GHOSTSCRIPT_SRC = """
+; ghostscript: Bresenham line rasterization into a 64x64 framebuffer.
+        ld   r14, [r0+0x0FF0]   ; number of segments
+        li   r1, 0
+        li   r13, 0             ; plotted pixel count
+seg_loop:
+        cmp  r1, r14
+        bge  done
+        sll  r11, r1, 2
+        li   r12, 0x1000
+        add  r11, r11, r12
+        ld   r2, [r11+0]        ; x0
+        ld   r3, [r11+1]        ; y0
+        ld   r4, [r11+2]        ; x1
+        ld   r5, [r11+3]        ; y1
+; dx = |x1 - x0|, sx = sign
+        sub  r6, r4, r2
+        li   r8, 1
+        cmp  r4, r2
+        bge  dx_done
+        sub  r6, r2, r4
+        li   r8, -1
+dx_done:
+; dy = -|y1 - y0|, sy = sign
+        sub  r7, r5, r3
+        li   r9, 1
+        cmp  r5, r3
+        bge  dy_abs
+        sub  r7, r3, r5
+        li   r9, -1
+dy_abs:
+        li   r11, 0
+        sub  r7, r11, r7        ; dy = -|dy|
+        add  r10, r6, r7        ; err = dx + dy
+plot_loop:
+        sll  r11, r3, 6         ; fb[y*64 + x] = 1
+        add  r11, r11, r2
+        li   r12, 0x8000
+        add  r11, r11, r12
+        li   r12, 1
+        st   r12, [r11+0]
+        inc  r13
+        cmp  r2, r4
+        bne  step
+        cmp  r3, r5
+        beq  seg_next
+step:
+        add  r12, r10, r10      ; e2 = 2 err
+        cmp  r12, r7
+        blt  skip_x
+        add  r10, r10, r7
+        add  r2, r2, r8
+skip_x:
+        cmp  r12, r6
+        bgt  plot_loop
+        add  r10, r10, r6
+        add  r3, r3, r9
+        ba   plot_loop
+seg_next:
+        inc  r1
+        ba   seg_loop
+done:
+        st   r13, [r0+0x4000]
+        halt
+"""
+
+
+def _ghostscript_params(dataset: Dataset) -> dict:
+    n = 16 if dataset.scale == "small" else 460
+    rng = as_rng(dataset.seed)
+    segs = rng.integers(0, 64, size=(n, 4))
+    return {"n": n, "segs": segs}
+
+
+def _bresenham(x0, y0, x1, y1):
+    """Replicates the assembly exactly; yields plotted (x, y) pixels."""
+    dx = abs(x1 - x0)
+    sx = 1 if x1 >= x0 else -1
+    dy = -abs(y1 - y0)
+    sy = 1 if y1 >= y0 else -1
+    err = dx + dy
+    while True:
+        yield x0, y0
+        if x0 == x1 and y0 == y1:
+            return
+        e2 = 2 * err
+        if e2 >= dy:
+            err += dy
+            x0 += sx
+        if e2 <= dx:
+            err += dx
+            y0 += sy
+
+
+def _ghostscript_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _ghostscript_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.load_words(_SEGS, p["segs"].ravel())
+
+
+def _ghostscript_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _ghostscript_params(dataset)
+    fb = np.zeros((64, 64), dtype=bool)
+    plotted = 0
+    for x0, y0, x1, y1 in (tuple(int(v) for v in s) for s in p["segs"]):
+        for x, y in _bresenham(x0, y0, x1, y1):
+            fb[y, x] = True
+            plotted += 1
+    if state.read_mem(_PIXELS_OUT) != plotted & 0xFFFF:
+        return False
+    for y in range(64):
+        for x in range(64):
+            if bool(state.read_mem(_FB + y * 64 + x)) != fb[y, x]:
+                return False
+    return True
+
+
+def build_ghostscript() -> Workload:
+    return make_workload(
+        "ghostscript",
+        "office",
+        _GHOSTSCRIPT_SRC,
+        _ghostscript_generate,
+        _ghostscript_verify,
+    )
+
+
+# --------------------------------------------------------------------- #
+# stringsearch
+# --------------------------------------------------------------------- #
+
+_T_ADDR = 0x0FF0
+_M_ADDR = 0x0FF1
+_R_ADDR = 0x0FF2
+_TEXT = 0x2000
+_PATTERN = 0x1C00
+_SHIFT_TABLE = 0x0E00
+_MATCHES_OUT = 0x4000
+_ALPHABET = 32
+
+_STRINGSEARCH_SRC = """
+; stringsearch: Boyer-Moore-Horspool over a 32-symbol alphabet.
+        ld   r10, [r0+0x0FF0]   ; text length T
+        ld   r11, [r0+0x0FF1]   ; pattern length M
+; ---- build the bad-character shift table (default M)
+        li   r1, 0
+        li   r2, 32
+tbl_init:
+        cmp  r1, r2
+        bge  tbl_fill
+        li   r6, 0x0E00
+        add  r6, r6, r1
+        st   r11, [r6+0]
+        inc  r1
+        ba   tbl_init
+tbl_fill:
+        li   r1, 0
+        sub  r12, r11, 1        ; M - 1
+fill_loop:
+        cmp  r1, r12
+        bge  reps
+        li   r6, 0x1C00
+        add  r6, r6, r1
+        ld   r3, [r6+0]         ; pattern[j]
+        sub  r4, r12, r1        ; shift = M - 1 - j
+        li   r6, 0x0E00
+        add  r6, r6, r3
+        st   r4, [r6+0]
+        inc  r1
+        ba   fill_loop
+reps:
+        ld   r14, [r0+0x0FF2]   ; repetitions
+        li   r9, 0              ; match count
+rep_loop:
+        cmp  r14, 0
+        beq  done
+        li   r1, 0              ; window position
+        sub  r13, r10, r11      ; last valid position
+srch_loop:
+        cmp  r1, r13
+        bgt  rep_next
+        mov  r2, r12            ; j = M - 1
+cmp_loop:
+        li   r6, 0x2000
+        add  r6, r6, r1
+        add  r6, r6, r2
+        ld   r3, [r6+0]         ; text[pos + j]
+        li   r6, 0x1C00
+        add  r6, r6, r2
+        ld   r4, [r6+0]         ; pattern[j]
+        cmp  r3, r4
+        bne  mismatch
+        cmp  r2, 0
+        beq  match
+        dec  r2
+        ba   cmp_loop
+match:
+        inc  r9
+mismatch:
+        li   r6, 0x2000
+        add  r6, r6, r1
+        add  r6, r6, r12
+        ld   r3, [r6+0]         ; text[pos + M - 1]
+        li   r6, 0x0E00
+        add  r6, r6, r3
+        ld   r4, [r6+0]
+        add  r1, r1, r4         ; advance by the table shift
+        ba   srch_loop
+rep_next:
+        dec  r14
+        ba   rep_loop
+done:
+        st   r9, [r0+0x4000]
+        halt
+"""
+
+
+def _stringsearch_params(dataset: Dataset) -> dict:
+    if dataset.scale == "small":
+        t, reps = 650, 1
+    else:
+        t, reps = 7600, 4
+    m = 5
+    rng = as_rng(dataset.seed)
+    text = rng.integers(0, _ALPHABET, size=t)
+    pattern = rng.integers(0, _ALPHABET, size=m)
+    # Plant some true occurrences.
+    for pos in rng.integers(0, t - m, size=max(3, t // 200)):
+        text[pos : pos + m] = pattern
+    return {"t": t, "m": m, "reps": reps, "text": text, "pattern": pattern}
+
+
+def _horspool_count(text, pattern) -> int:
+    m = len(pattern)
+    table = {c: m for c in range(_ALPHABET)}
+    for j in range(m - 1):
+        table[int(pattern[j])] = m - 1 - j
+    count = 0
+    pos = 0
+    while pos <= len(text) - m:
+        j = m - 1
+        while j >= 0 and int(text[pos + j]) == int(pattern[j]):
+            j -= 1
+        if j < 0:
+            count += 1
+        pos += table[int(text[pos + m - 1])]
+    return count
+
+
+def _stringsearch_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _stringsearch_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_T_ADDR, p["t"])
+    state.write_mem(_M_ADDR, p["m"])
+    state.write_mem(_R_ADDR, p["reps"])
+    state.load_words(_TEXT, p["text"])
+    state.load_words(_PATTERN, p["pattern"])
+
+
+def _stringsearch_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _stringsearch_params(dataset)
+    expected = p["reps"] * _horspool_count(p["text"], p["pattern"])
+    return state.read_mem(_MATCHES_OUT) == expected & 0xFFFF
+
+
+def build_stringsearch() -> Workload:
+    return make_workload(
+        "stringsearch",
+        "office",
+        _STRINGSEARCH_SRC,
+        _stringsearch_generate,
+        _stringsearch_verify,
+    )

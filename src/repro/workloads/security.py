@@ -1,0 +1,218 @@
+"""Security-category workloads: ``pgp.encode`` and ``pgp.decode``.
+
+MiBench analogues of the PGP pair: a Feistel block cipher (XTEA-style, on
+16-bit halves to match the datapath) encrypting/decrypting a message
+stream.  Eight rounds of shifts, XORs, and additions with a key schedule
+indexed by the running sum — ALU-dense with data-dependent table loads.
+"""
+
+from __future__ import annotations
+
+from repro._util import as_rng
+from repro.cpu.state import MachineState
+from repro.workloads.base import Dataset, Workload, make_workload
+
+__all__ = ["build_pgp_encode", "build_pgp_decode"]
+
+_N_ADDR = 0x0FF0
+_KEY = 0x0FE0
+_IN = 0x1000
+_OUT = 0x4000
+_DELTA = 0x9E37
+_ROUNDS = 8
+_MASK = 0xFFFF
+
+_ENCODE_SRC = """
+; pgp.encode: XTEA-style Feistel cipher over 16-bit half-blocks.
+        ld   r10, [r0+0x0FF0]   ; N blocks
+        li   r1, 0
+block_loop:
+        cmp  r1, r10
+        bge  done
+        sll  r7, r1, 1
+        li   r5, 0x1000
+        add  r7, r7, r5
+        ld   r2, [r7+0]         ; v0
+        ld   r3, [r7+1]         ; v1
+        li   r4, 0              ; sum
+        li   r9, 0x9E37         ; delta
+        li   r8, 8              ; rounds
+round_loop:
+; v0 += (((v1<<3) ^ (v1>>4)) + v1) ^ (sum + key[sum & 3])
+        sll  r5, r3, 3
+        srl  r6, r3, 4
+        xor  r5, r5, r6
+        add  r5, r5, r3
+        and  r6, r4, 3
+        ld   r6, [r6+0x0FE0]
+        add  r6, r6, r4
+        xor  r5, r5, r6
+        add  r2, r2, r5
+        add  r4, r4, r9         ; sum += delta
+; v1 += (((v0<<3) ^ (v0>>4)) + v0) ^ (sum + key[(sum>>2) & 3])
+        sll  r5, r2, 3
+        srl  r6, r2, 4
+        xor  r5, r5, r6
+        add  r5, r5, r2
+        srl  r6, r4, 2
+        and  r6, r6, 3
+        ld   r6, [r6+0x0FE0]
+        add  r6, r6, r4
+        xor  r5, r5, r6
+        add  r3, r3, r5
+        subcc r8, r8, 1
+        bne  round_loop
+        sll  r7, r1, 1
+        li   r5, 0x4000
+        add  r7, r7, r5
+        st   r2, [r7+0]
+        st   r3, [r7+1]
+        inc  r1
+        ba   block_loop
+done:
+        halt
+"""
+
+_DECODE_SRC = """
+; pgp.decode: inverse Feistel rounds.
+        ld   r10, [r0+0x0FF0]   ; N blocks
+        li   r1, 0
+block_loop:
+        cmp  r1, r10
+        bge  done
+        sll  r7, r1, 1
+        li   r5, 0x1000
+        add  r7, r7, r5
+        ld   r2, [r7+0]         ; v0
+        ld   r3, [r7+1]         ; v1
+        li   r9, 0x9E37         ; delta
+        li   r4, 0xF1B8         ; sum = 8 * delta mod 2^16
+        li   r8, 8
+round_loop:
+; v1 -= (((v0<<3) ^ (v0>>4)) + v0) ^ (sum + key[(sum>>2) & 3])
+        sll  r5, r2, 3
+        srl  r6, r2, 4
+        xor  r5, r5, r6
+        add  r5, r5, r2
+        srl  r6, r4, 2
+        and  r6, r6, 3
+        ld   r6, [r6+0x0FE0]
+        add  r6, r6, r4
+        xor  r5, r5, r6
+        sub  r3, r3, r5
+        sub  r4, r4, r9         ; sum -= delta
+; v0 -= (((v1<<3) ^ (v1>>4)) + v1) ^ (sum + key[sum & 3])
+        sll  r5, r3, 3
+        srl  r6, r3, 4
+        xor  r5, r5, r6
+        add  r5, r5, r3
+        and  r6, r4, 3
+        ld   r6, [r6+0x0FE0]
+        add  r6, r6, r4
+        xor  r5, r5, r6
+        sub  r2, r2, r5
+        subcc r8, r8, 1
+        bne  round_loop
+        sll  r7, r1, 1
+        li   r5, 0x4000
+        add  r7, r7, r5
+        st   r2, [r7+0]
+        st   r3, [r7+1]
+        inc  r1
+        ba   block_loop
+done:
+        halt
+"""
+
+
+def _encrypt_block(v0: int, v1: int, key: list[int]) -> tuple[int, int]:
+    total = 0
+    for _ in range(_ROUNDS):
+        f = ((((v1 << 3) & _MASK) ^ (v1 >> 4)) + v1) & _MASK
+        v0 = (v0 + (f ^ ((total + key[total & 3]) & _MASK))) & _MASK
+        total = (total + _DELTA) & _MASK
+        f = ((((v0 << 3) & _MASK) ^ (v0 >> 4)) + v0) & _MASK
+        v1 = (v1 + (f ^ ((total + key[(total >> 2) & 3]) & _MASK))) & _MASK
+    return v0, v1
+
+
+def _decrypt_block(v0: int, v1: int, key: list[int]) -> tuple[int, int]:
+    total = (_DELTA * _ROUNDS) & _MASK
+    for _ in range(_ROUNDS):
+        f = ((((v0 << 3) & _MASK) ^ (v0 >> 4)) + v0) & _MASK
+        v1 = (v1 - (f ^ ((total + key[(total >> 2) & 3]) & _MASK))) & _MASK
+        total = (total - _DELTA) & _MASK
+        f = ((((v1 << 3) & _MASK) ^ (v1 >> 4)) + v1) & _MASK
+        v0 = (v0 - (f ^ ((total + key[total & 3]) & _MASK))) & _MASK
+    return v0, v1
+
+
+def _pgp_params(dataset: Dataset) -> dict:
+    n = 110 if dataset.scale == "small" else 2300
+    rng = as_rng(dataset.seed)
+    key = [int(k) for k in rng.integers(0, 1 << 16, size=4)]
+    message = [int(v) for v in rng.integers(0, 1 << 16, size=2 * n)]
+    return {"n": n, "key": key, "message": message}
+
+
+def _pgp_generate_encode(state: MachineState, dataset: Dataset) -> None:
+    p = _pgp_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.load_words(_KEY, p["key"])
+    state.load_words(_IN, p["message"])
+
+
+def _pgp_verify_encode(state: MachineState, dataset: Dataset) -> bool:
+    p = _pgp_params(dataset)
+    msg, key = p["message"], p["key"]
+    for i in range(p["n"]):
+        v0, v1 = _encrypt_block(msg[2 * i], msg[2 * i + 1], key)
+        if (
+            state.read_mem(_OUT + 2 * i) != v0
+            or state.read_mem(_OUT + 2 * i + 1) != v1
+        ):
+            return False
+    return True
+
+
+def _pgp_generate_decode(state: MachineState, dataset: Dataset) -> None:
+    p = _pgp_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.load_words(_KEY, p["key"])
+    cipher = []
+    for i in range(p["n"]):
+        v0, v1 = _encrypt_block(
+            p["message"][2 * i], p["message"][2 * i + 1], p["key"]
+        )
+        cipher.extend((v0, v1))
+    state.load_words(_IN, cipher)
+
+
+def _pgp_verify_decode(state: MachineState, dataset: Dataset) -> bool:
+    p = _pgp_params(dataset)
+    return all(
+        state.read_mem(_OUT + i) == p["message"][i]
+        for i in range(2 * p["n"])
+    )
+
+
+def build_pgp_encode() -> Workload:
+    return make_workload(
+        "pgp.encode",
+        "security",
+        _ENCODE_SRC,
+        _pgp_generate_encode,
+        _pgp_verify_encode,
+    )
+
+
+def build_pgp_decode() -> Workload:
+    return make_workload(
+        "pgp.decode",
+        "security",
+        _DECODE_SRC,
+        _pgp_generate_decode,
+        _pgp_verify_decode,
+    )

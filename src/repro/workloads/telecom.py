@@ -1,0 +1,279 @@
+"""Telecom-category workloads: ``gsm.encode`` and ``gsm.decode``.
+
+MiBench analogues of the GSM codec pair: ``gsm.encode`` computes per-frame
+normalization and lag-0..7 autocorrelation with quantization (tight
+multiply-accumulate loops — the multiplier is the pipeline's longest
+datapath, which is why the GSM pair shows the highest error rates in the
+paper's Table 2); ``gsm.decode`` runs a 4-tap IIR synthesis filter over an
+excitation stream with per-frame coefficients.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_rng
+from repro.cpu.state import MachineState
+from repro.workloads.base import Dataset, Workload, make_workload
+
+__all__ = ["build_gsm_encode", "build_gsm_decode"]
+
+_N_ADDR = 0x0FF0
+_F_ADDR = 0x0FF1
+_SAMPLES = 0x1000
+_COEFS = 0x3000  # above the largest excitation array (0x1000 + 4200)
+_OUT = 0x4000
+_MASK = 0xFFFF
+
+_GSM_ENCODE_SRC = """
+; gsm.encode: per-frame normalization + autocorrelation + quantization.
+        ld   r10, [r0+0x0FF0]   ; N samples
+        ld   r11, [r0+0x0FF1]   ; frame size F
+        li   r1, 0              ; frame base
+        li   r12, 0             ; frame index
+frame_loop:
+        add  r2, r1, r11        ; frame end
+        cmp  r2, r10
+        bgt  done
+; ---- frame maximum (normalization scan)
+        li   r3, 0
+        mov  r4, r1
+max_loop:
+        cmp  r4, r2
+        bge  max_done
+        li   r6, 0x1000
+        add  r6, r6, r4
+        ld   r5, [r6+0]
+        cmp  r5, r3
+        ble  max_next
+        mov  r3, r5
+max_next:
+        inc  r4
+        ba   max_loop
+max_done:
+; ---- normalization shift: reduce max below 256
+        li   r7, 0
+shift_loop:
+        cmp  r3, 255
+        ble  shift_done
+        srl  r3, r3, 1
+        inc  r7
+        ba   shift_loop
+shift_done:
+; ---- autocorrelation lags 0..7
+        li   r8, 0              ; lag k
+lag_loop:
+        cmp  r8, 8
+        bge  frame_next
+        li   r9, 0              ; accumulator
+        add  r4, r1, r8         ; i = base + k
+acf_loop:
+        cmp  r4, r2
+        bge  acf_done
+        li   r6, 0x1000
+        add  r6, r6, r4
+        ld   r5, [r6+0]
+        srl  r5, r5, r7
+        sub  r13, r4, r8
+        li   r6, 0x1000
+        add  r6, r6, r13
+        ld   r13, [r6+0]
+        srl  r13, r13, r7
+        mul  r5, r5, r13
+        add  r9, r9, r5
+        inc  r4
+        ba   acf_loop
+acf_done:
+        srl  r9, r9, 4          ; quantize
+        sll  r6, r12, 3
+        add  r6, r6, r8
+        li   r13, 0x4000
+        add  r6, r6, r13
+        st   r9, [r6+0]
+        inc  r8
+        ba   lag_loop
+frame_next:
+        add  r1, r1, r11
+        inc  r12
+        ba   frame_loop
+done:
+        halt
+"""
+
+
+def _gsm_encode_params(dataset: Dataset) -> dict:
+    frame = 40
+    frames = 11 if dataset.scale == "small" else 78
+    n = frame * frames
+    rng = as_rng(dataset.seed)
+    # Speech-like samples: smooth narrowband signal + noise, 10 bits.
+    t = np.arange(n)
+    wave = (
+        512
+        + 300 * np.sin(2 * np.pi * t / 23.0)
+        + 120 * np.sin(2 * np.pi * t / 7.0)
+        + rng.normal(0, 40, size=n)
+    )
+    samples = np.clip(wave, 0, 1023).astype(np.int64)
+    return {"n": n, "frame": frame, "frames": frames, "samples": samples}
+
+
+def _gsm_encode_reference(p: dict) -> list[int]:
+    frame, samples = p["frame"], [int(v) for v in p["samples"]]
+    out = []
+    for f in range(p["frames"]):
+        chunk = samples[f * frame : (f + 1) * frame]
+        mx = max(chunk) if chunk else 0
+        shift = 0
+        while mx > 255:
+            mx >>= 1
+            shift += 1
+        for k in range(8):
+            acc = 0
+            for i in range(k, frame):
+                a = chunk[i] >> shift
+                b = chunk[i - k] >> shift
+                acc = (acc + ((a * b) & _MASK)) & _MASK
+            out.append((acc >> 4) & _MASK)
+    return out
+
+
+def _gsm_encode_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _gsm_encode_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.write_mem(_F_ADDR, p["frame"])
+    state.load_words(_SAMPLES, p["samples"])
+
+
+def _gsm_encode_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _gsm_encode_params(dataset)
+    expected = _gsm_encode_reference(p)
+    return all(
+        state.read_mem(_OUT + i) == expected[i]
+        for i in range(len(expected))
+    )
+
+
+def build_gsm_encode() -> Workload:
+    return make_workload(
+        "gsm.encode",
+        "telecom",
+        _GSM_ENCODE_SRC,
+        _gsm_encode_generate,
+        _gsm_encode_verify,
+    )
+
+
+# --------------------------------------------------------------------- #
+# gsm.decode
+# --------------------------------------------------------------------- #
+
+_GSM_DECODE_SRC = """
+; gsm.decode: 4-tap IIR synthesis filter with per-frame coefficients.
+        ld   r10, [r0+0x0FF0]   ; N samples
+        ld   r11, [r0+0x0FF1]   ; frame size F
+        li   r1, 0              ; sample index
+        li   r12, 0             ; frame index
+        li   r13, 0             ; index within frame
+samp_loop:
+        cmp  r1, r10
+        bge  done
+        li   r6, 0x1000
+        add  r6, r6, r1
+        ld   r2, [r6+0]         ; excitation e[i]
+        li   r8, 1              ; tap k
+tap_loop:
+        cmp  r8, 4
+        bgt  taps_done
+        cmp  r8, r1
+        bgt  tap_next           ; not enough history yet
+        sll  r6, r12, 2         ; coefficient c_k of this frame
+        add  r6, r6, r8
+        li   r5, 0x3000
+        add  r6, r6, r5
+        ld   r4, [r6-1]
+        sub  r6, r1, r8         ; y[i - k]
+        li   r5, 0x4000
+        add  r6, r6, r5
+        ld   r5, [r6+0]
+        mul  r5, r5, r4
+        srl  r5, r5, 6
+        add  r2, r2, r5
+tap_next:
+        inc  r8
+        ba   tap_loop
+taps_done:
+        li   r6, 0x4000
+        add  r6, r6, r1
+        st   r2, [r6+0]
+        inc  r13
+        inc  r1
+        cmp  r13, r11
+        blt  samp_loop
+        li   r13, 0
+        inc  r12
+        ba   samp_loop
+done:
+        halt
+"""
+
+
+def _gsm_decode_params(dataset: Dataset) -> dict:
+    frame = 40
+    frames = 13 if dataset.scale == "small" else 105
+    n = frame * frames
+    rng = as_rng(dataset.seed)
+    excitation = rng.integers(0, 256, size=n)
+    coefs = rng.integers(0, 48, size=4 * frames)
+    return {
+        "n": n,
+        "frame": frame,
+        "frames": frames,
+        "excitation": excitation,
+        "coefs": coefs,
+    }
+
+
+def _gsm_decode_reference(p: dict) -> list[int]:
+    n, frame = p["n"], p["frame"]
+    e = [int(v) for v in p["excitation"]]
+    coefs = [int(v) for v in p["coefs"]]
+    y = [0] * n
+    for i in range(n):
+        f = i // frame
+        acc = e[i]
+        for k in range(1, 5):
+            if k > i:
+                continue
+            c = coefs[4 * f + k - 1]
+            acc = (acc + (((y[i - k] * c) & _MASK) >> 6)) & _MASK
+        y[i] = acc
+    return y
+
+
+def _gsm_decode_generate(state: MachineState, dataset: Dataset) -> None:
+    p = _gsm_decode_params(dataset)
+    dataset.params.update(p)
+    state.write_mem(_N_ADDR, p["n"])
+    state.write_mem(_F_ADDR, p["frame"])
+    state.load_words(_SAMPLES, p["excitation"])
+    state.load_words(_COEFS, p["coefs"])
+
+
+def _gsm_decode_verify(state: MachineState, dataset: Dataset) -> bool:
+    p = _gsm_decode_params(dataset)
+    expected = _gsm_decode_reference(p)
+    return all(
+        state.read_mem(_OUT + i) == expected[i] for i in range(p["n"])
+    )
+
+
+def build_gsm_decode() -> Workload:
+    return make_workload(
+        "gsm.decode",
+        "telecom",
+        _GSM_DECODE_SRC,
+        _gsm_decode_generate,
+        _gsm_decode_verify,
+    )

@@ -1,0 +1,104 @@
+"""Tests for CFG construction."""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.cfg.cfg import ENTRY_EDGE
+from repro.cpu import assemble
+
+
+def test_straight_line_single_block():
+    cfg = build_cfg(assemble("li r1, 1\nadd r2, r1, 1\nhalt"))
+    assert len(cfg) == 1
+    assert cfg.block(0).size == 3
+
+
+def test_loop_blocks_and_edges():
+    src = """
+        li r1, 5
+    loop:
+        subcc r1, r1, 1
+        bne loop
+        halt
+    """
+    cfg = build_cfg(assemble(src))
+    assert len(cfg) == 3
+    # loop block is its own successor.
+    loop_block = cfg.block_of_instruction[1]
+    assert loop_block in cfg.block(loop_block).successors
+
+
+def test_block_partition_covers_program():
+    src = """
+        li r1, 3
+    a:
+        subcc r1, r1, 1
+        beq b
+        ba a
+    b:
+        halt
+    """
+    cfg = build_cfg(assemble(src))
+    seen = []
+    for b in cfg.blocks:
+        seen.extend(b.instruction_indices())
+    assert sorted(seen) == list(range(len(cfg.program)))
+    # Block ids match address order and block_of_instruction agrees.
+    for b in cfg.blocks:
+        for i in b.instruction_indices():
+            assert cfg.block_of_instruction[i] == b.bid
+
+
+def test_predecessors_mirror_successors():
+    src = """
+        li r1, 4
+    top:
+        subcc r1, r1, 1
+        bne top
+        halt
+    """
+    cfg = build_cfg(assemble(src))
+    for b in cfg.blocks:
+        for s in b.successors:
+            assert b.bid in cfg.block(s).predecessors
+
+
+def test_entry_block_has_virtual_edge():
+    cfg = build_cfg(assemble("nop\nhalt"))
+    assert ENTRY_EDGE in cfg.incoming_edges(cfg.entry_block)
+
+
+def test_call_and_ret_edges():
+    src = """
+        call f
+        halt
+    f:
+        ret
+    """
+    cfg = build_cfg(assemble(src))
+    call_block = cfg.block_of_instruction[0]
+    f_block = cfg.block_of_instruction[2]
+    after_call = cfg.block_of_instruction[1]
+    assert f_block in cfg.block(call_block).successors
+    assert after_call in cfg.block(f_block).successors
+
+
+def test_summary_fields():
+    cfg = build_cfg(assemble("nop\nhalt"))
+    s = cfg.summary()
+    assert s["blocks"] == len(cfg)
+    assert s["instructions"] == 2
+
+
+def test_workload_cfgs_build(request):
+    from repro.workloads import list_workloads, load_workload
+
+    for name in list_workloads():
+        wl = load_workload(name)
+        cfg = build_cfg(wl.program)
+        assert len(cfg) >= 3, name
+        # Every non-halt block has at least one successor.
+        for b in cfg.blocks:
+            last = wl.program[b.end - 1]
+            if last.op.value != "halt":
+                assert b.successors, (name, b.bid)

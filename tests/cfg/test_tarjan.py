@@ -1,0 +1,80 @@
+"""Tests for Tarjan SCC against networkx as an oracle."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.cfg import condensation_order, strongly_connected_components
+
+
+def _canonical(components):
+    return sorted(tuple(sorted(c)) for c in components)
+
+
+class TestSmallGraphs:
+    def test_single_node(self):
+        assert strongly_connected_components({0: []}) == [[0]]
+
+    def test_self_loop(self):
+        assert strongly_connected_components({0: [0]}) == [[0]]
+
+    def test_two_cycle(self):
+        comps = strongly_connected_components({0: [1], 1: [0]})
+        assert _canonical(comps) == [(0, 1)]
+
+    def test_chain(self):
+        comps = condensation_order({0: [1], 1: [2], 2: []})
+        assert comps == [[0], [1], [2]]
+
+    def test_diamond_with_cycle(self):
+        g = {0: [1, 2], 1: [3], 2: [3], 3: [1]}  # 1-3 cycle
+        comps = _canonical(strongly_connected_components(g))
+        assert (1, 3) in comps
+        assert (0,) in comps and (2,) in comps
+
+
+class TestTopologicalOrder:
+    def test_condensation_order_is_topological(self):
+        g = {0: [1], 1: [2, 3], 2: [1], 3: [4], 4: []}
+        order = condensation_order(g)
+        pos = {}
+        for i, comp in enumerate(order):
+            for n in comp:
+                pos[n] = i
+        for u, vs in g.items():
+            for v in vs:
+                if pos[u] != pos[v]:
+                    assert pos[u] < pos[v]
+
+
+def _random_graph(seed, n=12, p=0.2):
+    rng = as_rng(seed)
+    return {
+        u: [v for v in range(n) if u != v and rng.random() < p]
+        for u in range(n)
+    }
+
+
+class TestAgainstNetworkx:
+    @given(st.integers(0, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_components_match(self, seed):
+        g = _random_graph(seed)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(g)
+        nxg.add_edges_from((u, v) for u, vs in g.items() for v in vs)
+        expected = _canonical(nx.strongly_connected_components(nxg))
+        got = _canonical(strongly_connected_components(g))
+        assert got == expected
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_order_respects_edges(self, seed):
+        g = _random_graph(seed)
+        order = condensation_order(g)
+        pos = {n: i for i, comp in enumerate(order) for n in comp}
+        for u, vs in g.items():
+            for v in vs:
+                assert pos[u] <= pos[v]

@@ -1,0 +1,75 @@
+"""Shared fixtures: small hand-built netlists and the generated pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netlist import (
+    EndpointKind,
+    GateType,
+    Netlist,
+    PipelineConfig,
+    TimingLibrary,
+    generate_pipeline,
+)
+
+
+@pytest.fixture(scope="session")
+def library() -> TimingLibrary:
+    return TimingLibrary()
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    """The default generated 6-stage pipeline (shared; treat as read-only)."""
+    return generate_pipeline()
+
+
+@pytest.fixture(scope="session")
+def small_pipeline():
+    """A reduced pipeline for faster end-to-end tests."""
+    return generate_pipeline(
+        PipelineConfig(
+            data_width=8,
+            mult_width=4,
+            shift_bits=3,
+            ctrl_regs=10,
+            cloud_gates=60,
+            seed=7,
+        )
+    )
+
+
+def build_chain_netlist() -> Netlist:
+    """in -> NOT -> BUF -> DFF, a single unambiguous timing path."""
+    nl = Netlist("chain", num_stages=1)
+    a = nl.add_input("in", 0, EndpointKind.CONTROL)
+    g1 = nl.add_gate("n1", GateType.NOT, (a,), 0)
+    g2 = nl.add_gate("b1", GateType.BUF, (g1,), 0)
+    nl.add_dff("ff", g2, 0, EndpointKind.CONTROL)
+    return nl
+
+
+def build_diamond_netlist() -> Netlist:
+    """Two reconvergent paths of different depth into one flip-flop.
+
+    in -> NOT -> AND \\
+    in ----------- AND -> DFF   (short path: in feeds AND directly)
+    """
+    nl = Netlist("diamond", num_stages=1)
+    a = nl.add_input("in", 0, EndpointKind.CONTROL)
+    n1 = nl.add_gate("n1", GateType.NOT, (a,), 0)
+    n2 = nl.add_gate("n2", GateType.NOT, (n1,), 0)
+    g = nl.add_gate("and", GateType.AND2, (n2, a), 0)
+    nl.add_dff("ff", g, 0, EndpointKind.CONTROL)
+    return nl
+
+
+@pytest.fixture
+def chain_netlist() -> Netlist:
+    return build_chain_netlist()
+
+
+@pytest.fixture
+def diamond_netlist() -> Netlist:
+    return build_diamond_netlist()

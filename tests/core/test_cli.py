@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["estimate", "doom3"])
+
+
+class TestLightCommands:
+    def test_list(self):
+        code, text = _run(["list"])
+        assert code == 0
+        names = text.split()
+        assert len(names) == 12
+        assert "gsm.decode" in names
+
+    def test_info(self):
+        code, text = _run(["info"])
+        assert code == 0
+        assert "working_frequency_mhz" in text
+        assert "penalty_cycles" in text
+
+
+@pytest.mark.slow
+class TestEstimate:
+    def test_estimate_json(self):
+        code, text = _run(
+            ["estimate", "stringsearch", "--max-instructions", "60000",
+             "--json"]
+        )
+        assert code == 0
+        row = json.loads(text)
+        assert row["benchmark"] == "stringsearch"
+        assert 0.0 <= row["error_rate_mean_pct"] <= 5.0
+
+    def test_estimate_human(self):
+        code, text = _run(
+            ["estimate", "stringsearch", "--max-instructions", "60000"]
+        )
+        assert code == 0
+        assert "stringsearch" in text
+        assert "net performance" in text

@@ -1,0 +1,43 @@
+"""End-to-end CLI tests (reduced instruction budgets)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestSweep:
+    def test_sweep_output_structure(self):
+        code, text = _run(
+            [
+                "sweep",
+                "tiff2bw",
+                "--points",
+                "1.05,1.20",
+                "--max-instructions",
+                "60000",
+            ]
+        )
+        assert code == 0
+        lines = [l for l in text.splitlines() if l.strip()]
+        assert lines[0].split() == ["spec", "MHz", "ER%", "perf%"]
+        assert len(lines) == 3  # header + two sweep points
+        # Error rate grows with speculation.
+        er_low = float(lines[1].split()[2])
+        er_high = float(lines[2].split()[2])
+        assert er_high >= er_low
+
+    def test_sweep_rejects_empty_points(self):
+        code, text = _run(
+            ["sweep", "tiff2bw", "--points", ",", "--max-instructions",
+             "1000"]
+        )
+        assert code == 2
+        assert "no sweep points" in text

@@ -1,0 +1,105 @@
+"""Tests for the Monte Carlo chip-sampling validator."""
+
+import numpy as np
+import pytest
+
+from repro.core import MonteCarloValidator, ProcessorModel
+from repro.cpu import assemble
+from repro.netlist import PipelineConfig, generate_pipeline
+
+SRC = """
+    li r1, 30
+loop:
+    add r2, r2, r1
+    mul r3, r2, r1
+    subcc r1, r1, 1
+    bne loop
+    halt
+"""
+
+
+@pytest.fixture(scope="module")
+def proc():
+    pipeline = generate_pipeline(
+        PipelineConfig(
+            data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+            cloud_gates=60, seed=7,
+        )
+    )
+    return ProcessorModel(pipeline=pipeline)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return assemble(SRC, name="mc-toy")
+
+
+class TestValidator:
+    def test_result_shape(self, proc, program):
+        mc = MonteCarloValidator(proc, n_chips=6, windows_per_block=3)
+        result = mc.estimate(program, max_instructions=10_000)
+        assert result.chip_error_rates.shape == (6,)
+        assert ((result.chip_error_rates >= 0)
+                & (result.chip_error_rates <= 1)).all()
+        assert result.total_instructions > 100
+        assert result.windows_analyzed > 0
+        assert result.mean_percent >= 0.0
+        assert result.sd_percent >= 0.0
+
+    def test_deterministic_for_seed(self, proc, program):
+        mc = MonteCarloValidator(proc, n_chips=4, windows_per_block=2)
+        r1 = mc.estimate(program, max_instructions=5_000, seed=3)
+        r2 = mc.estimate(program, max_instructions=5_000, seed=3)
+        np.testing.assert_array_equal(
+            r1.chip_error_rates, r2.chip_error_rates
+        )
+
+    def test_slow_clock_no_errors(self, program):
+        pipeline = generate_pipeline(
+            PipelineConfig(
+                data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+                cloud_gates=60, seed=7,
+            )
+        )
+        relaxed = ProcessorModel(
+            pipeline=pipeline, clock_period_override=50_000.0
+        )
+        mc = MonteCarloValidator(relaxed, n_chips=4, windows_per_block=2)
+        result = mc.estimate(program, max_instructions=5_000)
+        assert result.mean_percent == 0.0
+
+    def test_fast_clock_all_errors(self, program):
+        pipeline = generate_pipeline(
+            PipelineConfig(
+                data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+                cloud_gates=60, seed=7,
+            )
+        )
+        brutal = ProcessorModel(
+            pipeline=pipeline, clock_period_override=150.0
+        )
+        mc = MonteCarloValidator(brutal, n_chips=4, windows_per_block=2)
+        result = mc.estimate(program, max_instructions=5_000)
+        assert result.mean_percent > 50.0
+
+    def test_error_rate_monotone_in_frequency(self, program):
+        pipeline = generate_pipeline(
+            PipelineConfig(
+                data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+                cloud_gates=60, seed=7,
+            )
+        )
+        rates = []
+        for period in (700.0, 550.0, 400.0):
+            p = ProcessorModel(
+                pipeline=pipeline, clock_period_override=period
+            )
+            mc = MonteCarloValidator(p, n_chips=6, windows_per_block=2)
+            rates.append(
+                mc.estimate(program, max_instructions=5_000).mean_percent
+            )
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_chip_count_validated(self, proc):
+        with pytest.raises(ValueError):
+            MonteCarloValidator(proc, n_chips=1)

@@ -1,0 +1,80 @@
+"""Tests for the ProcessorModel bundle."""
+
+import pytest
+
+from repro.core import ProcessorModel, default_processor
+from repro.cpu import PipelineFlush
+from repro.netlist import EndpointKind, PipelineConfig, generate_pipeline
+
+
+@pytest.fixture(scope="module")
+def proc():
+    pl = generate_pipeline(
+        PipelineConfig(
+            data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+            cloud_gates=60, seed=7,
+        )
+    )
+    return ProcessorModel(pipeline=pl)
+
+
+class TestOperatingPoint:
+    def test_speculation_relation(self, proc):
+        assert proc.working_frequency_mhz == pytest.approx(
+            proc.speculation * proc.baseline_frequency_mhz
+        )
+
+    def test_droop_guardband_slows_baseline(self, proc):
+        tight = ProcessorModel(pipeline=proc.pipeline, droop_guardband=1.0)
+        assert proc.baseline_period > tight.baseline_period
+
+    def test_period_override(self, proc):
+        p = ProcessorModel(
+            pipeline=proc.pipeline, clock_period_override=1234.0
+        )
+        assert p.clock_period == 1234.0
+
+    def test_baseline_below_sta_fmax(self, proc):
+        # SSTA yield + droop guardband must be pessimistic vs plain STA.
+        assert proc.baseline_frequency_mhz < proc.sta.max_frequency_mhz()
+
+    def test_describe_fields(self, proc):
+        d = proc.describe()
+        assert d["stages"] == 6
+        assert d["penalty_cycles"] == 24.0
+        assert d["working_frequency_mhz"] > d["baseline_frequency_mhz"]
+
+
+class TestAnalyzers:
+    def test_control_analyzer_restricted(self, proc):
+        sa = proc.control_analyzer.stage_analyzer
+        assert sa.endpoint_kind == EndpointKind.CONTROL
+
+    def test_data_analyzer_restricted(self, proc):
+        sa = proc.data_analyzer.stage_analyzer
+        assert sa.endpoint_kind == EndpointKind.DATA
+
+    def test_analyzers_cached(self, proc):
+        assert proc.control_analyzer is proc.control_analyzer
+
+    def test_performance_uses_scheme_penalty(self, proc):
+        flush = ProcessorModel(pipeline=proc.pipeline, scheme=PipelineFlush())
+        assert flush.performance.penalty_cycles == 7.0
+        assert proc.performance.penalty_cycles == 24.0
+
+    def test_control_data_covariance_positive(self, proc):
+        cov = proc.control_data_covariance(10.0, 20.0)
+        assert 0.0 < cov < 200.0
+
+
+class TestDefaults:
+    def test_default_processor_matches_paper_scale(self):
+        p = default_processor()
+        # Calibrated near LEON3's 718 MHz / 825 MHz operating points.
+        assert 450 < p.baseline_frequency_mhz < 800
+        assert p.speculation == 1.15
+        assert p.scheme.name == "replay-half-frequency"
+
+    def test_invalid_speculation(self):
+        with pytest.raises(ValueError):
+            ProcessorModel(speculation=0.0)

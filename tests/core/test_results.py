@@ -1,0 +1,91 @@
+"""Tests for the ErrorRateReport container (pure computation paths)."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ErrorRateReport
+from repro.sta import Gaussian
+from repro.stats import PoissonGaussianMixture
+from repro.stats.chen_stein import ChenSteinBound
+from repro.stats.stein import SteinNormalBound
+
+
+@pytest.fixture
+def report():
+    lam = Gaussian(500.0, 2500.0)
+    return ErrorRateReport(
+        program="toy",
+        total_instructions=100_000,
+        static_instructions=50,
+        basic_blocks=7,
+        characterized_pairs=12,
+        lam=lam,
+        mixture=PoissonGaussianMixture(lam),
+        stein=SteinNormalBound(
+            mean=500.0, variance=2500.0, b1=0.2, b2=0.1,
+            d_wasserstein=0.3, d_kolmogorov=0.268,
+            d_kolmogorov_conservative=0.49, d_kolmogorov_empirical=0.03,
+        ),
+        chen_stein=ChenSteinBound(
+            b1_samples=np.array([4.0, 5.0]),
+            b2_samples=np.array([2.0, 3.0]),
+            b1_worst=6.0,
+            b2_worst=4.0,
+            lambda_mean=500.0,
+            d_kolmogorov=0.02,
+        ),
+        training_seconds=1.5,
+        simulation_seconds=2.5,
+    )
+
+
+class TestScalarViews:
+    def test_error_rate_mean_and_sd(self, report):
+        assert report.error_rate_mean == pytest.approx(0.5)  # 500/100k %
+        expected_sd = 100.0 * report.mixture.std / 100_000
+        assert report.error_rate_sd == pytest.approx(expected_sd)
+
+    def test_dk_columns(self, report):
+        assert report.d_k_lambda == 0.03  # measured distance
+        assert report.d_k_lambda_bound == 0.268  # Eq. 13 as printed
+        assert report.d_k_rate == 0.02
+
+    def test_table_row(self, report):
+        row = report.table_row()
+        assert row["benchmark"] == "toy"
+        assert row["total_s"] == 4.0
+        assert row["error_rate_mean_pct"] == pytest.approx(0.5)
+
+    def test_str_readable(self, report):
+        text = str(report)
+        assert "toy" in text and "0.5" in text
+
+
+class TestCurves:
+    def test_cdf_at_rate_scale(self, report):
+        # CDF of the rate equals the count CDF at rate * n.
+        rate = 0.5  # percent
+        assert report.error_rate_cdf(rate) == pytest.approx(
+            report.mixture.cdf(500.0), abs=1e-12
+        )
+
+    def test_cdf_monotone(self, report):
+        rates = np.linspace(0.3, 0.7, 50)
+        cdf = report.error_rate_cdf(rates)
+        assert (np.diff(cdf) >= -1e-12).all()
+
+    def test_bounds_bracket(self, report):
+        rates = np.linspace(0.3, 0.7, 40)
+        lower, upper = report.error_rate_bounds(rates)
+        cdf = report.error_rate_cdf(rates)
+        assert (lower <= cdf + 0.02).all()
+        assert (upper >= cdf - 0.02).all()
+
+    def test_grid_structure(self, report):
+        grid = report.error_rate_grid(25)
+        assert set(grid) == {"rates_percent", "cdf", "lower", "upper"}
+        assert all(len(v) == 25 for v in grid.values())
+        assert grid["rates_percent"][0] >= 0.0
+        # Grid is centred on the mean.
+        mid = grid["rates_percent"][len(grid["rates_percent"]) // 2]
+        assert mid == pytest.approx(report.error_rate_mean, rel=0.2)

@@ -1,0 +1,192 @@
+"""Tests for the functional instruction-set simulator."""
+
+import pytest
+
+from repro.cpu import (
+    FunctionalSimulator,
+    MachineState,
+    Opcode,
+    assemble,
+)
+from repro.cpu.isa import WORD_MASK
+
+
+def _run(src, setup=None, max_instructions=100000):
+    program = assemble(src)
+    sim = FunctionalSimulator(program)
+    state = MachineState()
+    if setup:
+        setup(state)
+    result = sim.run(state, max_instructions=max_instructions)
+    return state, result
+
+
+class TestALU:
+    def test_add_sub_wraparound(self):
+        state, _ = _run("li r1, 0xFFFF\nadd r2, r1, 1\nsub r3, r0, 1\nhalt")
+        assert state.regs[2] == 0
+        assert state.regs[3] == 0xFFFF
+
+    def test_r0_is_hardwired_zero(self):
+        state, _ = _run("li r0, 123\nadd r0, r0, 5\nmov r1, r0\nhalt")
+        assert state.regs[0] == 0
+        assert state.regs[1] == 0
+
+    def test_logic_ops(self):
+        state, _ = _run(
+            "li r1, 0xF0F0\nli r2, 0x0FF0\n"
+            "and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt"
+        )
+        assert state.regs[3] == 0x00F0
+        assert state.regs[4] == 0xFFF0
+        assert state.regs[5] == 0xFF00
+
+    def test_shifts(self):
+        state, _ = _run(
+            "li r1, 0x8001\nsll r2, r1, 1\nsrl r3, r1, 1\nsra r4, r1, 1\nhalt"
+        )
+        assert state.regs[2] == 0x0002
+        assert state.regs[3] == 0x4000
+        assert state.regs[4] == 0xC000  # sign extended
+
+    def test_shift_amount_masked(self):
+        state, _ = _run("li r1, 2\nsll r2, r1, 17\nhalt")
+        assert state.regs[2] == 4  # 17 & 15 == 1
+
+    def test_mul_low_half(self):
+        state, _ = _run("li r1, 300\nli r2, 300\nmul r3, r1, r2\nhalt")
+        assert state.regs[3] == (300 * 300) & WORD_MASK
+
+
+class TestFlags:
+    def test_zero_and_negative(self):
+        state, _ = _run("li r1, 5\nsubcc r2, r1, 5\nhalt")
+        assert state.flags.z and not state.flags.n
+
+        state, _ = _run("li r1, 3\nsubcc r2, r1, 5\nhalt")
+        assert not state.flags.z and state.flags.n
+
+    def test_carry_semantics(self):
+        # Addition carry-out.
+        state, _ = _run("li r1, 0xFFFF\naddcc r2, r1, 1\nhalt")
+        assert state.flags.c
+        # Subtraction borrow.
+        state, _ = _run("li r1, 3\nsubcc r2, r1, 5\nhalt")
+        assert state.flags.c
+        state, _ = _run("li r1, 7\nsubcc r2, r1, 5\nhalt")
+        assert not state.flags.c
+
+    def test_overflow(self):
+        state, _ = _run("li r1, 0x7FFF\naddcc r2, r1, 1\nhalt")
+        assert state.flags.v
+
+    def test_non_cc_ops_preserve_flags(self):
+        state, _ = _run("li r1, 5\nsubcc r2, r1, 5\nadd r3, r1, 1\nhalt")
+        assert state.flags.z  # plain add must not clobber icc
+
+
+class TestControlFlow:
+    def test_loop_sum(self):
+        src = """
+            li r1, 10
+            li r2, 0
+        loop:
+            add r2, r2, r1
+            subcc r1, r1, 1
+            bne loop
+            halt
+        """
+        state, result = _run(src)
+        assert state.regs[2] == 55
+        assert result.halted
+
+    def test_signed_branches(self):
+        src = """
+            li r1, 0xFFFF       ; -1
+            cmp r1, 1
+            blt less
+            li r2, 0
+            halt
+        less:
+            li r2, 1
+            halt
+        """
+        state, _ = _run(src)
+        assert state.regs[2] == 1  # -1 < 1 signed
+
+    def test_unsigned_branches(self):
+        src = """
+            li r1, 0xFFFF
+            cmp r1, 1
+            bcs below       ; unsigned <
+            li r2, 0
+            halt
+        below:
+            li r2, 1
+            halt
+        """
+        state, _ = _run(src)
+        assert state.regs[2] == 0  # 0xFFFF is large unsigned
+
+    def test_call_and_ret(self):
+        src = """
+            li r1, 5
+            call double
+            mov r3, r2
+            halt
+        double:
+            add r2, r1, r1
+            ret
+        """
+        state, _ = _run(src)
+        assert state.regs[3] == 10
+
+    def test_budget_exhaustion(self):
+        state, result = _run("spin: ba spin\nhalt", max_instructions=50)
+        assert result.instructions == 50
+        assert not result.halted
+
+    def test_runaway_pc_raises(self):
+        program = assemble("nop\nnop")  # no halt: falls off the end
+        sim = FunctionalSimulator(program)
+        with pytest.raises(RuntimeError, match="out of range"):
+            sim.run(MachineState())
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        src = """
+            li r1, 0x1234
+            st r1, [r0+100]
+            ld r2, [r0+100]
+            halt
+        """
+        state, _ = _run(src)
+        assert state.regs[2] == 0x1234
+
+    def test_indexed_addressing(self):
+        def setup(state):
+            state.write_mem(205, 77)
+
+        state, _ = _run("li r1, 200\nld r2, [r1+5]\nhalt", setup=setup)
+        assert state.regs[2] == 77
+
+
+class TestListener:
+    def test_listener_sees_every_instruction(self):
+        program = assemble("li r1, 3\nadd r2, r1, 1\nhalt")
+        sim = FunctionalSimulator(program)
+        seen = []
+        sim.run(
+            MachineState(),
+            listener=lambda pc, a, b, r, nxt: seen.append((pc, a, b, r)),
+        )
+        assert [s[0] for s in seen] == [0, 1, 2]
+        assert seen[1] == (1, 3, 1, 4)
+
+    def test_step_records(self):
+        program = assemble("li r1, 7\nhalt")
+        sim = FunctionalSimulator(program)
+        state = MachineState()
+        rec = sim.step(state)
+        assert rec.index == 0 and rec.result == 7 and rec.next_pc == 1

@@ -1,0 +1,145 @@
+"""Tests for the ISA definitions and the assembler."""
+
+import pytest
+
+from repro.cpu import (
+    AssemblyError,
+    Instruction,
+    Opcode,
+    OpClass,
+    assemble,
+    op_class,
+)
+
+class TestInstruction:
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError, match="rd"):
+            Instruction(Opcode.ADD, rd=16, rs1=0, rs2=0)
+        with pytest.raises(ValueError, match="rs2"):
+            Instruction(Opcode.ADD, rd=0, rs1=0, rs2=99)
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError, match="target"):
+            Instruction(Opcode.BEQ)
+
+    def test_op_class_mapping(self):
+        assert op_class(Opcode.ADD) == OpClass.ADDER
+        assert op_class(Opcode.MUL) == OpClass.MULT
+        assert op_class(Opcode.LD) == OpClass.LOAD
+        assert op_class(Opcode.BEQ) == OpClass.CONTROL
+        assert Instruction(Opcode.XOR, rs2=1).op_class == OpClass.LOGIC
+
+    def test_branch_predicates(self):
+        ba = Instruction(Opcode.BA, target="x")
+        beq = Instruction(Opcode.BEQ, target="x")
+        add = Instruction(Opcode.ADD, rs2=1)
+        assert ba.is_branch and not ba.is_conditional_branch
+        assert beq.is_branch and beq.is_conditional_branch
+        assert not add.is_branch
+
+    def test_str_roundtrippable_mnemonics(self):
+        ins = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3, set_cc=True)
+        assert str(ins) == "addcc r1, r2, r3"
+        assert str(Instruction(Opcode.LD, rd=4, rs1=5, imm=8)) == (
+            "ld r4, [r5+8]"
+        )
+
+
+class TestAssembler:
+    def test_three_operand_register_form(self):
+        p = assemble("add r1, r2, r3\nhalt")
+        assert p[0] == Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+
+    def test_immediate_form(self):
+        p = assemble("add r1, r2, 42\nhalt")
+        assert p[0].rs2 is None and p[0].imm == 42
+
+    def test_cc_suffix(self):
+        p = assemble("subcc r1, r2, r3\nhalt")
+        assert p[0].set_cc
+
+    def test_cmp_alias(self):
+        p = assemble("cmp r2, r3\nhalt")
+        assert p[0] == Instruction(
+            Opcode.SUB, rd=0, rs1=2, rs2=3, set_cc=True
+        )
+
+    def test_mov_inc_dec_clr_aliases(self):
+        p = assemble("mov r1, r2\ninc r3\ndec r4\nclr r5\nhalt")
+        assert p[0] == Instruction(Opcode.ADD, rd=1, rs1=2, imm=0)
+        assert p[1] == Instruction(Opcode.ADD, rd=3, rs1=3, imm=1)
+        assert p[2] == Instruction(Opcode.SUB, rd=4, rs1=4, imm=1)
+        assert p[3] == Instruction(Opcode.LI, rd=5, imm=0)
+
+    def test_memory_operands(self):
+        p = assemble("ld r1, [r2+4]\nst r3, [r4-2]\nld r5, [r6+0x10]\nhalt")
+        assert (p[0].rs1, p[0].imm) == (2, 4)
+        assert (p[1].rs1, p[1].imm) == (4, -2)
+        assert p[2].imm == 16
+
+    def test_labels_and_branches(self):
+        p = assemble("top: inc r1\nbne top\nhalt")
+        assert p.labels["top"] == 0
+        assert p.target_of(1) == 0
+
+    def test_label_on_own_line(self):
+        p = assemble("start:\n  nop\n  ba start\n  halt")
+        assert p.labels["start"] == 0
+
+    def test_comments_stripped(self):
+        p = assemble("nop ; comment\nnop # other\nhalt")
+        assert len(p) == 3
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("x: nop\nx: nop\nhalt")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblyError, match="undefined"):
+            assemble("ba nowhere\nhalt")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1\nhalt")
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r99, r1, r2\nhalt")
+
+    def test_bad_memory_operand_rejected(self):
+        with pytest.raises(AssemblyError, match="memory operand"):
+            assemble("ld r1, (r2)\nhalt")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("; nothing here")
+
+
+class TestProgram:
+    def test_tokens_unique_and_stable(self):
+        src = "add r1, r2, r3\nadd r1, r2, r3\nhalt"
+        p1 = assemble(src)
+        p2 = assemble(src)
+        # Identical instructions at different addresses get distinct tokens.
+        assert p1.token_of(0) != p1.token_of(1)
+        # Tokens are stable across assemblies (and processes).
+        assert [p1.token_of(i) for i in range(3)] == [
+            p2.token_of(i) for i in range(3)
+        ]
+
+    def test_successors_fallthrough_and_branch(self):
+        p = assemble("top: inc r1\nbne top\nhalt")
+        assert p.successors_of(0) == [1]
+        assert sorted(p.successors_of(1)) == [0, 2]
+        assert p.successors_of(2) == []
+
+    def test_successors_call_and_ret(self):
+        p = assemble("call f\nhalt\nf: ret")
+        assert p.successors_of(0) == [2]  # into the function
+        assert p.successors_of(2) == [1]  # back after the call
+
+    def test_listing_contains_labels(self):
+        p = assemble("loop: inc r1\nba loop\nhalt")
+        listing = p.listing()
+        assert "loop:" in listing
+        assert "ba loop" in listing

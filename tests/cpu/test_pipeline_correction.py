@@ -1,0 +1,126 @@
+"""Tests for the pipeline scheduler and correction schemes."""
+
+import pytest
+
+from repro.cpu import (
+    FunctionalSimulator,
+    InstructionWindow,
+    MachineState,
+    NoCorrection,
+    PipelineFlush,
+    PipelineScheduler,
+    ReplayHalfFrequency,
+    assemble,
+)
+from repro.cpu.interpreter import StepRecord
+
+
+@pytest.fixture
+def toy_records():
+    program = assemble(
+        "li r1, 0x00FF\nadd r2, r1, r1\nld r3, [r2+4]\nst r3, [r0+9]\nhalt"
+    )
+    sim = FunctionalSimulator(program)
+    state = MachineState()
+    state.write_mem((0x00FF * 2 + 4) & 0xFFFF, 0xBEEF)
+    records = [sim.step(state) for _ in range(4)]
+    return program, records
+
+
+class TestScheduler:
+    def test_schedule_length(self, toy_records):
+        program, records = toy_records
+        sched = PipelineScheduler(program).schedule(
+            InstructionWindow(records)
+        )
+        assert len(sched) == len(records) + 5  # depth 6
+
+    def test_diagonal_occupancy(self, toy_records):
+        program, records = toy_records
+        scheduler = PipelineScheduler(program)
+        sched = scheduler.schedule(InstructionWindow(records))
+        # Record i occupies stage s at cycle i + s.
+        for i, rec in enumerate(records):
+            token = program.token_of(rec.index)
+            for s in range(6):
+                assert sched[i + s][s].token == token
+
+    def test_bubbles_have_zero_token(self, toy_records):
+        program, records = toy_records
+        sched = PipelineScheduler(program).schedule(
+            InstructionWindow([records[0], None, records[1]])
+        )
+        assert sched[1][0].token == 0  # the bubble in IF at cycle 1
+
+    def test_operand_values_in_ex(self, toy_records):
+        program, records = toy_records
+        sched = PipelineScheduler(program).schedule(
+            InstructionWindow(records)
+        )
+        add = records[1]
+        occ = sched[1 + 3][3]  # the add in EX
+        assert occ.data["op_a"] == add.a
+        assert occ.data["op_b"] == add.b
+
+    def test_memory_address_in_me(self, toy_records):
+        program, records = toy_records
+        sched = PipelineScheduler(program).schedule(
+            InstructionWindow(records)
+        )
+        ld = records[2]
+        occ = sched[2 + 4][4]  # the load in ME
+        assert occ.data["ma"] == (ld.a + program[2].imm) & 0xFFFF
+        assert occ.data["mem_d"] == 0xBEEF
+
+    def test_pc_value_in_if(self, toy_records):
+        program, records = toy_records
+        sched = PipelineScheduler(program).schedule(
+            InstructionWindow(records)
+        )
+        assert sched[2][0].data["pc"] == records[2].index
+
+
+class TestWindow:
+    def test_bubble_insertion(self, toy_records):
+        _, records = toy_records
+        w = InstructionWindow(records[:3])
+        w2 = w.with_bubble_before(1)
+        assert len(w2) == 4
+        assert w2.slots[1] is None
+        assert w2.slots[2] is records[1]
+
+    def test_bubble_index_checked(self, toy_records):
+        _, records = toy_records
+        with pytest.raises(IndexError):
+            InstructionWindow(records).with_bubble_before(99)
+
+
+class TestCorrectionSchemes:
+    def test_replay_penalty_matches_paper(self):
+        # 24 cycles for the 6-stage pipeline (Section 6.1).
+        assert ReplayHalfFrequency().penalty_cycles(6) == 24.0
+
+    def test_flush_penalty(self):
+        assert PipelineFlush().penalty_cycles(6) == 7.0
+
+    def test_no_correction(self):
+        scheme = NoCorrection()
+        assert scheme.penalty_cycles(6) == 0.0
+        assert not scheme.guarantees_correctness()
+
+    def test_emulation_inserts_bubble(self, toy_records):
+        _, records = toy_records
+        w = InstructionWindow(records[:2])
+        for scheme in (ReplayHalfFrequency(), PipelineFlush()):
+            e = scheme.emulate(w, 1)
+            assert e.slots[1] is None
+            assert len(e) == 3
+
+    def test_no_correction_leaves_window(self, toy_records):
+        _, records = toy_records
+        w = InstructionWindow(records[:2])
+        assert NoCorrection().emulate(w, 1) is w
+
+    def test_correctness_guarantee_flags(self):
+        assert ReplayHalfFrequency().guarantees_correctness()
+        assert PipelineFlush().guarantees_correctness()

@@ -1,0 +1,115 @@
+"""Property tests: assembler/listing round trip and random programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.cpu import (
+    FunctionalSimulator,
+    Instruction,
+    MachineState,
+    Opcode,
+    assemble,
+)
+from repro.cpu.program import Program
+from repro.workloads import list_workloads, load_workload
+
+
+class TestListingRoundTrip:
+    @pytest.mark.parametrize("name", list_workloads())
+    def test_workload_listings_reassemble(self, name):
+        """``Program.listing()`` is valid assembler input and reproduces
+        the exact instruction stream (labels may be renamed)."""
+        program = load_workload(name).program
+        again = assemble(program.listing(), name=name)
+        assert len(again) == len(program)
+        for a, b in zip(program.instructions, again.instructions):
+            assert a.op == b.op
+            assert (a.rd, a.rs1, a.rs2) == (b.rd, b.rs1, b.rs2)
+            assert a.set_cc == b.set_cc
+            # Immediates must agree modulo the word mask (listing prints
+            # the stored value).
+            assert (a.imm & 0xFFFF) == (b.imm & 0xFFFF)
+        # Branch targets resolve to the same instruction indices.
+        for i in range(len(program)):
+            assert program.target_of(i) == again.target_of(i)
+
+    @pytest.mark.parametrize("name", ["bitcount", "gsm.decode"])
+    def test_reassembled_program_behaves_identically(self, name):
+        workload = load_workload(name)
+        again = assemble(workload.program.listing(), name=name)
+        dataset = workload.dataset("small")
+        s1, s2 = MachineState(), MachineState()
+        workload.generate(s1, dataset)
+        workload.generate(s2, dataset)
+        FunctionalSimulator(workload.program).run(
+            s1, max_instructions=workload.budget("small")
+        )
+        FunctionalSimulator(again).run(
+            s2, max_instructions=workload.budget("small")
+        )
+        assert s1.regs == s2.regs
+        assert s1.memory == s2.memory
+
+
+_ALU_OPS = [Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+            Opcode.SLL, Opcode.SRL, Opcode.MUL]
+
+
+def _random_program(seed: int, n: int = 12) -> Program:
+    """Random straight-line program with a halt (always terminates)."""
+    rng = as_rng(seed)
+    instructions = []
+    for _ in range(n):
+        op = _ALU_OPS[int(rng.integers(len(_ALU_OPS)))]
+        if rng.random() < 0.5:
+            instructions.append(
+                Instruction(
+                    op,
+                    rd=int(rng.integers(1, 16)),
+                    rs1=int(rng.integers(16)),
+                    rs2=int(rng.integers(16)),
+                    set_cc=bool(rng.integers(2)),
+                )
+            )
+        else:
+            instructions.append(
+                Instruction(
+                    op,
+                    rd=int(rng.integers(1, 16)),
+                    rs1=int(rng.integers(16)),
+                    imm=int(rng.integers(1 << 16)),
+                )
+            )
+    instructions.append(Instruction(Opcode.HALT))
+    return Program(instructions, name=f"rand{seed}")
+
+
+class TestRandomPrograms:
+    @given(st.integers(0, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_listing_roundtrip_random(self, seed):
+        program = _random_program(seed)
+        again = assemble(program.listing())
+        assert [str(i) for i in again.instructions] == [
+            str(i) for i in program.instructions
+        ]
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_random_program_executes_deterministically(self, seed):
+        program = _random_program(seed)
+        s1, s2 = MachineState(), MachineState()
+        FunctionalSimulator(program).run(s1)
+        FunctionalSimulator(program).run(s2)
+        assert s1.regs == s2.regs
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_r0_always_zero_after_random_program(self, seed):
+        program = _random_program(seed)
+        state = MachineState()
+        FunctionalSimulator(program).run(state)
+        assert state.regs[0] == 0
+        assert all(0 <= v <= 0xFFFF for v in state.regs)

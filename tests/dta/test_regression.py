@@ -1,0 +1,114 @@
+"""Tests for the CART regression tree and bagged ensemble."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.dta.regression import BaggedTrees, RegressionTree
+
+
+def _piecewise(x):
+    """A step function linear models cannot fit."""
+    return np.where(x[:, 0] <= 5.0, 10.0, 50.0) + np.where(
+        x[:, 1] <= 2.0, 0.0, 7.0
+    )
+
+
+class TestRegressionTree:
+    def test_fits_constant(self):
+        x = np.zeros((10, 2))
+        y = np.full(10, 3.5)
+        t = RegressionTree().fit(x, y)
+        assert t.predict(np.zeros((1, 2)))[0] == pytest.approx(3.5)
+        assert t.n_nodes == 1
+
+    def test_fits_step_function_exactly(self):
+        rng = as_rng(0)
+        x = rng.uniform(0, 10, size=(300, 2))
+        y = _piecewise(x)
+        t = RegressionTree(max_depth=4, min_leaf=2).fit(x, y)
+        pred = t.predict(x)
+        assert np.abs(pred - y).max() < 1e-9
+
+    def test_outperforms_linear_on_piecewise(self):
+        rng = as_rng(1)
+        x = rng.uniform(0, 10, size=(400, 3))
+        y = _piecewise(x) + rng.normal(0, 0.5, size=400)
+        tree = RegressionTree(max_depth=5).fit(x, y)
+        tree_resid = float(np.std(y - tree.predict(x)))
+        coef = np.linalg.lstsq(
+            np.column_stack([np.ones(len(x)), x]), y, rcond=None
+        )[0]
+        lin_resid = float(
+            np.std(y - np.column_stack([np.ones(len(x)), x]) @ coef)
+        )
+        assert tree_resid < 0.5 * lin_resid
+
+    def test_depth_and_leaf_limits(self):
+        rng = as_rng(2)
+        x = rng.uniform(0, 1, size=(200, 1))
+        y = rng.normal(size=200)
+        t = RegressionTree(max_depth=3, min_leaf=10).fit(x, y)
+        assert t.depth() <= 3
+
+    def test_unfitted_prediction_rejected(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    @given(st.integers(0, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_predictions_within_target_range(self, seed):
+        rng = as_rng(seed)
+        x = rng.uniform(-5, 5, size=(60, 2))
+        y = rng.uniform(-10, 10, size=60)
+        t = RegressionTree().fit(x, y)
+        pred = t.predict(rng.uniform(-20, 20, size=(40, 2)))
+        # Leaf values are means of training targets.
+        assert pred.min() >= y.min() - 1e-9
+        assert pred.max() <= y.max() + 1e-9
+
+
+class TestBaggedTrees:
+    def test_reduces_variance_vs_single_tree(self):
+        rng = as_rng(3)
+        x = rng.uniform(0, 10, size=(250, 2))
+        y = _piecewise(x) + rng.normal(0, 3.0, size=250)
+        x_test = rng.uniform(0, 10, size=(200, 2))
+        y_test = _piecewise(x_test)
+        single = RegressionTree(max_depth=6, min_leaf=2).fit(x, y)
+        bagged = BaggedTrees(n_trees=9, max_depth=6, min_leaf=2).fit(x, y)
+        err_single = float(np.mean((single.predict(x_test) - y_test) ** 2))
+        err_bagged = float(np.mean((bagged.predict(x_test) - y_test) ** 2))
+        assert err_bagged < err_single * 1.1  # usually strictly smaller
+
+    def test_spread_larger_off_distribution(self):
+        rng = as_rng(4)
+        x = rng.uniform(0, 10, size=(200, 2))
+        y = _piecewise(x)
+        bagged = BaggedTrees(n_trees=9).fit(x, y)
+        _, spread_in = bagged.predict_with_spread(x[:50])
+        # Points near the split boundary disagree across members more
+        # than points deep inside a region.
+        boundary = np.column_stack(
+            [np.full(50, 5.0), rng.uniform(0, 10, 50)]
+        )
+        _, spread_boundary = bagged.predict_with_spread(boundary)
+        assert spread_boundary.mean() >= spread_in.mean() * 0.5
+
+    def test_deterministic_for_seed(self):
+        rng = as_rng(5)
+        x = rng.uniform(0, 10, size=(100, 2))
+        y = _piecewise(x)
+        p1 = BaggedTrees(seed=7).fit(x, y).predict(x)
+        p2 = BaggedTrees(seed=7).fit(x, y).predict(x)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            BaggedTrees().predict(np.zeros((1, 2)))

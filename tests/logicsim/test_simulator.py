@@ -1,0 +1,129 @@
+"""Tests for the levelized logic simulator and activity capture."""
+
+import numpy as np
+import pytest
+
+from repro.logicsim import LevelizedSimulator
+from repro.netlist import EndpointKind, GateType, Netlist
+
+
+@pytest.fixture
+def xor_netlist():
+    nl = Netlist("x", num_stages=1)
+    a = nl.add_input("a", 0, EndpointKind.CONTROL)
+    b = nl.add_input("b", 0, EndpointKind.CONTROL)
+    g = nl.add_gate("x", GateType.XOR2, (a, b), 0)
+    nl.add_dff("ff", g, 0, EndpointKind.CONTROL)
+    return nl
+
+
+def test_evaluate_combinational(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    src = np.array(
+        [[0, 0, 0], [0, 1, 0], [1, 0, 0], [1, 1, 0]], dtype=bool
+    )  # columns: a, b, ff (the flip-flop is itself a source)
+    vals = sim.evaluate(src)
+    x = xor_netlist.gate_by_name("x").gid
+    np.testing.assert_array_equal(vals[:, x], [0, 1, 1, 0])
+
+
+def test_source_order_matches_source_ids(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    names = [xor_netlist.gate(g).name for g in sim.source_ids]
+    assert names == ["a", "b", "ff"]
+
+
+def test_shape_validation(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    with pytest.raises(ValueError, match="source_values"):
+        sim.evaluate(np.zeros((4, 99), dtype=bool))
+
+
+def test_activation_is_settled_value_change(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    # a toggles every cycle, b constant: xor output toggles every cycle.
+    src = np.array([[0, 1, 0], [1, 1, 0], [0, 1, 0], [1, 1, 0]], dtype=bool)
+    tr = sim.activity(src)
+    x = xor_netlist.gate_by_name("x").gid
+    a = xor_netlist.gate_by_name("a").gid
+    b = xor_netlist.gate_by_name("b").gid
+    np.testing.assert_array_equal(tr.activated[:, a], [0, 1, 1, 1])
+    # b goes 1 at cycle 0 from flushed (0) state: activated once.
+    np.testing.assert_array_equal(tr.activated[:, b], [1, 0, 0, 0])
+    np.testing.assert_array_equal(tr.activated[:, x], [1, 1, 1, 1])
+
+
+def test_activity_with_previous_state(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    src = np.array([[0, 1, 0]], dtype=bool)
+    prev = sim.evaluate(src)[0]
+    # Same stimulus again: nothing is activated.
+    tr = sim.activity(src, previous_state=prev)
+    assert not tr.activated.any()
+
+
+def test_previous_state_shape_checked(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    src = np.array([[0, 1, 0]], dtype=bool)
+    with pytest.raises(ValueError, match="previous_state"):
+        sim.activity(src, previous_state=np.zeros(2, dtype=bool))
+
+
+def test_constant_inputs_no_activity_after_first_cycle(pipeline):
+    sim = LevelizedSimulator(pipeline.netlist)
+    row = np.zeros((1, sim.n_sources), dtype=bool)
+    row[0, ::3] = True
+    src = np.repeat(row, 5, axis=0)
+    tr = sim.activity(src)
+    assert not tr.activated[1:].any()
+
+
+def test_final_state_chains(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    src1 = np.array([[1, 0, 0]], dtype=bool)
+    tr1 = sim.activity(src1)
+    src2 = np.array([[1, 0, 0]], dtype=bool)
+    tr2 = sim.activity(src2, previous_state=tr1.final_state())
+    assert not tr2.activated.any()
+
+
+def test_vcd_accessors(xor_netlist):
+    sim = LevelizedSimulator(xor_netlist)
+    src = np.array([[1, 0, 0], [0, 0, 0]], dtype=bool)
+    tr = sim.activity(src)
+    x = xor_netlist.gate_by_name("x").gid
+    assert x in tr.activated_set(0)
+    assert tr.vcd(0)[x]
+    assert tr.is_path_activated(0, [0, x])
+    assert tr.activity_factor() > 0
+
+
+def test_pipeline_activity_depends_on_operands(pipeline):
+    """Different EX operands activate different datapath gate sets."""
+    from repro.logicsim import StageOccupancy, StimulusEncoder
+
+    sim = LevelizedSimulator(pipeline.netlist)
+    enc = StimulusEncoder(pipeline)
+
+    def trace(op_a):
+        idle = [StageOccupancy() for _ in range(6)]
+        busy = [
+            StageOccupancy(
+                token=9, data={"op_a": op_a, "op_b": 3}
+            )
+            if s == 3
+            else StageOccupancy()
+            for s in range(6)
+        ]
+        return sim.activity(enc.encode_schedule([idle, busy]))
+
+    t_small = trace(0x0001)
+    t_large = trace(0xFFFF)
+    adder_gates = [
+        g.gid
+        for g in pipeline.netlist.gates
+        if g.name.startswith("ex/add/")
+    ]
+    n_small = int(t_small.activated[1, adder_gates].sum())
+    n_large = int(t_large.activated[1, adder_gates].sum())
+    assert n_large > n_small  # long carry propagation toggles more gates

@@ -1,0 +1,123 @@
+"""Unit tests for gate primitives and vectorized evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netlist.gates import (
+    GATE_ARITY,
+    EndpointKind,
+    Gate,
+    GateType,
+    evaluate_gate,
+)
+
+COMBINATIONAL = [t for t in GateType if t.is_combinational]
+
+
+class TestGateType:
+    def test_endpoint_classification(self):
+        assert GateType.INPUT.is_endpoint
+        assert GateType.DFF.is_endpoint
+        assert not GateType.AND2.is_endpoint
+
+    def test_combinational_is_complement_of_endpoint(self):
+        for t in GateType:
+            assert t.is_combinational != t.is_endpoint
+
+    def test_arity_covers_all_types(self):
+        assert set(GATE_ARITY) == set(GateType)
+
+
+class TestGateConstruction:
+    def test_requires_correct_arity(self):
+        with pytest.raises(ValueError, match="needs 2 inputs"):
+            Gate(0, "g", GateType.AND2, (1,))
+
+    def test_endpoint_requires_kind(self):
+        with pytest.raises(ValueError, match="endpoint_kind"):
+            Gate(0, "g", GateType.INPUT, ())
+
+    def test_combinational_rejects_kind(self):
+        with pytest.raises(ValueError, match="cannot be an endpoint"):
+            Gate(0, "g", GateType.NOT, (1,), endpoint_kind=EndpointKind.DATA)
+
+    def test_valid_dff(self):
+        g = Gate(3, "ff", GateType.DFF, (1,), endpoint_kind=EndpointKind.DATA)
+        assert g.is_endpoint
+        assert g.inputs == (1,)
+
+
+class TestEvaluateGate:
+    def _bits(self, *vals):
+        return [np.array(v, dtype=bool) for v in vals]
+
+    @pytest.mark.parametrize(
+        "gtype,a,b,expected",
+        [
+            (GateType.AND2, [0, 0, 1, 1], [0, 1, 0, 1], [0, 0, 0, 1]),
+            (GateType.OR2, [0, 0, 1, 1], [0, 1, 0, 1], [0, 1, 1, 1]),
+            (GateType.NAND2, [0, 0, 1, 1], [0, 1, 0, 1], [1, 1, 1, 0]),
+            (GateType.NOR2, [0, 0, 1, 1], [0, 1, 0, 1], [1, 0, 0, 0]),
+            (GateType.XOR2, [0, 0, 1, 1], [0, 1, 0, 1], [0, 1, 1, 0]),
+            (GateType.XNOR2, [0, 0, 1, 1], [0, 1, 0, 1], [1, 0, 0, 1]),
+        ],
+    )
+    def test_two_input_truth_tables(self, gtype, a, b, expected):
+        out = evaluate_gate(gtype, self._bits(a, b))
+        np.testing.assert_array_equal(out, np.array(expected, dtype=bool))
+
+    def test_not_and_buf(self):
+        (a,) = self._bits([0, 1])
+        np.testing.assert_array_equal(
+            evaluate_gate(GateType.NOT, [a]), np.array([1, 0], dtype=bool)
+        )
+        np.testing.assert_array_equal(evaluate_gate(GateType.BUF, [a]), a)
+
+    def test_buf_returns_copy(self):
+        (a,) = self._bits([0, 1])
+        out = evaluate_gate(GateType.BUF, [a])
+        out[0] = True
+        assert not a[0]
+
+    def test_mux2_selects_b_when_high(self):
+        sel, a, b = self._bits([0, 1, 0, 1], [1, 1, 0, 0], [0, 0, 1, 1])
+        out = evaluate_gate(GateType.MUX2, [sel, a, b])
+        np.testing.assert_array_equal(out, np.array([1, 0, 0, 1], dtype=bool))
+
+    def test_maj3_truth_table(self):
+        a, b, c = self._bits(
+            [0, 0, 0, 0, 1, 1, 1, 1],
+            [0, 0, 1, 1, 0, 0, 1, 1],
+            [0, 1, 0, 1, 0, 1, 0, 1],
+        )
+        out = evaluate_gate(GateType.MAJ3, [a, b, c])
+        np.testing.assert_array_equal(
+            out, np.array([0, 0, 0, 1, 0, 1, 1, 1], dtype=bool)
+        )
+
+    def test_rejects_endpoint_types(self):
+        with pytest.raises(ValueError, match="non-combinational"):
+            evaluate_gate(GateType.DFF, self._bits([0]))
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=32))
+    def test_double_not_is_identity(self, bits):
+        a = np.array(bits, dtype=bool)
+        out = evaluate_gate(GateType.NOT, [evaluate_gate(GateType.NOT, [a])])
+        np.testing.assert_array_equal(out, a)
+
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=16),
+        st.lists(st.booleans(), min_size=1, max_size=16),
+    )
+    def test_de_morgan(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = np.array(xs[:n], dtype=bool)
+        b = np.array(ys[:n], dtype=bool)
+        nand = evaluate_gate(GateType.NAND2, [a, b])
+        or_of_nots = evaluate_gate(
+            GateType.OR2,
+            [evaluate_gate(GateType.NOT, [a]), evaluate_gate(GateType.NOT, [b])],
+        )
+        np.testing.assert_array_equal(nand, or_of_nots)

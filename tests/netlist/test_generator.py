@@ -1,0 +1,104 @@
+"""Tests for the synthetic pipeline netlist generator."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import (
+    EndpointKind,
+    PipelineConfig,
+    generate_pipeline,
+)
+from repro.netlist.generator import STAGE_NAMES
+
+
+def test_default_pipeline_validates(pipeline):
+    pipeline.netlist.validate()
+
+
+def test_six_stages(pipeline):
+    assert pipeline.num_stages == len(STAGE_NAMES) == 6
+
+
+def test_deterministic_for_seed():
+    a = generate_pipeline(PipelineConfig(seed=42))
+    b = generate_pipeline(PipelineConfig(seed=42))
+    assert len(a.netlist) == len(b.netlist)
+    assert [g.name for g in a.netlist.gates] == [g.name for g in b.netlist.gates]
+    assert [g.inputs for g in a.netlist.gates] == [
+        g.inputs for g in b.netlist.gates
+    ]
+
+
+def test_different_seeds_differ():
+    a = generate_pipeline(PipelineConfig(seed=1))
+    b = generate_pipeline(PipelineConfig(seed=2))
+    assert [g.inputs for g in a.netlist.gates] != [
+        g.inputs for g in b.netlist.gates
+    ]
+
+
+def test_every_stage_has_control_and_sources(pipeline):
+    for s in range(6):
+        assert pipeline.ctrl_src[s], f"stage {s} has no control sources"
+        assert pipeline.capture[s], f"stage {s} has no capture groups"
+
+
+def test_ex_stage_has_operand_data_sources(pipeline):
+    assert "op_a" in pipeline.data_src[3]
+    assert "op_b" in pipeline.data_src[3]
+    w = pipeline.config.data_width
+    assert len(pipeline.data_src[3]["op_a"]) == w
+
+
+def test_sources_are_endpoints(pipeline):
+    nl = pipeline.netlist
+    for gid in pipeline.all_sources():
+        assert nl.gate(gid).is_endpoint
+
+
+def test_all_sources_unique(pipeline):
+    srcs = pipeline.all_sources()
+    assert len(srcs) == len(set(srcs))
+
+
+def test_capture_groups_are_dffs_in_their_stage(pipeline):
+    nl = pipeline.netlist
+    for s in range(6):
+        for name, gids in pipeline.capture[s].items():
+            for gid in gids:
+                g = nl.gate(gid)
+                assert g.gtype.value == "dff", (s, name)
+                assert g.stage == s
+
+
+def test_endpoint_kinds_partition(pipeline):
+    nl = pipeline.netlist
+    # Operand registers are data endpoints; pipeline control state is control.
+    for gid in pipeline.data_src[3]["op_a"]:
+        assert nl.gate(gid).endpoint_kind == EndpointKind.DATA
+    for gid in pipeline.ctrl_src[3]:
+        assert nl.gate(gid).endpoint_kind == EndpointKind.CONTROL
+
+
+def test_placement_spreads_across_stage_regions(pipeline):
+    nl = pipeline.netlist
+    pitch = pipeline.config.stage_pitch
+    for g in nl.gates:
+        # Boundary registers physically sit one region to the right of
+        # their capture stage, so allow one stage of slack.
+        assert g.stage * pitch - 1e-6 <= g.x <= (g.stage + 2) * pitch + 1e-6
+    xs = nl.placements()[:, 0]
+    assert xs.max() - xs.min() > 4 * pitch  # gates span the die
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="mult_width"):
+        PipelineConfig(data_width=8, mult_width=16)
+    with pytest.raises(ValueError, match="shift_bits"):
+        PipelineConfig(data_width=4, shift_bits=5, mult_width=2)
+    with pytest.raises(ValueError):
+        PipelineConfig(ctrl_regs=0)
+
+
+def test_small_config_builds(small_pipeline):
+    assert small_pipeline.netlist.summary()["gates"] < 1500

@@ -1,0 +1,59 @@
+"""Tests for the miniature timing library."""
+
+import pytest
+
+from repro.netlist import CellTiming, GateType, TimingLibrary
+
+
+def test_delay_is_linear_in_fanout():
+    lib = TimingLibrary()
+    d1 = lib.delay(GateType.AND2, 1)
+    d2 = lib.delay(GateType.AND2, 2)
+    d3 = lib.delay(GateType.AND2, 3)
+    assert d2 - d1 == pytest.approx(d3 - d2)
+    assert d2 > d1
+
+
+def test_input_ports_are_free():
+    lib = TimingLibrary()
+    assert lib.delay(GateType.INPUT, 5) == 0.0
+
+
+def test_derate_scales_delays():
+    base = TimingLibrary()
+    slow = base.with_derate(1.2)
+    assert slow.delay(GateType.XOR2, 2) == pytest.approx(
+        1.2 * base.delay(GateType.XOR2, 2)
+    )
+    # Setup time is a constraint, not a delay — unchanged.
+    assert slow.setup_time == base.setup_time
+
+
+def test_with_derate_does_not_mutate_original():
+    base = TimingLibrary()
+    before = base.delay(GateType.NOT, 1)
+    base.with_derate(2.0)
+    assert base.delay(GateType.NOT, 1) == before
+
+
+def test_overrides_merge_over_defaults():
+    lib = TimingLibrary(cells={GateType.NOT: CellTiming(99.0, 0.0, 0.1)})
+    assert lib.delay(GateType.NOT, 1) == 99.0
+    assert lib.delay(GateType.AND2, 1) > 0  # default still present
+
+
+def test_sigma_fraction_lookup():
+    lib = TimingLibrary()
+    assert lib.sigma_fraction(GateType.XOR2) > 0
+    assert lib.sigma_fraction(GateType.INPUT) == 0.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        CellTiming(-1.0, 0.0, 0.0)
+    with pytest.raises(ValueError):
+        TimingLibrary(setup_time=-5.0)
+    with pytest.raises(ValueError):
+        TimingLibrary().with_derate(0.0)
+    with pytest.raises(ValueError):
+        TimingLibrary().delay(GateType.AND2, fanout=-1)

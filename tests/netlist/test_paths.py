@@ -1,0 +1,146 @@
+"""Tests for timing-path enumeration (Definition 3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.netlist import (
+    EndpointKind,
+    GateType,
+    Netlist,
+    PathEnumerator,
+    TimingLibrary,
+)
+
+
+def _enumerator(nl, library):
+    return PathEnumerator(nl, nl.nominal_delays(library))
+
+
+class TestChain:
+    def test_single_path(self, chain_netlist, library):
+        en = _enumerator(chain_netlist, library)
+        ff = chain_netlist.gate_by_name("ff").gid
+        paths = en.critical_paths(ff, k=5)
+        assert len(paths) == 1
+        p = paths[0]
+        names = [chain_netlist.gate(g).name for g in p.gates]
+        assert names == ["in", "n1", "b1"]
+        assert p.sink == ff
+        expected = (
+            library.delay(GateType.INPUT, 1)
+            + library.delay(GateType.NOT, 1)
+            + library.delay(GateType.BUF, 1)
+        )
+        assert p.delay == pytest.approx(expected)
+
+    def test_first_gate_is_only_endpoint(self, chain_netlist, library):
+        en = _enumerator(chain_netlist, library)
+        ff = chain_netlist.gate_by_name("ff").gid
+        p = en.worst_path(ff)
+        assert chain_netlist.gate(p.gates[0]).is_endpoint
+        assert all(
+            chain_netlist.gate(g).is_combinational for g in p.gates[1:]
+        )
+
+
+class TestDiamond:
+    def test_two_paths_ordered_by_delay(self, diamond_netlist, library):
+        en = _enumerator(diamond_netlist, library)
+        ff = diamond_netlist.gate_by_name("ff").gid
+        paths = en.critical_paths(ff, k=10)
+        assert len(paths) == 2
+        assert paths[0].delay >= paths[1].delay
+        # Long path goes through both inverters.
+        long_names = [diamond_netlist.gate(g).name for g in paths[0].gates]
+        assert long_names == ["in", "n1", "n2", "and"]
+        short_names = [diamond_netlist.gate(g).name for g in paths[1].gates]
+        assert short_names == ["in", "and"]
+
+    def test_k_limits_results(self, diamond_netlist, library):
+        en = _enumerator(diamond_netlist, library)
+        ff = diamond_netlist.gate_by_name("ff").gid
+        assert len(en.critical_paths(ff, k=1)) == 1
+
+    def test_max_arrival_matches_worst_path(self, diamond_netlist, library):
+        en = _enumerator(diamond_netlist, library)
+        ff = diamond_netlist.gate_by_name("ff").gid
+        assert en.max_arrival(ff) == pytest.approx(en.worst_path(ff).delay)
+
+
+class TestValidation:
+    def test_rejects_input_endpoint(self, chain_netlist, library):
+        en = _enumerator(chain_netlist, library)
+        inp = chain_netlist.gate_by_name("in").gid
+        with pytest.raises(ValueError, match="capture flip-flop"):
+            en.critical_paths(inp)
+
+    def test_rejects_bad_k(self, chain_netlist, library):
+        en = _enumerator(chain_netlist, library)
+        ff = chain_netlist.gate_by_name("ff").gid
+        with pytest.raises(ValueError, match="k must be"):
+            en.critical_paths(ff, k=0)
+
+    def test_rejects_mismatched_delays(self, chain_netlist):
+        with pytest.raises(ValueError, match="does not match"):
+            PathEnumerator(chain_netlist, np.zeros(3))
+
+
+def _random_dag(seed: int, n_layers: int = 4, width: int = 3) -> Netlist:
+    """Random layered DAG with one capture flip-flop."""
+    rng = as_rng(seed)
+    nl = Netlist("rand", num_stages=1)
+    layer = [
+        nl.add_input(f"i{j}", 0, EndpointKind.CONTROL) for j in range(width)
+    ]
+    for li in range(n_layers):
+        nxt = []
+        for j in range(width):
+            a, b = rng.integers(width, size=2)
+            t = [GateType.AND2, GateType.OR2, GateType.XOR2][
+                int(rng.integers(3))
+            ]
+            nxt.append(nl.add_gate(f"g{li}_{j}", t, (layer[a], layer[b]), 0))
+        layer = nxt
+    out = nl.add_gate("join", GateType.OR2, (layer[0], layer[1 % width]), 0)
+    nl.add_dff("ff", out, 0, EndpointKind.CONTROL)
+    # Tie off dangling layer gates.
+    for j, g in enumerate(layer):
+        nl.add_dff(f"tie{j}", g, 0, EndpointKind.CONTROL)
+    return nl
+
+
+class TestPathPeelingProperties:
+    @given(st.integers(0, 200))
+    @settings(max_examples=25, deadline=None)
+    def test_paths_sorted_and_consistent(self, seed):
+        library = TimingLibrary()
+        nl = _random_dag(seed)
+        en = _enumerator(nl, library)
+        ff = nl.gate_by_name("ff").gid
+        paths = en.critical_paths(ff, k=50)
+        # Non-increasing delays.
+        delays = [p.delay for p in paths]
+        assert delays == sorted(delays, reverse=True)
+        # No duplicates.
+        assert len({p.gates for p in paths}) == len(paths)
+        d = nl.nominal_delays(library)
+        for p in paths:
+            # Reported delay equals the sum of its gates' delays.
+            assert p.delay == pytest.approx(sum(d[g] for g in p.gates))
+            # Structure: consecutive gates are actually connected.
+            for up, down in zip(p.gates, p.gates[1:]):
+                assert up in nl.gate(down).inputs
+            # Last gate drives the sink's D pin.
+            assert p.gates[-1] in nl.gate(ff).inputs
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=15, deadline=None)
+    def test_worst_path_matches_arrival_analysis(self, seed):
+        library = TimingLibrary()
+        nl = _random_dag(seed)
+        en = _enumerator(nl, library)
+        ff = nl.gate_by_name("ff").gid
+        assert en.worst_path(ff).delay == pytest.approx(en.max_arrival(ff))

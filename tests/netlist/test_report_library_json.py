@@ -1,0 +1,79 @@
+"""Tests for the netlist report and timing-library JSON round trip."""
+
+import pytest
+
+from repro.netlist import CellTiming, GateType, TimingLibrary
+from repro.netlist.report import analyze_netlist
+
+
+class TestLibraryJson:
+    def test_roundtrip_identity(self):
+        lib = TimingLibrary(setup_time=40.0, derate=1.1)
+        again = TimingLibrary.from_json(lib.to_json())
+        assert again.to_json() == lib.to_json()
+        assert again.setup_time == 40.0
+        assert again.derate == 1.1
+        for t in GateType:
+            assert again.delay(t, 2) == pytest.approx(lib.delay(t, 2))
+
+    def test_overrides_survive(self):
+        lib = TimingLibrary(
+            cells={GateType.NOT: CellTiming(99.0, 1.0, 0.2)}
+        )
+        again = TimingLibrary.from_json(lib.to_json())
+        assert again.delay(GateType.NOT, 0) == pytest.approx(99.0 * 1.0)
+        assert again.sigma_fraction(GateType.NOT) == 0.2
+
+    def test_file_roundtrip(self, tmp_path):
+        lib = TimingLibrary()
+        path = tmp_path / "lib.json"
+        lib.save(path)
+        assert TimingLibrary.load(path).to_json() == lib.to_json()
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            TimingLibrary.from_json('{"cells": {"and2": {}}}')
+
+    def test_defaults_for_missing_top_level(self):
+        lib = TimingLibrary.from_json('{"cells": {}}')
+        assert lib.derate == 1.0
+
+
+class TestNetlistReport:
+    def test_structure_counts(self, pipeline, library):
+        report = analyze_netlist(pipeline.netlist, library)
+        total = sum(report.cell_counts.values())
+        assert total == len(pipeline.netlist)
+        assert report.cell_counts["dff"] > 100
+        assert report.max_depth > 10
+        assert report.mean_fanout >= 1.0
+
+    def test_stage_composition_partitions(self, pipeline):
+        report = analyze_netlist(pipeline.netlist)
+        comb = sum(
+            c["combinational"] for c in report.stage_composition.values()
+        )
+        assert comb == sum(
+            1 for g in pipeline.netlist.gates if g.is_combinational
+        )
+
+    def test_arrivals_present_with_library(self, pipeline, library):
+        report = analyze_netlist(pipeline.netlist, library)
+        assert report.endpoint_arrivals
+        (name, worst) = report.critical_endpoints(1)[0]
+        assert worst > 1000.0  # calibrated pipeline: >1 ns critical path
+
+    def test_arrivals_absent_without_library(self, pipeline):
+        report = analyze_netlist(pipeline.netlist)
+        assert report.endpoint_arrivals == {}
+
+    def test_depth_histogram_covers_all_gates(self, pipeline):
+        report = analyze_netlist(pipeline.netlist)
+        hist = report.depth_histogram()
+        assert sum(c for _, c in hist) == len(report.logic_depth)
+
+    def test_format_readable(self, pipeline, library):
+        text = analyze_netlist(pipeline.netlist, library).format()
+        assert "cell composition" in text
+        assert "stage 3" in text
+        assert "most critical endpoints" in text

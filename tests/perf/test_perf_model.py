@@ -1,0 +1,72 @@
+"""Tests for the TS performance model against the paper's quoted points."""
+
+import numpy as np
+import pytest
+
+from repro.perf import TSPerformanceModel
+
+
+@pytest.fixture
+def paper_model():
+    return TSPerformanceModel(speculation=1.15, penalty_cycles=24.0)
+
+
+class TestPaperOperatingPoints:
+    def test_error_rate_0_4_percent(self, paper_model):
+        """Section 6.3: 0.4% error rate -> +4.93% performance."""
+        assert paper_model.improvement_percent(0.004) == pytest.approx(
+            4.93, abs=0.02
+        )
+
+    def test_gsm_decode_point(self, paper_model):
+        """Section 6.3: 1.068% error rate -> -8.46% performance."""
+        assert paper_model.improvement_percent(0.01068) == pytest.approx(
+            -8.46, abs=0.03
+        )
+
+    def test_zero_error_rate_full_speculation(self, paper_model):
+        assert paper_model.improvement_percent(0.0) == pytest.approx(15.0)
+
+
+class TestModelProperties:
+    def test_speedup_monotone_decreasing(self, paper_model):
+        rates = np.linspace(0, 0.05, 50)
+        speedups = paper_model.speedup(rates)
+        assert (np.diff(speedups) < 0).all()
+
+    def test_breakeven(self, paper_model):
+        er = paper_model.breakeven_error_rate()
+        assert paper_model.improvement_percent(er) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert er == pytest.approx(0.15 / 24.0)
+
+    def test_inverse_mapping(self, paper_model):
+        for target in (-5.0, 0.0, 5.0, 12.0):
+            er = paper_model.error_rate_for_improvement(target)
+            assert paper_model.improvement_percent(er) == pytest.approx(
+                target, abs=1e-9
+            )
+
+    def test_vectorized(self, paper_model):
+        out = paper_model.improvement_percent(np.array([0.0, 0.004]))
+        assert out.shape == (2,)
+
+    def test_zero_penalty(self):
+        m = TSPerformanceModel(speculation=1.2, penalty_cycles=0.0)
+        assert m.speedup(0.5) == pytest.approx(1.2)
+        assert m.breakeven_error_rate() == 1.0
+
+    def test_energy_ratio(self, paper_model):
+        # More errors -> more replay work -> more energy.
+        assert paper_model.energy_ratio(0.01) > paper_model.energy_ratio(0.0)
+        # Voltage scaling quadratically reduces energy.
+        assert paper_model.energy_ratio(
+            0.0, voltage_ratio=0.9
+        ) == pytest.approx(0.81)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TSPerformanceModel(speculation=0.0)
+        with pytest.raises(ValueError):
+            TSPerformanceModel(penalty_cycles=-1.0)

@@ -1,0 +1,114 @@
+"""Tests for Clark's max/min moment matching, validated by Monte Carlo."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.sta import Gaussian, clark_max, clark_min, clark_max_coefficients
+
+
+def _mc_max(m1, v1, m2, v2, rho, n=200000, seed=0):
+    rng = as_rng(seed)
+    s1, s2 = np.sqrt(v1), np.sqrt(v2)
+    z1 = rng.standard_normal(n)
+    z2 = rho * z1 + np.sqrt(max(1 - rho**2, 0)) * rng.standard_normal(n)
+    x = m1 + s1 * z1
+    y = m2 + s2 * z2
+    mx = np.maximum(x, y)
+    return mx.mean(), mx.var()
+
+
+class TestClarkMax:
+    @pytest.mark.parametrize(
+        "m1,v1,m2,v2,rho",
+        [
+            (0.0, 1.0, 0.0, 1.0, 0.0),
+            (0.0, 1.0, 1.0, 4.0, 0.0),
+            (2.0, 1.0, 2.0, 1.0, 0.8),
+            (-1.0, 0.5, 1.0, 2.0, -0.5),
+            (5.0, 1.0, 0.0, 1.0, 0.3),
+        ],
+    )
+    def test_matches_monte_carlo(self, m1, v1, m2, v2, rho):
+        cov = rho * np.sqrt(v1 * v2)
+        approx = clark_max(Gaussian(m1, v1), Gaussian(m2, v2), cov)
+        mc_mean, mc_var = _mc_max(m1, v1, m2, v2, rho)
+        assert approx.mean == pytest.approx(mc_mean, abs=0.02)
+        assert approx.var == pytest.approx(mc_var, rel=0.05, abs=0.02)
+
+    def test_dominant_argument_passthrough(self):
+        big = Gaussian(100.0, 1.0)
+        small = Gaussian(0.0, 1.0)
+        out = clark_max(big, small, 0.0)
+        assert out.mean == pytest.approx(100.0, abs=1e-6)
+        assert out.var == pytest.approx(1.0, rel=1e-4)
+
+    def test_identical_fully_correlated(self):
+        g = Gaussian(3.0, 2.0)
+        out = clark_max(g, g, 2.0)  # cov = var -> theta = 0
+        assert out.mean == pytest.approx(3.0)
+        assert out.var == pytest.approx(2.0)
+
+    def test_coefficients_sum_to_one(self):
+        m, wx, wy = clark_max_coefficients(
+            Gaussian(0.0, 1.0), Gaussian(0.5, 2.0), 0.3
+        )
+        assert wx + wy == pytest.approx(1.0)
+        assert 0.0 <= wx <= 1.0
+
+    def test_covariance_propagation_against_mc(self):
+        # cov(max(X, Y), Z) where Z correlates with X only.
+        rng = as_rng(7)
+        n = 300000
+        x = rng.standard_normal(n)
+        y = 0.5 + 1.5 * rng.standard_normal(n)
+        z = 0.7 * x + 0.3 * rng.standard_normal(n)
+        mx = np.maximum(x, y)
+        emp = float(np.cov(mx, z)[0, 1])
+        _, wx, wy = clark_max_coefficients(
+            Gaussian(0.0, 1.0), Gaussian(0.5, 2.25), 0.0
+        )
+        cov_xz = 0.7
+        cov_yz = 0.0
+        assert wx * cov_xz + wy * cov_yz == pytest.approx(emp, abs=0.02)
+
+
+class TestClarkMin:
+    def test_min_is_negated_max(self):
+        x, y = Gaussian(1.0, 2.0), Gaussian(0.5, 1.0)
+        mn = clark_min(x, y, 0.2)
+        mx = clark_max(Gaussian(-1.0, 2.0), Gaussian(-0.5, 1.0), 0.2)
+        assert mn.mean == pytest.approx(-mx.mean)
+        assert mn.var == pytest.approx(mx.var)
+
+    def test_matches_monte_carlo(self):
+        mc = _mc_max(0.0, 1.0, 1.0, 4.0, 0.4)
+        # min(-X, -Y) = -max(X, Y)
+        approx = clark_min(
+            Gaussian(-0.0, 1.0), Gaussian(-1.0, 4.0), 0.4 * 2.0
+        )
+        assert approx.mean == pytest.approx(-mc[0], abs=0.02)
+        assert approx.var == pytest.approx(mc[1], rel=0.05)
+
+    @given(
+        st.floats(-5, 5), st.floats(0.1, 4),
+        st.floats(-5, 5), st.floats(0.1, 4),
+        st.floats(-0.9, 0.9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_min_below_both_means(self, m1, v1, m2, v2, rho):
+        cov = rho * np.sqrt(v1 * v2)
+        mn = clark_min(Gaussian(m1, v1), Gaussian(m2, v2), cov)
+        assert mn.mean <= min(m1, m2) + 1e-9
+
+    @given(
+        st.floats(-5, 5), st.floats(0.1, 4),
+        st.floats(-5, 5), st.floats(0.1, 4),
+        st.floats(-0.9, 0.9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_variance_nonnegative(self, m1, v1, m2, v2, rho):
+        cov = rho * np.sqrt(v1 * v2)
+        assert clark_min(Gaussian(m1, v1), Gaussian(m2, v2), cov).var >= 0.0

@@ -1,0 +1,103 @@
+"""Tests for the vectorized Clark minimum."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.sta import Gaussian, clark_min
+from repro.sta.clark import clark_min_arrays
+
+
+class TestAgainstScalar:
+    @given(
+        st.floats(-20, 20), st.floats(0.01, 30),
+        st.floats(-20, 20), st.floats(0.01, 30),
+        st.floats(-0.95, 0.95),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_elementwise_matches_scalar(self, m1, v1, m2, v2, rho):
+        cov = rho * np.sqrt(v1 * v2)
+        scalar = clark_min(Gaussian(m1, v1), Gaussian(m2, v2), cov)
+        mean, var = clark_min_arrays(
+            np.array([m1]), np.array([v1]),
+            np.array([m2]), np.array([v2]),
+            np.array([cov]),
+        )
+        assert mean[0] == pytest.approx(scalar.mean, rel=1e-9, abs=1e-9)
+        assert var[0] == pytest.approx(scalar.var, rel=1e-9, abs=1e-9)
+
+    def test_batch_consistency(self):
+        rng = as_rng(0)
+        n = 200
+        m1 = rng.uniform(-5, 5, n)
+        m2 = rng.uniform(-5, 5, n)
+        v1 = rng.uniform(0.1, 4, n)
+        v2 = rng.uniform(0.1, 4, n)
+        rho = rng.uniform(-0.9, 0.9, n)
+        cov = rho * np.sqrt(v1 * v2)
+        mean, var = clark_min_arrays(m1, v1, m2, v2, cov)
+        for i in range(0, n, 17):
+            s = clark_min(
+                Gaussian(m1[i], v1[i]), Gaussian(m2[i], v2[i]), cov[i]
+            )
+            assert mean[i] == pytest.approx(s.mean, rel=1e-9)
+            assert var[i] == pytest.approx(s.var, rel=1e-9)
+
+
+class TestDegenerateCases:
+    def test_zero_variance_pair(self):
+        mean, var = clark_min_arrays(
+            np.array([3.0]), np.array([0.0]),
+            np.array([5.0]), np.array([0.0]),
+            np.array([0.0]),
+        )
+        assert mean[0] == 3.0 and var[0] == 0.0
+
+    def test_fully_correlated_identical(self):
+        mean, var = clark_min_arrays(
+            np.array([2.0]), np.array([1.0]),
+            np.array([2.0]), np.array([1.0]),
+            np.array([1.0]),  # cov == var: theta == 0
+        )
+        assert mean[0] == 2.0 and var[0] == pytest.approx(1.0)
+
+    def test_dominant_argument(self):
+        mean, var = clark_min_arrays(
+            np.array([0.0]), np.array([1.0]),
+            np.array([1000.0]), np.array([1.0]),
+            np.array([0.0]),
+        )
+        assert mean[0] == pytest.approx(0.0, abs=1e-6)
+        assert var[0] == pytest.approx(1.0, rel=1e-4)
+
+    def test_broadcasting(self):
+        mean, var = clark_min_arrays(
+            np.zeros((3, 4)), np.ones((3, 4)), 1.0, 2.0, 0.0
+        )
+        assert mean.shape == (3, 4)
+        assert np.allclose(mean, mean[0, 0])
+
+
+class TestStatisticalProperties:
+    def test_monte_carlo_agreement(self):
+        rng = as_rng(5)
+        m1, v1, m2, v2, rho = 1.0, 4.0, 2.0, 1.0, 0.6
+        cov = rho * np.sqrt(v1 * v2)
+        mean, var = clark_min_arrays(m1, v1, m2, v2, cov)
+        z1 = rng.standard_normal(300000)
+        z2 = rho * z1 + np.sqrt(1 - rho**2) * rng.standard_normal(300000)
+        mn = np.minimum(m1 + np.sqrt(v1) * z1, m2 + np.sqrt(v2) * z2)
+        assert float(mean) == pytest.approx(mn.mean(), abs=0.02)
+        assert float(var) == pytest.approx(mn.var(), rel=0.05)
+
+    @given(
+        st.floats(-10, 10), st.floats(0.0, 10),
+        st.floats(-10, 10), st.floats(0.0, 10),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_min_bounded_by_means(self, m1, v1, m2, v2):
+        mean, var = clark_min_arrays(m1, v1, m2, v2, 0.0)
+        assert float(mean) <= min(m1, m2) + 1e-9
+        assert float(var) >= -1e-12

@@ -1,0 +1,74 @@
+"""Tests for the Gaussian value type."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.sta import Gaussian
+
+
+def test_cdf_at_mean_is_half():
+    g = Gaussian(10.0, 4.0)
+    assert g.cdf(10.0) == pytest.approx(0.5)
+
+
+def test_ppf_inverts_cdf():
+    g = Gaussian(-3.0, 2.5)
+    for q in (0.01, 0.2, 0.5, 0.9, 0.99):
+        assert g.cdf(g.ppf(q)) == pytest.approx(q, abs=1e-9)
+
+
+def test_degenerate_variance():
+    g = Gaussian(5.0, 0.0)
+    assert g.cdf(4.9) == 0.0
+    assert g.cdf(5.0) == 1.0
+    assert g.ppf(0.3) == 5.0
+    assert g.pr_negative() == 0.0
+    assert Gaussian(-1.0, 0.0).pr_negative() == 1.0
+
+
+def test_negative_variance_rejected():
+    with pytest.raises(ValueError):
+        Gaussian(0.0, -1.0)
+
+
+def test_tiny_negative_variance_clamped():
+    g = Gaussian(0.0, -1e-13)
+    assert g.var == 0.0
+
+
+def test_shift_and_scale():
+    g = Gaussian(2.0, 9.0)
+    s = g.shifted(3.0)
+    assert (s.mean, s.var) == (5.0, 9.0)
+    sc = g.scaled(-2.0)
+    assert (sc.mean, sc.var) == (-4.0, 36.0)
+
+
+def test_pr_negative_matches_cdf_zero():
+    g = Gaussian(1.0, 1.0)
+    assert g.pr_negative() == pytest.approx(g.cdf(0.0))
+
+
+def test_sampling_statistics():
+    g = Gaussian(7.0, 4.0)
+    x = g.sample(as_rng(0), size=20000)
+    assert x.mean() == pytest.approx(7.0, abs=0.06)
+    assert x.std() == pytest.approx(2.0, abs=0.06)
+
+
+def test_ppf_domain_checked():
+    with pytest.raises(ValueError):
+        Gaussian(0.0, 1.0).ppf(0.0)
+
+
+@given(
+    st.floats(-100, 100),
+    st.floats(0.01, 100),
+    st.floats(-200, 200),
+)
+def test_sf_complements_cdf(mean, var, x):
+    g = Gaussian(mean, var)
+    assert g.sf(x) == pytest.approx(1.0 - g.cdf(x), abs=1e-12)

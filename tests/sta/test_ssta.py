@@ -1,0 +1,192 @@
+"""Tests for statistical STA against Monte Carlo chip sampling."""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.netlist import TimingLibrary, PathEnumerator
+from repro.sta import (
+    Gaussian,
+    StaticTimingAnalysis,
+    StatisticalTimingAnalysis,
+    statistical_min,
+)
+from repro.sta.ssta import statistical_max
+from repro.variation import ProcessVariationModel, VariationConfig
+
+
+@pytest.fixture(scope="module")
+def setup(small_pipeline_module):
+    pl = small_pipeline_module
+    lib = TimingLibrary()
+    pv = ProcessVariationModel(pl.netlist, lib)
+    return pl, lib, pv, StatisticalTimingAnalysis(pl.netlist, lib, pv)
+
+
+@pytest.fixture(scope="module")
+def small_pipeline_module():
+    from repro.netlist import PipelineConfig, generate_pipeline
+
+    return generate_pipeline(
+        PipelineConfig(
+            data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+            cloud_gates=60, seed=7,
+        )
+    )
+
+
+def test_path_delay_mean_matches_sta(setup):
+    pl, lib, pv, ssta = setup
+    sta = StaticTimingAnalysis(pl.netlist, lib)
+    ff = sta.capture_endpoints()[0]
+    p = sta.enumerator.worst_path(ff)
+    d = ssta.path_delay(p)
+    assert d.mean == pytest.approx(p.delay)
+    assert d.var > 0
+
+
+def test_path_slack_shifts_with_period(setup):
+    _, lib, _, ssta = setup
+    ff_paths = ssta.enumerator.critical_paths(
+        ssta.netlist.endpoints()[0].gid
+        if ssta.netlist.endpoints()[0].gtype.value == "dff"
+        else _first_dff(ssta),
+        k=1,
+    )
+    p = ff_paths[0]
+    s1 = ssta.path_slack(p, 1000.0)
+    s2 = ssta.path_slack(p, 1100.0)
+    assert s2.mean - s1.mean == pytest.approx(100.0)
+    assert s2.var == pytest.approx(s1.var)
+
+
+def _first_dff(ssta):
+    for g in ssta.netlist.gates:
+        if g.gtype.value == "dff":
+            return g.gid
+    raise AssertionError("no dff")
+
+
+def test_percentile_slack_ordering(setup):
+    _, _, _, ssta = setup
+    p = ssta.enumerator.worst_path(_first_dff(ssta))
+    worst = ssta.percentile_slack(p, 1500.0, 0.01)
+    best = ssta.percentile_slack(p, 1500.0, 0.99)
+    assert worst < best
+
+
+def test_path_slack_against_chip_sampling(setup):
+    pl, lib, pv, ssta = setup
+    p = ssta.enumerator.worst_path(_first_dff(ssta))
+    g = ssta.path_slack(p, 1500.0)
+    chips = pv.sample_chips(3000, as_rng(0))
+    slacks = 1500.0 - chips[:, list(p.gates)].sum(axis=1) - lib.setup_time
+    assert slacks.mean() == pytest.approx(g.mean, abs=0.02 * abs(g.mean) + 1.0)
+    assert slacks.std() == pytest.approx(g.std, rel=0.1)
+
+
+class TestStatisticalMin:
+    def test_single_element(self):
+        g = Gaussian(1.0, 2.0)
+        out = statistical_min([g], np.array([[2.0]]))
+        assert out == g
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            statistical_min([], np.zeros((0, 0)))
+
+    def test_bad_cov_shape_rejected(self):
+        with pytest.raises(ValueError, match="covariance"):
+            statistical_min(
+                [Gaussian(0, 1), Gaussian(1, 1)], np.zeros((3, 3))
+            )
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            statistical_min([Gaussian(0, 1)], np.array([[1.0]]), order="bogus")
+
+    def _mc_min(self, means, cov, n=200000, seed=11):
+        rng = as_rng(seed)
+        x = rng.multivariate_normal(means, cov, size=n)
+        return x.min(axis=1)
+
+    def test_against_monte_carlo_independent(self):
+        means = [0.0, 0.3, 1.0, 2.0]
+        var = [1.0, 0.5, 2.0, 1.0]
+        cov = np.diag(var)
+        gs = [Gaussian(m, v) for m, v in zip(means, var)]
+        out = statistical_min(gs, cov)
+        mc = self._mc_min(means, cov)
+        assert out.mean == pytest.approx(mc.mean(), abs=0.03)
+        assert out.std == pytest.approx(mc.std(), rel=0.08)
+
+    def test_against_monte_carlo_correlated(self):
+        means = np.array([0.0, 0.2, 0.5])
+        sd = np.array([1.0, 1.2, 0.8])
+        rho = np.array(
+            [[1.0, 0.7, 0.3], [0.7, 1.0, 0.5], [0.3, 0.5, 1.0]]
+        )
+        cov = np.outer(sd, sd) * rho
+        gs = [Gaussian(m, s * s) for m, s in zip(means, sd)]
+        out = statistical_min(gs, cov)
+        mc = self._mc_min(means, cov)
+        assert out.mean == pytest.approx(mc.mean(), abs=0.04)
+        assert out.std == pytest.approx(mc.std(), rel=0.1)
+
+    def test_orderings_agree_roughly(self):
+        means = [0.0, 0.5, 1.5, 3.0]
+        cov = np.diag([1.0, 1.0, 1.0, 1.0])
+        gs = [Gaussian(m, 1.0) for m in means]
+        a = statistical_min(gs, cov, order="criticality")
+        b = statistical_min(gs, cov, order="reverse")
+        c = statistical_min(gs, cov, order="given")
+        assert a.mean == pytest.approx(b.mean, abs=0.1)
+        assert a.mean == pytest.approx(c.mean, abs=0.1)
+
+    def test_max_mirror(self):
+        gs = [Gaussian(0.0, 1.0), Gaussian(1.0, 1.0)]
+        cov = np.diag([1.0, 1.0])
+        mn = statistical_min(gs, cov)
+        mx = statistical_max([g.scaled(-1.0) for g in gs], cov)
+        assert mn.mean == pytest.approx(-mx.mean)
+        assert mn.var == pytest.approx(mx.var)
+
+
+class TestMinSlackOnNetlist:
+    def test_min_slack_below_each_path(self, setup):
+        pl, _, _, ssta = setup
+        # An EX result register always has many reconvergent paths.
+        ff = pl.capture[3]["ex_result"][2]
+        paths = ssta.enumerator.critical_paths(ff, k=5)
+        assert len(paths) >= 2
+        combined = ssta.min_slack(paths, 1400.0)
+        for p in paths:
+            assert combined.mean <= ssta.path_slack(p, 1400.0).mean + 1e-9
+
+    def test_min_slack_against_chip_sampling(self, setup):
+        pl, lib, pv, ssta = setup
+        # Use an EX result endpoint: guaranteed multiple paths.
+        ff = pl.capture[3]["ex_result"][3]
+        paths = ssta.enumerator.critical_paths(ff, k=6)
+        combined = ssta.min_slack(paths, 1400.0)
+        chips = pv.sample_chips(3000, as_rng(5))
+        per_path = np.stack(
+            [
+                1400.0 - chips[:, list(p.gates)].sum(axis=1) - lib.setup_time
+                for p in paths
+            ]
+        )
+        mc = per_path.min(axis=0)
+        assert combined.mean == pytest.approx(mc.mean(), abs=3.0)
+        assert combined.std == pytest.approx(mc.std(), rel=0.25)
+
+
+class TestClockPeriodDistribution:
+    def test_ssta_guardbands_below_sta(self, setup):
+        pl, lib, _, ssta = setup
+        sta = StaticTimingAnalysis(pl.netlist, lib)
+        assert ssta.max_frequency_mhz() < sta.max_frequency_mhz()
+
+    def test_higher_yield_lower_frequency(self, setup):
+        _, _, _, ssta = setup
+        assert ssta.max_frequency_mhz(0.999) < ssta.max_frequency_mhz(0.9)

@@ -1,0 +1,85 @@
+"""Tests for deterministic STA."""
+
+import pytest
+
+from repro.netlist import GateType, TimingLibrary
+from repro.sta import StaticTimingAnalysis
+
+
+def test_chain_arrival(chain_netlist, library):
+    sta = StaticTimingAnalysis(chain_netlist, library)
+    ff = chain_netlist.gate_by_name("ff").gid
+    expected = (
+        library.delay(GateType.INPUT, 1)
+        + library.delay(GateType.NOT, 1)
+        + library.delay(GateType.BUF, 1)
+    )
+    assert sta.endpoint_arrival(ff) == pytest.approx(expected)
+
+
+def test_slack_definition(chain_netlist, library):
+    sta = StaticTimingAnalysis(chain_netlist, library)
+    ff = chain_netlist.gate_by_name("ff").gid
+    period = 500.0
+    slack = sta.endpoint_slack(ff, period)
+    assert slack == pytest.approx(
+        period - sta.endpoint_arrival(ff) - library.setup_time
+    )
+
+
+def test_min_clock_period_zero_slack(chain_netlist, library):
+    sta = StaticTimingAnalysis(chain_netlist, library)
+    t = sta.min_clock_period()
+    ff = chain_netlist.gate_by_name("ff").gid
+    assert sta.endpoint_slack(ff, t) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_fmax_inverse_of_period(pipeline, library):
+    sta = StaticTimingAnalysis(pipeline.netlist, library)
+    assert sta.max_frequency_mhz() == pytest.approx(
+        1.0e6 / sta.min_clock_period()
+    )
+
+
+def test_report_consistency(pipeline, library):
+    sta = StaticTimingAnalysis(pipeline.netlist, library)
+    rep = sta.report()
+    # Default report is at the minimum period: worst slack is ~0.
+    assert min(rep.endpoint_slacks.values()) == pytest.approx(0.0, abs=1e-9)
+    assert rep.endpoint_slacks[rep.worst_endpoint] == pytest.approx(
+        0.0, abs=1e-9
+    )
+    # Worst path delay + setup equals the min period.
+    assert rep.worst_path.delay + library.setup_time == pytest.approx(
+        rep.min_period
+    )
+
+
+def test_report_at_faster_clock_shows_negative_slack(pipeline, library):
+    sta = StaticTimingAnalysis(pipeline.netlist, library)
+    tmin = sta.min_clock_period()
+    rep = sta.report(clock_period=tmin / 1.15)
+    assert min(rep.endpoint_slacks.values()) < 0.0
+
+
+def test_derated_library_slows_fmax(pipeline):
+    fast = StaticTimingAnalysis(pipeline.netlist, TimingLibrary())
+    slow = StaticTimingAnalysis(
+        pipeline.netlist, TimingLibrary().with_derate(1.2)
+    )
+    assert slow.max_frequency_mhz() < fast.max_frequency_mhz()
+
+
+def test_path_slack(chain_netlist, library):
+    sta = StaticTimingAnalysis(chain_netlist, library)
+    ff = chain_netlist.gate_by_name("ff").gid
+    p = sta.enumerator.worst_path(ff)
+    assert sta.path_slack(p, 1000.0) == pytest.approx(
+        1000.0 - p.delay - library.setup_time
+    )
+
+
+def test_default_pipeline_fmax_near_paper_value(pipeline, library):
+    """The synthetic pipeline is calibrated near LEON3's reported 718 MHz."""
+    sta = StaticTimingAnalysis(pipeline.netlist, library)
+    assert 550.0 < sta.max_frequency_mhz() < 900.0

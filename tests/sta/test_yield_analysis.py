@@ -1,0 +1,89 @@
+"""Tests for timing-yield analysis."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import PipelineConfig, TimingLibrary, generate_pipeline
+from repro.sta import StatisticalTimingAnalysis, YieldAnalysis, YieldCurve
+from repro.variation import ProcessVariationModel
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    pl = generate_pipeline(
+        PipelineConfig(
+            data_width=8, mult_width=4, shift_bits=3, ctrl_regs=8,
+            cloud_gates=40, seed=3,
+        )
+    )
+    lib = TimingLibrary()
+    ssta = StatisticalTimingAnalysis(
+        pl.netlist, lib, ProcessVariationModel(pl.netlist, lib)
+    )
+    return YieldAnalysis(ssta)
+
+
+class TestYieldCurve:
+    def test_monotone_from_zero_to_one(self, analysis):
+        curve = analysis.analytic_curve()
+        assert (np.diff(curve.yield_fraction) >= -1e-12).all()
+        assert curve.yield_fraction[0] < 0.05
+        assert curve.yield_fraction[-1] > 0.99
+
+    def test_period_for_yield_inverts(self, analysis):
+        curve = analysis.analytic_curve(n_points=200)
+        for target in (0.5, 0.9, 0.99):
+            period = curve.period_for_yield(target)
+            assert curve.yield_at(period) >= target - 0.02
+
+    def test_period_for_yield_validates(self, analysis):
+        curve = analysis.analytic_curve()
+        with pytest.raises(ValueError):
+            curve.period_for_yield(0.0)
+
+    def test_analytic_matches_monte_carlo(self, analysis):
+        analytic = analysis.analytic_curve(n_points=120)
+        mc = analysis.monte_carlo_curve(n_chips=400, seed_or_rng=0)
+        # Compare the median feasible period: Clark approximation within
+        # a couple percent of sampled truth.
+        t_a = analytic.period_for_yield(0.5)
+        t_m = mc.period_for_yield(0.5)
+        assert t_a == pytest.approx(t_m, rel=0.03)
+
+    def test_yield_quantile_matches_ssta_fmax(self, analysis):
+        """The curve's 99.87% period equals the SSTA guardbanded period."""
+        curve = analysis.analytic_curve(n_points=400)
+        t_curve = curve.period_for_yield(0.9987)
+        t_ssta = analysis.ssta.min_clock_period(0.9987)
+        assert t_curve == pytest.approx(t_ssta, rel=0.01)
+
+
+class TestCriticality:
+    def test_probabilities_sum_to_one(self, analysis):
+        crit = analysis.criticality_probabilities(
+            n_chips=200, seed_or_rng=1
+        )
+        assert sum(crit.values()) == pytest.approx(1.0)
+        assert all(0.0 < v <= 1.0 for v in crit.values())
+
+    def test_winners_are_actually_slow_endpoints(self, analysis):
+        crit = analysis.criticality_probabilities(
+            n_chips=200, seed_or_rng=2
+        )
+        from repro.sta import StaticTimingAnalysis
+
+        sta = StaticTimingAnalysis(
+            analysis.ssta.netlist, analysis.ssta.library
+        )
+        worst = max(
+            sta.endpoint_arrival(e) for e in sta.capture_endpoints()
+        )
+        for name in crit:
+            e = analysis.ssta.netlist.gate_by_name(name).gid
+            # Every winner is within 15% of the nominal critical arrival.
+            assert sta.endpoint_arrival(e) > 0.85 * worst
+
+    def test_deterministic_for_seed(self, analysis):
+        a = analysis.criticality_probabilities(n_chips=100, seed_or_rng=5)
+        b = analysis.criticality_probabilities(n_chips=100, seed_or_rng=5)
+        assert a == b

@@ -1,0 +1,119 @@
+"""Tests for the discrete random-variable value type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import as_rng
+from repro.stats import DiscreteRV
+
+
+class TestConstruction:
+    def test_uniform_default(self):
+        rv = DiscreteRV([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(rv.weights, 1 / 3)
+
+    def test_weights_normalized(self):
+        rv = DiscreteRV([0.0, 1.0], [2.0, 6.0])
+        np.testing.assert_allclose(rv.weights, [0.25, 0.75])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            DiscreteRV([])
+        with pytest.raises(ValueError):
+            DiscreteRV([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            DiscreteRV([1.0, 2.0], [-1.0, 2.0])
+        with pytest.raises(ValueError):
+            DiscreteRV([1.0, 2.0], [0.0, 0.0])
+
+    def test_from_samples_exact(self):
+        rv = DiscreteRV.from_samples([1, 1, 2, 3, 3, 3])
+        assert rv.cdf(1) == pytest.approx(2 / 6)
+        assert rv.mean == pytest.approx(13 / 6)
+
+    def test_from_samples_binned(self):
+        rng = as_rng(0)
+        samples = rng.normal(5.0, 1.0, size=5000)
+        rv = DiscreteRV.from_samples(samples, bins=40)
+        assert rv.mean == pytest.approx(5.0, abs=0.1)
+        assert rv.std == pytest.approx(1.0, abs=0.1)
+
+    def test_point_mass(self):
+        rv = DiscreteRV.point_mass(7.0)
+        assert rv.mean == 7.0 and rv.var == 0.0
+
+    def test_mixture(self):
+        a = DiscreteRV.point_mass(0.0)
+        b = DiscreteRV.point_mass(1.0)
+        mix = DiscreteRV.mixture([a, b], [0.25, 0.75])
+        assert mix.mean == pytest.approx(0.75)
+
+
+class TestMoments:
+    def test_bernoulli_moments(self):
+        rv = DiscreteRV([0.0, 1.0], [0.7, 0.3])
+        p = 0.3
+        assert rv.mean == pytest.approx(p)
+        assert rv.var == pytest.approx(p * (1 - p))
+        assert rv.moment(4) == pytest.approx(p)
+        # E|X - p|^3 = (1-p) p^3 + p (1-p)^3.
+        expected = (1 - p) * p**3 + p * (1 - p) ** 3
+        assert rv.abs_central_moment(3) == pytest.approx(expected)
+
+    def test_skewness_sign(self):
+        right_heavy = DiscreteRV([0.0, 10.0], [0.9, 0.1])
+        assert right_heavy.skewness > 0
+        symmetric = DiscreteRV([-1.0, 1.0])
+        assert symmetric.skewness == pytest.approx(0.0)
+
+    @given(st.lists(st.floats(-50, 50), min_size=2, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_variance_nonnegative(self, values):
+        rv = DiscreteRV(values)
+        assert rv.var >= -1e-9
+
+
+class TestTransforms:
+    def test_map_merges_equal_outputs(self):
+        rv = DiscreteRV([-2.0, -1.0, 1.0, 2.0])
+        squared = rv.map(lambda v: v * v)
+        assert len(squared) == 2
+        assert squared.cdf(1.0) == pytest.approx(0.5)
+
+    def test_scale_shift(self):
+        rv = DiscreteRV([1.0, 3.0])
+        assert rv.scaled(2.0).mean == pytest.approx(4.0)
+        assert rv.shifted(-1.0).mean == pytest.approx(1.0)
+        assert rv.scaled(2.0).var == pytest.approx(4.0 * rv.var)
+
+    def test_cdf_and_quantile(self):
+        rv = DiscreteRV([1.0, 2.0, 3.0], [0.2, 0.3, 0.5])
+        assert rv.cdf(0.5) == 0.0
+        assert rv.cdf(2.0) == pytest.approx(0.5)
+        assert rv.quantile(0.2) == 1.0
+        assert rv.quantile(0.5) == 2.0
+        assert rv.quantile(1.0) == 3.0
+        with pytest.raises(ValueError):
+            rv.quantile(0.0)
+
+    def test_sampling_statistics(self):
+        rv = DiscreteRV([0.0, 1.0], [0.25, 0.75])
+        samples = rv.sample(20000, seed_or_rng=1)
+        assert samples.mean() == pytest.approx(0.75, abs=0.02)
+
+
+class TestFrameworkIntegration:
+    def test_stein_ingredients_match_numpy(self):
+        """abs_central_moment supplies Eq. 11/12 terms for sampled p RVs."""
+        rng = as_rng(2)
+        samples = rng.beta(0.5, 40.0, size=400)
+        rv = DiscreteRV.from_samples(samples)
+        centered = samples - samples.mean()
+        assert rv.abs_central_moment(3) == pytest.approx(
+            float(np.abs(centered) ** 3 @ np.ones(400)) / 400, rel=1e-9
+        )
+        assert rv.central_moment(4) == pytest.approx(
+            float((centered**4).mean()), rel=1e-9
+        )

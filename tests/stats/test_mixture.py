@@ -1,0 +1,122 @@
+"""Tests for the Poisson–Gaussian mixture (Eq. 14) and its bound curves."""
+
+import numpy as np
+import pytest
+from scipy import stats as sstats
+
+from repro._util import as_rng
+from repro.sta import Gaussian
+from repro.stats import PoissonGaussianMixture
+
+
+class TestCDF:
+    def test_degenerate_lambda_is_pure_poisson(self):
+        mix = PoissonGaussianMixture(Gaussian(7.0, 0.0))
+        ks = np.arange(0, 25)
+        np.testing.assert_allclose(
+            mix.cdf(ks), sstats.poisson.cdf(ks, 7.0), atol=1e-12
+        )
+
+    def test_cdf_monotone_and_limits(self):
+        mix = PoissonGaussianMixture(Gaussian(50.0, 100.0))
+        ks = np.arange(0, 200)
+        cdf = mix.cdf(ks)
+        assert (np.diff(cdf) >= -1e-12).all()
+        assert cdf[0] < 1e-6
+        assert cdf[-1] > 1 - 1e-9
+
+    def test_matches_monte_carlo(self):
+        lam = Gaussian(40.0, 36.0)
+        mix = PoissonGaussianMixture(lam)
+        rng = as_rng(0)
+        lam_samples = np.maximum(lam.sample(rng, 200000), 0.0)
+        counts = rng.poisson(lam_samples)
+        for k in (25, 35, 40, 45, 60):
+            emp = (counts <= k).mean()
+            assert mix.cdf(k) == pytest.approx(emp, abs=0.01)
+
+    def test_scalar_and_array_forms(self):
+        mix = PoissonGaussianMixture(Gaussian(10.0, 4.0))
+        assert isinstance(mix.cdf(10), float)
+        assert mix.cdf(np.array([10.0])).shape == (1,)
+
+    def test_pmf_sums_to_cdf(self):
+        mix = PoissonGaussianMixture(Gaussian(12.0, 9.0))
+        ks = np.arange(0, 60)
+        np.testing.assert_allclose(
+            np.cumsum(mix.pmf(ks)), mix.cdf(ks), atol=1e-9
+        )
+
+    def test_negative_lambda_mass_truncated(self):
+        # Mean near zero: a large share of the Gaussian is negative and
+        # must behave as "zero errors".
+        mix = PoissonGaussianMixture(Gaussian(0.5, 4.0))
+        assert mix.cdf(0) > 0.4  # at least the negative-lambda mass
+
+
+class TestMoments:
+    def test_mean_and_variance_laws(self):
+        lam = Gaussian(100.0, 400.0)
+        mix = PoissonGaussianMixture(lam)
+        assert mix.mean == pytest.approx(100.0)
+        # Var = E[lambda] + Var(lambda) (truncation negligible here).
+        assert mix.variance == pytest.approx(500.0, rel=0.01)
+        assert mix.std == pytest.approx(np.sqrt(mix.variance))
+
+    def test_ppf_inverts_cdf(self):
+        mix = PoissonGaussianMixture(Gaussian(30.0, 25.0))
+        for q in (0.1, 0.5, 0.9, 0.99):
+            k = mix.ppf(q)
+            assert mix.cdf(k) >= q
+            if k > 0:
+                assert mix.cdf(k - 1) < q
+
+    def test_ppf_domain(self):
+        mix = PoissonGaussianMixture(Gaussian(5.0, 1.0))
+        with pytest.raises(ValueError):
+            mix.ppf(1.5)
+
+
+class TestBoundCurves:
+    def test_zero_epsilons_reproduce_cdf(self):
+        mix = PoissonGaussianMixture(Gaussian(40.0, 100.0))
+        ks = np.arange(0, 100)
+        lower, upper = mix.bound_cdfs(ks, 0.0, 0.0)
+        cdf = mix.cdf(ks)
+        np.testing.assert_allclose(lower, cdf, atol=5e-3)
+        np.testing.assert_allclose(upper, cdf, atol=5e-3)
+
+    def test_bounds_bracket_cdf(self):
+        mix = PoissonGaussianMixture(Gaussian(40.0, 100.0))
+        ks = np.arange(0, 100)
+        lower, upper = mix.bound_cdfs(ks, 0.03, 0.02)
+        cdf = mix.cdf(ks)
+        assert (lower <= cdf + 6e-3).all()
+        assert (upper >= cdf - 6e-3).all()
+
+    def test_bounds_monotone_and_clipped(self):
+        mix = PoissonGaussianMixture(Gaussian(40.0, 100.0))
+        ks = np.arange(0, 120)
+        lower, upper = mix.bound_cdfs(ks, 0.1, 0.05)
+        for curve in (lower, upper):
+            assert (np.diff(curve) >= -1e-12).all()
+            assert curve.min() >= 0.0 and curve.max() <= 1.0
+
+    def test_band_width_scales_with_epsilon(self):
+        mix = PoissonGaussianMixture(Gaussian(40.0, 100.0))
+        ks = np.arange(20, 60)
+        l1, u1 = mix.bound_cdfs(ks, 0.01, 0.01)
+        l2, u2 = mix.bound_cdfs(ks, 0.05, 0.05)
+        assert (u2 - l2).mean() > (u1 - l1).mean()
+
+    def test_lambda_shift_direction(self):
+        mix = PoissonGaussianMixture(Gaussian(40.0, 100.0))
+        up = mix.cdf_with_lambda_shift(40, +0.1)
+        down = mix.cdf_with_lambda_shift(40, -0.1)
+        # Raising lambda's CDF makes lambda smaller -> fewer errors ->
+        # larger count CDF.
+        assert up > mix.cdf(40) > down
+
+    def test_invalid_quadrature_points(self):
+        with pytest.raises(ValueError):
+            PoissonGaussianMixture(Gaussian(1.0, 1.0), quadrature_points=1)

@@ -1,0 +1,41 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly (no missing symbols) and expose a
+``main``.  Full executions take minutes, so only the documentation-level
+contract is checked here; the benchmark harness exercises the same code
+paths end to end.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name[:-3]}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 6
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_and_has_main(name):
+    module = _load(name)
+    assert callable(getattr(module, "main", None)), name
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_has_usage_docstring(name):
+    module = _load(name)
+    assert module.__doc__ and "Run:" in module.__doc__, name

@@ -1,0 +1,90 @@
+"""Tests for shared helpers and machine-state odds and ends."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    as_rng,
+    check_in,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+from repro.cpu import MachineState
+from repro.cpu.state import Flags, MEMORY_WORDS
+
+
+class TestRngHelper:
+    def test_int_seed_deterministic(self):
+        assert as_rng(7).integers(1000) == as_rng(7).integers(1000)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestValidators:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -1)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.1)
+
+    def test_check_in(self):
+        check_in("mode", "a", {"a", "b"})
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_in("mode", "c", {"a", "b"})
+
+
+class TestFlags:
+    def test_as_int_packing(self):
+        f = Flags(z=True, n=False, c=True, v=False)
+        assert f.as_int() == 0b0101
+        f = Flags(z=False, n=True, c=False, v=True)
+        assert f.as_int() == 0b1010
+
+
+class TestMachineState:
+    def test_memory_wraps(self):
+        state = MachineState()
+        state.write_mem(MEMORY_WORDS + 5, 42)
+        assert state.read_mem(5) == 42
+
+    def test_values_masked(self):
+        state = MachineState()
+        state.write_reg(1, 0x1FFFF)
+        assert state.regs[1] == 0xFFFF
+        state.write_mem(0, 0x23456)
+        assert state.read_mem(0) == 0x3456
+
+    def test_dump_words(self):
+        state = MachineState()
+        state.load_words(100, [1, 2, 3])
+        assert state.dump_words(100, 3) == [1, 2, 3]
+
+    def test_reset(self):
+        state = MachineState()
+        state.write_reg(3, 9)
+        state.write_mem(7, 9)
+        state.pc = 5
+        state.halted = True
+        state.flags.z = True
+        state.reset()
+        assert state.regs[3] == 0
+        assert state.read_mem(7) == 0
+        assert state.pc == 0
+        assert not state.halted
+        assert not state.flags.z

@@ -1,0 +1,115 @@
+"""Tests for the correlated gate-delay variation model."""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.netlist import TimingLibrary
+from repro.variation import ProcessVariationModel, VariationConfig
+
+
+@pytest.fixture(scope="module")
+def model(pipeline_module):
+    return ProcessVariationModel(pipeline_module.netlist, TimingLibrary())
+
+
+@pytest.fixture(scope="module")
+def pipeline_module():
+    from repro.netlist import PipelineConfig, generate_pipeline
+
+    return generate_pipeline(
+        PipelineConfig(data_width=8, mult_width=4, ctrl_regs=8, cloud_gates=40)
+    )
+
+
+def test_fractions_must_sum_to_one():
+    with pytest.raises(ValueError, match="sum to 1"):
+        VariationConfig(global_fraction=0.5, spatial_fraction=0.5, random_fraction=0.5)
+
+
+def test_sample_chip_shape_and_mean(model):
+    rng = as_rng(0)
+    chips = model.sample_chips(300, rng)
+    assert chips.shape == (300, len(model.mu))
+    active = model.sigma > 0
+    rel_err = np.abs(chips.mean(axis=0)[active] - model.mu[active]) / (
+        model.sigma[active]
+    )
+    # Sample mean within ~5 sigma/sqrt(300) of nominal.
+    assert rel_err.max() < 5.0 / np.sqrt(300)
+
+
+def test_sample_std_matches_sigma(model):
+    chips = model.sample_chips(600, as_rng(1))
+    active = model.sigma > 1e-9
+    ratio = chips.std(axis=0)[active] / model.sigma[active]
+    assert abs(np.median(ratio) - 1.0) < 0.1
+
+
+def test_gate_cov_diagonal_is_variance(model):
+    for gid in (10, 50, 100):
+        assert model.gate_cov(gid, gid) == pytest.approx(
+            float(model.sigma[gid] ** 2)
+        )
+
+
+def test_gate_cov_positive_and_bounded(model):
+    c = model.gate_cov(10, 200)
+    bound = float(model.sigma[10] * model.sigma[200])
+    assert 0.0 <= c <= bound + 1e-12
+
+
+def test_cov_matrix_consistent_with_gate_cov(model):
+    ids = [5, 17, 123]
+    m = model.cov_matrix(ids)
+    for i, a in enumerate(ids):
+        for j, b in enumerate(ids):
+            assert m[i, j] == pytest.approx(model.gate_cov(a, b), rel=1e-9)
+
+
+def test_path_moments_match_sampling(model):
+    # Pick a real path: walk a few connected gates.
+    nl = model.netlist
+    comb = nl.topological_order()
+    gate_ids = comb[:12]
+    mean, var = model.path_delay_moments(gate_ids)
+    chips = model.sample_chips(4000, as_rng(2))
+    sums = chips[:, gate_ids].sum(axis=1)
+    assert sums.mean() == pytest.approx(mean, rel=0.02)
+    assert sums.std() == pytest.approx(np.sqrt(var), rel=0.1)
+
+
+def test_path_cov_shared_gates_increases_covariance(model):
+    comb = model.netlist.topological_order()
+    a = comb[:10]
+    b_shared = comb[5:15]  # overlaps a in 5 gates
+    b_disjoint = comb[20:30]
+    cov_shared = model.path_cov(a, b_shared)
+    cov_disjoint = model.path_cov(a, b_disjoint)
+    assert cov_shared > cov_disjoint > 0.0
+
+
+def test_path_cov_self_equals_variance(model):
+    comb = model.netlist.topological_order()
+    gate_ids = comb[:8]
+    _, var = model.path_delay_moments(gate_ids)
+    assert model.path_cov(gate_ids, gate_ids) == pytest.approx(var, rel=1e-9)
+
+
+def test_path_cov_matches_sampling(model):
+    comb = model.netlist.topological_order()
+    a, b = comb[:10], comb[5:20]
+    chips = model.sample_chips(6000, as_rng(3))
+    sa = chips[:, a].sum(axis=1)
+    sb = chips[:, b].sum(axis=1)
+    emp = float(np.cov(sa, sb)[0, 1])
+    assert model.path_cov(a, b) == pytest.approx(emp, rel=0.15)
+
+
+def test_sigma_scale_amplifies(pipeline_module):
+    lib = TimingLibrary()
+    base = ProcessVariationModel(pipeline_module.netlist, lib)
+    big = ProcessVariationModel(
+        pipeline_module.netlist, lib, VariationConfig(sigma_scale=2.0)
+    )
+    np.testing.assert_allclose(big.sigma, 2.0 * base.sigma)

@@ -1,0 +1,67 @@
+"""Tests for the grid-based spatial correlation model."""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.variation import SpatialCorrelationModel
+
+
+def _grid_placements(n=50, extent=200.0, seed=3):
+    rng = as_rng(seed)
+    return rng.random((n, 2)) * extent
+
+
+def test_same_cell_gates_fully_correlated():
+    placements = np.array([[1.0, 1.0], [2.0, 2.0], [150.0, 150.0]])
+    m = SpatialCorrelationModel(placements, cell_size=25.0)
+    assert m.gate_correlation(0, 1) == pytest.approx(1.0)
+    assert m.gate_correlation(0, 2) < 1.0
+
+
+def test_correlation_decays_with_distance():
+    placements = np.array([[0.0, 0.0], [30.0, 0.0], [120.0, 0.0], [400.0, 0.0]])
+    m = SpatialCorrelationModel(placements, cell_size=10.0, correlation_length=100.0)
+    c01 = m.gate_correlation(0, 1)
+    c02 = m.gate_correlation(0, 2)
+    c03 = m.gate_correlation(0, 3)
+    assert 1.0 > c01 > c02 > c03 > 0.0
+
+
+def test_correlation_matrix_symmetric_unit_diagonal():
+    m = SpatialCorrelationModel(_grid_placements())
+    ids = np.arange(10)
+    c = m.correlation_matrix(ids)
+    np.testing.assert_allclose(c, c.T)
+    np.testing.assert_allclose(np.diag(c), 1.0)
+    assert (c > 0).all() and (c <= 1.0 + 1e-12).all()
+
+
+def test_sample_field_statistics():
+    placements = _grid_placements(n=40, extent=400.0)
+    m = SpatialCorrelationModel(placements, cell_size=20.0, correlation_length=50.0)
+    rng = as_rng(0)
+    samples = np.array([m.sample_field(rng) for _ in range(4000)])
+    # Standard-normal marginals per gate.
+    assert np.abs(samples.mean(axis=0)).max() < 0.12
+    assert np.abs(samples.std(axis=0) - 1.0).max() < 0.12
+    # Empirical correlation tracks the analytic kernel for a distant pair.
+    i, j = 0, 1
+    emp = np.corrcoef(samples[:, i], samples[:, j])[0, 1]
+    assert emp == pytest.approx(m.gate_correlation(i, j), abs=0.1)
+
+
+def test_single_point_die():
+    m = SpatialCorrelationModel(np.array([[5.0, 5.0]]))
+    assert m.n_cells == 1
+    rng = as_rng(1)
+    assert m.sample_field(rng).shape == (1,)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        SpatialCorrelationModel(np.zeros((3, 3)))
+    with pytest.raises(ValueError):
+        SpatialCorrelationModel(np.zeros((3, 2)), cell_size=0.0)
+    with pytest.raises(ValueError):
+        SpatialCorrelationModel(np.zeros((3, 2)), correlation_length=-1.0)
