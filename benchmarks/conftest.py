@@ -9,12 +9,14 @@ EXPERIMENTS.md can be regenerated from a single run.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 import pytest
 
-from repro.core import ErrorRateEstimator, ProcessorModel
-from repro.workloads import list_workloads, load_workload
+from repro.core import EstimationRequest, ProcessorModel
+from repro.runner import EstimationEngine, ProcessorConfig
+from repro.workloads import list_workloads
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -43,23 +45,28 @@ def processor() -> ProcessorModel:
 
 
 @pytest.fixture(scope="session")
-def full_results(processor):
-    """Reports for all 12 benchmarks (the data behind Table 2 / Figure 3)."""
-    estimator = ErrorRateEstimator(processor)
-    reports = {}
-    for name in list_workloads():
-        workload = load_workload(name)
-        artifacts = estimator.train(
-            workload.program,
-            setup=workload.setup(workload.dataset("small")),
-            max_instructions=workload.budget("small"),
-        )
-        reports[name] = estimator.estimate(
-            workload.program,
-            artifacts,
-            setup=workload.setup(workload.dataset("large")),
-            max_instructions=workload.budget("large"),
-        )
+def full_results():
+    """Reports for all 12 benchmarks (the data behind Table 2 / Figure 3).
+
+    Runs on the batch estimation engine; set ``REPRO_BENCH_WORKERS`` to
+    fan the 12 independent jobs out across a process pool and
+    ``REPRO_CACHE_DIR`` to reuse trained artifacts across sessions.
+    """
+    engine = EstimationEngine(
+        ProcessorConfig(),
+        max_workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        cache_dir=os.environ.get("REPRO_CACHE_DIR"),
+    )
+    summary = engine.run(
+        EstimationRequest(workload=name, seed=0)
+        for name in list_workloads()
+    )
+    failed = summary.failed
+    assert not failed, f"estimation failed: {failed[0].error}"
+    reports = {
+        result.request.workload_name: result.report
+        for result in summary.results
+    }
     RESULTS_DIR.mkdir(exist_ok=True)
     rows = [r.table_row() for r in reports.values()]
     (RESULTS_DIR / "table2.json").write_text(json.dumps(rows, indent=2))

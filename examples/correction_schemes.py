@@ -13,7 +13,7 @@ Run:  python examples/correction_schemes.py
 
 import numpy as np
 
-from repro.core import ErrorRateEstimator, ProcessorModel
+from repro.core import ErrorRateEstimator, EstimationRequest, ProcessorModel
 from repro.cpu import PipelineFlush, ReplayHalfFrequency
 from repro.netlist import TimingLibrary, generate_pipeline
 from repro.workloads import load_workload
@@ -25,13 +25,12 @@ def main() -> None:
     library = TimingLibrary()
     schemes = [ReplayHalfFrequency(), PipelineFlush()]
 
+    # Warm the shared engines once; every (scheme, speculation) point
+    # below derives from this base and inherits them.
     base = ProcessorModel(pipeline=pipeline, library=library)
-    shared = {
-        "datapath_model": base.datapath_model,
-        "ssta": base.ssta,
-        "control_analyzer": base.control_analyzer,
-        "data_analyzer": base.data_analyzer,
-    }
+    _ = base.clock_period
+    _ = base.control_analyzer
+    _ = base.datapath_model
 
     print(f"benchmark: {workload.name}\n")
     print(
@@ -40,24 +39,14 @@ def main() -> None:
     )
     for scheme in schemes:
         for speculation in (1.10, 1.15, 1.20):
-            proc = ProcessorModel(
-                pipeline=pipeline,
-                library=library,
-                scheme=scheme,
-                speculation=speculation,
-            )
-            proc.__dict__.update(shared)
+            proc = base.derive(scheme=scheme, speculation=speculation)
             estimator = ErrorRateEstimator(proc)
-            artifacts = estimator.train(
-                workload.program,
-                setup=workload.setup(workload.dataset("small")),
-                max_instructions=workload.budget("small"),
-            )
-            report = estimator.estimate(
-                workload.program,
-                artifacts,
-                setup=workload.setup(workload.dataset("large")),
-                max_instructions=250_000,
+            report = estimator.run(
+                EstimationRequest(
+                    workload=workload,
+                    max_instructions=250_000,
+                    seed=0,
+                )
             )
             er = report.error_rate_mean
             penalty = scheme.penalty_cycles(proc.pipeline.num_stages)

@@ -3,77 +3,81 @@
 Timing speculation pays off only while the performance gained from the
 higher clock outweighs the error-correction penalty (Section 6.3).  This
 example sweeps the working frequency from mildly to aggressively
-speculative, estimates the error rate at each point, and reports the
-resulting net performance — locating the benchmark's optimal operating
-point and the crossover where speculation starts to hurt.
+speculative using the batch estimation engine: each operating point is
+one :class:`EstimationRequest`, the engine derives the per-point
+processor from a shared base (netlist, SSTA, analyzers, and the trained
+datapath model are period-independent and reused), and the returned
+:class:`RunSummary` carries both the estimates and the run telemetry.
 
-Run:  python examples/frequency_sweep.py [benchmark]
+Pass ``--workers N`` to fan the points out across a process pool and
+``--cache-dir DIR`` to persist trained artifacts so a re-run skips all
+training.
+
+Run:  python examples/frequency_sweep.py [benchmark] [--workers N]
+      [--cache-dir DIR]
 """
 
-import sys
+import argparse
 
 import numpy as np
 
-from repro.core import ErrorRateEstimator, ProcessorModel
-from repro.workloads import list_workloads, load_workload
+from repro.runner import EstimationEngine, EstimationRequest, ProcessorConfig
+from repro.workloads import list_workloads
 
 SPECULATION_POINTS = (1.00, 1.05, 1.10, 1.15, 1.20, 1.25, 1.30)
 
 
 def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "gsm.decode"
-    if name not in list_workloads():
-        raise SystemExit(f"unknown benchmark {name!r}; try {list_workloads()}")
-    workload = load_workload(name)
+    parser = argparse.ArgumentParser()
+    parser.add_argument("benchmark", nargs="?", default="gsm.decode",
+                        choices=list_workloads())
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args()
+    name = args.benchmark
 
     print(f"sweeping speculation ratio for {name}...")
-    base = ProcessorModel()
-    # Expensive period-independent artifacts are shared across the sweep.
-    shared = {
-        "datapath_model": base.datapath_model,
-        "ssta": base.ssta,
-        "control_analyzer": base.control_analyzer,
-        "data_analyzer": base.data_analyzer,
-    }
+    engine = EstimationEngine(
+        ProcessorConfig(),
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    requests = [
+        EstimationRequest(
+            workload=name,
+            speculation=speculation,
+            max_instructions=300_000,
+            seed=0,
+        )
+        for speculation in SPECULATION_POINTS
+    ]
+    summary = engine.run(requests)
+    for failure in summary.failed:
+        raise SystemExit(f"sweep point failed:\n{failure.error}")
 
     print(
         f"\n{'spec':>5s} {'freq MHz':>9s} {'ER %':>8s} {'SD %':>7s} "
         f"{'perf %':>8s}"
     )
-    best = None
-    for speculation in SPECULATION_POINTS:
-        proc = ProcessorModel(
-            pipeline=base.pipeline, library=base.library,
-            speculation=speculation,
-        )
-        proc.__dict__.update(shared)
-        estimator = ErrorRateEstimator(proc)
-        artifacts = estimator.train(
-            workload.program,
-            setup=workload.setup(workload.dataset("small")),
-            max_instructions=workload.budget("small"),
-        )
-        report = estimator.estimate(
-            workload.program,
-            artifacts,
-            setup=workload.setup(workload.dataset("large")),
-            max_instructions=min(workload.budget("large"), 300_000),
-        )
-        er = report.error_rate_mean
-        perf = proc.performance.improvement_percent(er / 100.0)
-        marker = ""
-        if best is None or perf > best[1]:
-            best = (speculation, perf)
-            marker = "  <-"
+    best = max(
+        summary.results, key=lambda r: r.net_performance_percent
+    )
+    for result in summary.results:
+        er = result.report.error_rate_mean
+        marker = "  <- optimum" if result is best else ""
         print(
-            f"{speculation:5.2f} {proc.working_frequency_mhz:9.0f} "
-            f"{er:8.3f} {report.error_rate_sd:7.3f} {perf:+8.2f}{marker}"
+            f"{result.speculation:5.2f} "
+            f"{result.working_frequency_mhz:9.0f} "
+            f"{er:8.3f} {result.report.error_rate_sd:7.3f} "
+            f"{result.net_performance_percent:+8.2f}{marker}"
         )
 
     print(
         f"\noptimal operating point for {name}: "
-        f"{best[0]:.2f}x speculation ({best[1]:+.2f}% net performance)"
+        f"{best.speculation:.2f}x speculation "
+        f"({best.net_performance_percent:+.2f}% net performance)"
     )
+    print(f"[{summary.describe()}]")
     print(
         "note: past the optimum the correction penalty (24 cycles/error at "
         "half frequency)\ngrows faster than the clock gain — the paper's "

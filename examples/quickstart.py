@@ -2,9 +2,10 @@
 
 Builds the default processor configuration (the paper's Section 6.1
 analogue: 6-stage in-order pipeline, SSTA-guardbanded baseline frequency,
-1.15x speculative working point, replay-at-half-frequency correction),
-trains the framework on a benchmark's small dataset, and estimates the
-error-rate distribution on the large dataset.
+1.15x speculative working point, replay-at-half-frequency correction) and
+runs the full train+estimate flow through the unified request API: one
+:class:`EstimationRequest` names the workload, dataset pair, and budgets,
+and ``ErrorRateEstimator.run`` executes both phases.
 
 Run:  python examples/quickstart.py [benchmark]
 """
@@ -13,8 +14,8 @@ import sys
 
 import numpy as np
 
-from repro import ErrorRateEstimator, default_processor
-from repro.workloads import list_workloads, load_workload
+from repro import ErrorRateEstimator, EstimationRequest, default_processor
+from repro.workloads import list_workloads
 
 
 def main() -> None:
@@ -36,32 +37,18 @@ def main() -> None:
         f"({op['penalty_cycles']:.0f} cycles/error)"
     )
 
-    workload = load_workload(name)
     estimator = ErrorRateEstimator(processor)
 
-    print(f"\ntraining on {name} (small dataset)...")
-    artifacts = estimator.train(
-        workload.program,
-        setup=workload.setup(workload.dataset("small")),
-        max_instructions=workload.budget("small"),
-    )
-    print(
-        f"  characterized {len(artifacts.control_model)} "
-        f"(block, edge, instruction) control entries in "
-        f"{artifacts.training_seconds:.1f}s"
-    )
-
-    print(f"simulating {name} (large dataset)...")
-    report = estimator.estimate(
-        workload.program,
-        artifacts,
-        setup=workload.setup(workload.dataset("large")),
-        max_instructions=workload.budget("large"),
-    )
+    print(f"\ntraining and simulating {name} (small -> large dataset)...")
+    report = estimator.run(EstimationRequest(workload=name, seed=0))
 
     print(f"\n=== {report.program} ===")
     print(f"dynamic instructions : {report.total_instructions:,}")
     print(f"basic blocks         : {report.basic_blocks}")
+    print(
+        f"characterized entries: {report.characterized_pairs} "
+        f"({report.training_seconds:.1f}s training)"
+    )
     print(
         f"error rate           : {report.error_rate_mean:.3f}% "
         f"(SD {report.error_rate_sd:.3f}%)"

@@ -14,25 +14,23 @@ import sys
 
 import numpy as np
 
-from repro.core import ErrorRateEstimator, ProcessorModel
+from repro.core import ErrorRateEstimator, EstimationRequest, ProcessorModel
 from repro.perf import VoltageScalingModel
-from repro.workloads import list_workloads, load_workload
+from repro.workloads import list_workloads
 
 
 def main() -> None:
     name = sys.argv[1] if len(sys.argv) > 1 else "typeset"
     if name not in list_workloads():
         raise SystemExit(f"unknown benchmark {name!r}; try {list_workloads()}")
-    workload = load_workload(name)
     volts = VoltageScalingModel(v_nominal=0.9, v_threshold=0.35)
 
     base = ProcessorModel()
-    shared = {
-        "datapath_model": base.datapath_model,
-        "ssta": base.ssta,
-        "control_analyzer": base.control_analyzer,
-        "data_analyzer": base.data_analyzer,
-    }
+    # Warm the period-independent engines once; every undervolt point
+    # below derives from this base and inherits them.
+    _ = base.clock_period
+    _ = base.control_analyzer
+    _ = base.datapath_model
 
     print(
         f"benchmark: {name}; baseline "
@@ -47,24 +45,16 @@ def main() -> None:
     best = None
     for speculation in (1.00, 1.05, 1.10, 1.15, 1.20, 1.25):
         # Undervolting by the delay-equivalent of `speculation` consumes
-        # the same slack as overclocking by it.
+        # the same slack as overclocking by it.  Each point derives a
+        # processor from the shared base — the period-independent trained
+        # engines (SSTA, analyzers, datapath model) carry over.
         voltage = volts.undervolt_for_speculation(speculation)
-        proc = ProcessorModel(
-            pipeline=base.pipeline, library=base.library,
-            speculation=speculation,
-        )
-        proc.__dict__.update(shared)
+        proc = base.derive(speculation=speculation)
         estimator = ErrorRateEstimator(proc)
-        artifacts = estimator.train(
-            workload.program,
-            setup=workload.setup(workload.dataset("small")),
-            max_instructions=workload.budget("small"),
-        )
-        report = estimator.estimate(
-            workload.program,
-            artifacts,
-            setup=workload.setup(workload.dataset("large")),
-            max_instructions=250_000,
+        report = estimator.run(
+            EstimationRequest(
+                workload=name, max_instructions=250_000, seed=0
+            )
         )
         er = report.error_rate_mean / 100.0
         penalty = proc.scheme.penalty_cycles(proc.pipeline.num_stages)

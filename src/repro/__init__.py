@@ -30,6 +30,7 @@ __version__ = "1.0.0"
 
 from repro.core.processor import ProcessorModel, default_processor
 from repro.core.framework import ErrorRateEstimator, TrainingArtifacts
+from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
 from repro.core.montecarlo import MonteCarloValidator
 
@@ -38,6 +39,7 @@ __all__ = [
     "ProcessorModel",
     "default_processor",
     "ErrorRateEstimator",
+    "EstimationRequest",
     "TrainingArtifacts",
     "ErrorRateReport",
     "MonteCarloValidator",

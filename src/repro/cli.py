@@ -5,25 +5,71 @@ Usage (after ``pip install -e .``)::
     python -m repro info
     python -m repro list
     python -m repro estimate gsm.decode [--speculation 1.15] [--json]
-    python -m repro table2 [--max-instructions N] [--json]
+    python -m repro table2 [--workers 4] [--max-instructions N] [--json]
     python -m repro sweep bitcount --points 1.0,1.1,1.15,1.2
+    python -m repro batch bitcount dijkstra --workers 2 --cache-dir .cache
 
 ``info`` prints the processor operating point, ``estimate`` runs the full
 train+estimate flow for one benchmark, ``table2`` regenerates the paper's
-Table 2 across the suite, and ``sweep`` maps error rate and net
-performance over speculation ratios.
+Table 2 across the suite, ``sweep`` maps error rate and net performance
+over speculation ratios, and ``batch`` executes an arbitrary set of
+(workload × operating point) jobs.  ``table2``, ``sweep``, and ``batch``
+all run on the batch estimation engine: ``--workers N`` fans the
+independent jobs out across a process pool, and ``--cache-dir`` (or the
+``REPRO_CACHE_DIR`` environment variable) enables the content-addressed
+artifact cache so warm re-runs skip every training phase.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
-from repro.core import ErrorRateEstimator, ProcessorModel
+from repro.core import (
+    ErrorRateEstimator,
+    EstimationRequest,
+    ProcessorModel,
+)
+from repro.runner import EstimationEngine, ProcessorConfig
 from repro.workloads import list_workloads, load_workload
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _float_list(text: str) -> list[float]:
+    try:
+        return [float(p) for p in text.split(",") if p.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"not a comma-separated list of numbers: {text!r}"
+        ) from None
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="process-pool width (1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "artifact-cache directory (default: $REPRO_CACHE_DIR when "
+            "set, else caching is off)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache for this run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,31 +94,57 @@ def build_parser() -> argparse.ArgumentParser:
     tab = sub.add_parser("table2", help="regenerate Table 2")
     tab.add_argument("--max-instructions", type=int, default=None)
     tab.add_argument("--json", action="store_true")
+    _add_engine_arguments(tab)
 
     swp = sub.add_parser("sweep", help="speculation-ratio sweep")
     swp.add_argument("benchmark", choices=list_workloads())
     swp.add_argument(
-        "--points", default="1.00,1.05,1.10,1.15,1.20,1.25",
+        "--points", type=_float_list,
+        default=[1.00, 1.05, 1.10, 1.15, 1.20, 1.25],
         help="comma-separated speculation ratios",
     )
     swp.add_argument("--max-instructions", type=int, default=300_000)
+    swp.add_argument(
+        "--json", action="store_true",
+        help="emit the full RunSummary (reports + cache telemetry)",
+    )
+    _add_engine_arguments(swp)
+
+    bat = sub.add_parser(
+        "batch", help="run a batch of estimation jobs on the engine"
+    )
+    bat.add_argument(
+        "benchmarks", nargs="*", metavar="benchmark",
+        help="benchmarks to run (default: the full suite)",
+    )
+    bat.add_argument(
+        "--speculation", type=_float_list, default=None,
+        help="comma-separated speculation ratios (default: 1.15)",
+    )
+    bat.add_argument("--max-instructions", type=int, default=None)
+    bat.add_argument("--train-instructions", type=int, default=None)
+    bat.add_argument("--seed", type=int, default=0)
+    bat.add_argument("--json", action="store_true")
+    _add_engine_arguments(bat)
     return parser
 
 
-def _estimate_one(processor, name, max_instructions=None):
-    workload = load_workload(name)
-    estimator = ErrorRateEstimator(processor)
-    artifacts = estimator.train(
-        workload.program,
-        setup=workload.setup(workload.dataset("small")),
-        max_instructions=workload.budget("small"),
+def _engine_from_args(args) -> EstimationEngine:
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    return EstimationEngine(
+        ProcessorConfig(),
+        max_workers=args.workers,
+        cache_dir=cache_dir,
     )
-    return estimator.estimate(
-        workload.program,
-        artifacts,
-        setup=workload.setup(workload.dataset("large")),
-        max_instructions=max_instructions or workload.budget("large"),
-    )
+
+
+def _report_failures(summary, out) -> None:
+    for result in summary.failed:
+        out.write(
+            f"FAILED {result.request.describe()}\n{result.error}\n"
+        )
 
 
 def _cmd_info(args, out) -> int:
@@ -91,9 +163,16 @@ def _cmd_list(args, out) -> int:
 
 def _cmd_estimate(args, out) -> int:
     processor = ProcessorModel(speculation=args.speculation)
-    report = _estimate_one(processor, args.benchmark, args.max_instructions)
+    estimator = ErrorRateEstimator(processor)
+    report = estimator.run(
+        EstimationRequest(
+            workload=args.benchmark,
+            max_instructions=args.max_instructions,
+            seed=0,
+        )
+    )
     if args.json:
-        out.write(json.dumps(report.table_row(), indent=2) + "\n")
+        out.write(json.dumps(report.to_json(), indent=2) + "\n")
     else:
         out.write(str(report) + "\n")
         perf = processor.performance.improvement_percent(
@@ -104,47 +183,102 @@ def _cmd_estimate(args, out) -> int:
 
 
 def _cmd_table2(args, out) -> int:
-    processor = ProcessorModel()
-    rows = []
-    for name in list_workloads():
-        report = _estimate_one(processor, name, args.max_instructions)
-        rows.append(report.table_row())
-        if not args.json:
-            out.write(str(report) + "\n")
+    engine = _engine_from_args(args)
+    requests = [
+        EstimationRequest(
+            workload=name, max_instructions=args.max_instructions, seed=0
+        )
+        for name in list_workloads()
+    ]
+    summary = engine.run(requests)
     if args.json:
+        rows = [
+            r.report.to_json(include_timing=False)
+            for r in summary.succeeded
+        ]
         out.write(json.dumps(rows, indent=2) + "\n")
+    else:
+        for result in summary.succeeded:
+            out.write(str(result.report) + "\n")
+        out.write(f"# {summary.describe()}\n")
+    if summary.failed:
+        _report_failures(summary, out)
+        return 1
     return 0
 
 
 def _cmd_sweep(args, out) -> int:
-    points = [float(p) for p in args.points.split(",") if p.strip()]
+    points = args.points
     if not points:
         out.write("no sweep points given\n")
         return 2
-    base = ProcessorModel()
-    shared = {
-        "datapath_model": base.datapath_model,
-        "ssta": base.ssta,
-        "control_analyzer": base.control_analyzer,
-        "data_analyzer": base.data_analyzer,
-    }
-    out.write(f"{'spec':>6s} {'MHz':>7s} {'ER%':>8s} {'perf%':>8s}\n")
-    for speculation in points:
-        processor = ProcessorModel(
-            pipeline=base.pipeline, library=base.library,
+    engine = _engine_from_args(args)
+    requests = [
+        EstimationRequest(
+            workload=args.benchmark,
             speculation=speculation,
+            max_instructions=args.max_instructions,
+            seed=0,
         )
-        processor.__dict__.update(shared)
-        report = _estimate_one(
-            processor, args.benchmark, args.max_instructions
-        )
-        perf = processor.performance.improvement_percent(
-            report.error_rate_mean / 100.0
-        )
+        for speculation in points
+    ]
+    summary = engine.run(requests)
+    if args.json:
+        out.write(json.dumps(summary.to_json(), indent=2) + "\n")
+        return 1 if summary.failed else 0
+    out.write(f"{'spec':>6s} {'MHz':>7s} {'ER%':>8s} {'perf%':>8s}\n")
+    for result in summary.succeeded:
         out.write(
-            f"{speculation:6.2f} {processor.working_frequency_mhz:7.0f} "
-            f"{report.error_rate_mean:8.3f} {perf:+8.2f}\n"
+            f"{result.speculation:6.2f} "
+            f"{result.working_frequency_mhz:7.0f} "
+            f"{result.report.error_rate_mean:8.3f} "
+            f"{result.net_performance_percent:+8.2f}\n"
         )
+    if summary.failed:
+        _report_failures(summary, out)
+        return 1
+    return 0
+
+
+def _cmd_batch(args, out) -> int:
+    names = args.benchmarks or list_workloads()
+    unknown = sorted(set(names) - set(list_workloads()))
+    if unknown:
+        out.write(f"unknown benchmarks: {', '.join(unknown)}\n")
+        return 2
+    points = args.speculation or [None]
+    engine = _engine_from_args(args)
+    requests = [
+        EstimationRequest(
+            workload=name,
+            speculation=speculation,
+            max_instructions=args.max_instructions,
+            train_instructions=args.train_instructions,
+            seed=args.seed,
+        )
+        for name in names
+        for speculation in points
+    ]
+    summary = engine.run(requests)
+    if args.json:
+        out.write(json.dumps(summary.to_json(), indent=2) + "\n")
+        return 1 if summary.failed else 0
+    for result in summary.results:
+        if result.ok:
+            hit = "cache" if result.cache_hit else "train"
+            out.write(
+                f"{result.request.describe():24s} "
+                f"ER {result.report.error_rate_mean:7.3f}% "
+                f"(SD {result.report.error_rate_sd:.3f}%)  "
+                f"[{hit}, {result.train_seconds + result.estimate_seconds:.1f}s, "
+                f"worker {result.worker}]\n"
+            )
+        else:
+            out.write(f"{result.request.describe():24s} FAILED\n")
+    out.write(f"summary: {summary.describe()}\n")
+    if summary.failed:
+        _report_failures(summary, out)
+        return 1
     return 0
 
 
@@ -154,6 +288,7 @@ _COMMANDS = {
     "estimate": _cmd_estimate,
     "table2": _cmd_table2,
     "sweep": _cmd_sweep,
+    "batch": _cmd_batch,
 }
 
 

@@ -13,6 +13,7 @@ from repro.core.processor import ProcessorModel, default_processor
 from repro.core.collect import SimulationCollector, BlockExecutionSample
 from repro.core.errormodel import InstructionErrorModel
 from repro.core.framework import ErrorRateEstimator, TrainingArtifacts
+from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
 from repro.core.montecarlo import MonteCarloValidator, MonteCarloResult
 
@@ -25,6 +26,7 @@ __all__ = [
     "BlockExecutionSample",
     "InstructionErrorModel",
     "ErrorRateEstimator",
+    "EstimationRequest",
     "TrainingArtifacts",
     "ErrorRateReport",
 ]

@@ -24,6 +24,7 @@ from repro.cfg.marginal import MarginalSolver
 from repro.core.collect import SimulationCollector
 from repro.core.errormodel import InstructionErrorModel
 from repro.core.processor import ProcessorModel
+from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
 from repro.cpu.interpreter import FunctionalSimulator
 from repro.cpu.program import Program
@@ -43,31 +44,43 @@ __all__ = ["ErrorRateEstimator", "TrainingArtifacts"]
 
 @dataclass(slots=True)
 class TrainingArtifacts:
-    """Everything the training phase produces for one program."""
+    """Everything the training phase produces for one program.
+
+    ``clock_period`` records the speculative clock period (ps) the
+    control model was characterized at; loading refuses artifacts trained
+    at a different period, since the characterized slack distributions
+    are meaningless off-period.
+    """
 
     cfg: ControlFlowGraph
     control_model: ControlTimingModel
     characterizer: ControlCharacterizer
     training_seconds: float
     training_instructions: int
+    clock_period: float | None = None
+
+    def to_doc(self) -> dict:
+        """The persistable document behind :meth:`save`."""
+        return {
+            "schema": "repro.training-artifacts/1",
+            "control_model": self.control_model.to_json(),
+            "training_seconds": self.training_seconds,
+            "training_instructions": self.training_instructions,
+            "clock_period": self.clock_period,
+        }
 
     def save(self, path) -> None:
         """Persist the trained control model (JSON).
 
         The CFG and characterizer are deterministic functions of the
         program and processor, so only the (expensive) characterized
-        timing needs storing; reload with
-        :meth:`ErrorRateEstimator.load_artifacts`.
+        timing needs storing — plus the clock period it is valid for;
+        reload with :meth:`ErrorRateEstimator.load_artifacts`.
         """
         import json
 
-        doc = {
-            "control_model": self.control_model.to_json(),
-            "training_seconds": self.training_seconds,
-            "training_instructions": self.training_instructions,
-        }
         with open(path, "w") as handle:
-            json.dump(doc, handle)
+            json.dump(self.to_doc(), handle)
 
 
 class ErrorRateEstimator:
@@ -134,19 +147,44 @@ class ErrorRateEstimator:
             characterizer=characterizer,
             training_seconds=elapsed,
             training_instructions=result.instructions,
+            clock_period=self.processor.clock_period,
         )
 
     def load_artifacts(self, program: Program, path) -> TrainingArtifacts:
         """Reload artifacts persisted by :meth:`TrainingArtifacts.save`.
 
         The CFG and characterizer are rebuilt for this estimator's
-        processor; the stored control model must have been trained at the
-        same clock period to be meaningful.
+        processor; loading refuses a model trained at a different clock
+        period (``ValueError``), since off-period slack Gaussians would
+        silently corrupt the estimate.
         """
         import json
 
         with open(path) as handle:
             doc = json.load(handle)
+        return self.artifacts_from_doc(program, doc)
+
+    def artifacts_from_doc(
+        self, program: Program, doc: dict
+    ) -> TrainingArtifacts:
+        """Rebuild :class:`TrainingArtifacts` from a persisted document.
+
+        The in-memory form of :meth:`load_artifacts`, shared with the
+        batch engine's artifact cache.
+        """
+        stored_period = doc.get("clock_period")
+        if stored_period is None:
+            raise ValueError(
+                "artifacts document does not record a clock period; "
+                "re-train and re-save with this version"
+            )
+        period = self.processor.clock_period
+        if abs(float(stored_period) - period) > 1e-6 * period:
+            raise ValueError(
+                f"artifacts were trained at clock period "
+                f"{float(stored_period):.3f} ps but this processor runs "
+                f"at {period:.3f} ps; re-train for this operating point"
+            )
         cfg = build_cfg(program)
         characterizer = ControlCharacterizer(
             self.processor.pipeline,
@@ -163,6 +201,7 @@ class ErrorRateEstimator:
             characterizer=characterizer,
             training_seconds=float(doc["training_seconds"]),
             training_instructions=int(doc["training_instructions"]),
+            clock_period=float(stored_period),
         )
 
     # ------------------------------------------------------------------ #
@@ -272,18 +311,49 @@ class ErrorRateEstimator:
 
     def run(
         self,
-        program: Program,
-        train_setup=None,
-        eval_setup=None,
-        max_instructions: int = 5_000_000,
+        request: EstimationRequest,
+        artifacts: TrainingArtifacts | None = None,
     ) -> ErrorRateReport:
-        """Convenience: train then estimate in one call."""
-        artifacts = self.train(program, setup=train_setup)
-        return self.estimate(
+        """Execute one :class:`EstimationRequest` end to end.
+
+        Resolves the workload, trains on the request's training dataset
+        (unless pre-trained ``artifacts`` are supplied), and estimates on
+        the evaluation dataset.  A request carrying a ``speculation``
+        different from this estimator's processor runs on a derived
+        operating point (:meth:`ProcessorModel.derive`) that shares the
+        period-independent trained engines.
+        """
+        workload = request.resolve_workload()
+        estimator = self
+        if (
+            request.speculation is not None
+            and request.speculation != self.processor.speculation
+        ):
+            estimator = ErrorRateEstimator(
+                self.processor.derive(speculation=request.speculation),
+                n_data_samples=self.n_data_samples,
+            )
+        program, train_setup, train_budget = workload.run_spec(
+            request.train_scale, seed=request.train_seed
+        )
+        if artifacts is None:
+            artifacts = estimator.train(
+                program,
+                setup=train_setup,
+                max_instructions=(
+                    request.train_instructions or train_budget
+                ),
+            )
+        _, eval_setup, eval_budget = workload.run_spec(
+            request.eval_scale, seed=request.eval_seed
+        )
+        return estimator.estimate(
             program,
             artifacts,
             setup=eval_setup,
-            max_instructions=max_instructions,
+            max_instructions=request.max_instructions or eval_budget,
+            reservoir_size=request.reservoir_size,
+            seed=request.resolved_seed(),
         )
 
     def instruction_breakdown(

@@ -167,6 +167,83 @@ class ProcessorModel:
             ),
         )
 
+    # ------------------------------------------------------------------ #
+    # Derived operating points
+    # ------------------------------------------------------------------ #
+
+    #: Cached engines that do not depend on the clock period and are
+    #: therefore safe to share between derived operating points.
+    _PERIOD_INDEPENDENT = (
+        "sta",
+        "ssta",
+        "control_analyzer",
+        "data_analyzer",
+        "datapath_model",
+    )
+
+    def derive(
+        self,
+        speculation: float | None = None,
+        clock_period_override: float | None = None,
+        scheme: CorrectionScheme | None = None,
+        yield_quantile: float | None = None,
+        droop_guardband: float | None = None,
+    ) -> "ProcessorModel":
+        """A new operating point sharing this processor's trained engines.
+
+        Sweeps re-analyze the same hardware at many clock periods; the
+        netlist, variation model, (S)STA engines, DTA analyzers, and the
+        trained datapath model are all period-independent, so a derived
+        processor inherits whichever of them this one has already built
+        and only re-derives the period-dependent quantities.  This is the
+        sanctioned replacement for the old ``__dict__.update`` sharing
+        hack.
+
+        Args:
+            speculation: New working-frequency ratio (default: keep).
+            clock_period_override: Explicit speculative period in ps; not
+                inherited — pass it again if the derived point needs one.
+            scheme: New correction scheme (default: keep).
+            yield_quantile: New timing-yield target (default: keep).
+            droop_guardband: New baseline derate (default: keep).
+        """
+        clone = ProcessorModel(
+            pipeline=self.pipeline,
+            library=self.library,
+            variation_config=self.variation.config,
+            scheme=self.scheme if scheme is None else scheme,
+            speculation=(
+                self.speculation if speculation is None else speculation
+            ),
+            yield_quantile=(
+                self.yield_quantile
+                if yield_quantile is None
+                else yield_quantile
+            ),
+            droop_guardband=(
+                self.droop_guardband
+                if droop_guardband is None
+                else droop_guardband
+            ),
+            clock_period_override=clock_period_override,
+            paths_per_endpoint=self.paths_per_endpoint,
+        )
+        # Share the sampled variation model itself (the constructor built
+        # an equivalent one; the engines below reference this instance).
+        clone.variation = self.variation
+        for name in self._PERIOD_INDEPENDENT:
+            if name in self.__dict__:
+                clone.__dict__[name] = self.__dict__[name]
+        if (
+            "baseline_period" in self.__dict__
+            and clone.yield_quantile == self.yield_quantile
+            and clone.droop_guardband == self.droop_guardband
+        ):
+            clone.__dict__["baseline_period"] = self.__dict__[
+                "baseline_period"
+            ]
+        return clone
+
     def control_data_covariance(self, sigma_c: float, sigma_d: float) -> float:
         """Approximate slack covariance between control and data Gaussians.
 

@@ -119,6 +119,122 @@ class ErrorRateReport:
         }
 
     # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+
+    #: Schema tag written by :meth:`to_json`; bump on incompatible change.
+    SCHEMA = "repro.error-rate-report/1"
+
+    def to_json(self, include_timing: bool = True) -> dict:
+        """Lossless, versioned JSON document for this report.
+
+        A strict superset of :meth:`table_row`: alongside the rounded
+        Table 2 summary fields it stores the full estimator state (lambda
+        Gaussian, Stein and Chen–Stein bounds, mixture quadrature), so
+        :meth:`from_json` reconstructs a report whose every method —
+        ``error_rate_grid``, ``error_rate_bounds`` — gives identical
+        output.  Wall-clock timings go in a separate ``timing`` section
+        (omitted when ``include_timing`` is false) so that result
+        payloads are byte-stable across reruns, workers, and cache hits.
+        """
+        doc = {
+            "schema": self.SCHEMA,
+            "benchmark": self.program,
+            "instructions": self.total_instructions,
+            "static_instructions": self.static_instructions,
+            "basic_blocks": self.basic_blocks,
+            "characterized_pairs": self.characterized_pairs,
+            "error_rate_mean_pct": round(self.error_rate_mean, 4),
+            "error_rate_sd_pct": round(self.error_rate_sd, 4),
+            "d_k_lambda": round(self.d_k_lambda, 4),
+            "d_k_rate": round(self.d_k_rate, 4),
+            "lambda": {"mean": self.lam.mean, "var": self.lam.var},
+            "quadrature_points": self.mixture.quadrature_points,
+            "stein": {
+                "mean": self.stein.mean,
+                "variance": self.stein.variance,
+                "b1": self.stein.b1,
+                "b2": self.stein.b2,
+                "d_wasserstein": self.stein.d_wasserstein,
+                "d_kolmogorov": self.stein.d_kolmogorov,
+                "d_kolmogorov_conservative": (
+                    self.stein.d_kolmogorov_conservative
+                ),
+                "d_kolmogorov_empirical": (
+                    self.stein.d_kolmogorov_empirical
+                ),
+            },
+            "chen_stein": {
+                "b1_samples": [
+                    float(x) for x in self.chen_stein.b1_samples
+                ],
+                "b2_samples": [
+                    float(x) for x in self.chen_stein.b2_samples
+                ],
+                "b1_worst": self.chen_stein.b1_worst,
+                "b2_worst": self.chen_stein.b2_worst,
+                "lambda_mean": self.chen_stein.lambda_mean,
+                "d_kolmogorov": self.chen_stein.d_kolmogorov,
+            },
+        }
+        if include_timing:
+            doc["timing"] = {
+                "training_s": self.training_seconds,
+                "simulation_s": self.simulation_seconds,
+            }
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "ErrorRateReport":
+        """Rebuild a report serialized by :meth:`to_json`."""
+        if doc.get("schema") != cls.SCHEMA:
+            raise ValueError(
+                f"unsupported report schema {doc.get('schema')!r}; "
+                f"expected {cls.SCHEMA!r}"
+            )
+        lam = Gaussian(
+            float(doc["lambda"]["mean"]), float(doc["lambda"]["var"])
+        )
+        s = doc["stein"]
+        stein = SteinNormalBound(
+            mean=float(s["mean"]),
+            variance=float(s["variance"]),
+            b1=float(s["b1"]),
+            b2=float(s["b2"]),
+            d_wasserstein=float(s["d_wasserstein"]),
+            d_kolmogorov=float(s["d_kolmogorov"]),
+            d_kolmogorov_conservative=float(
+                s["d_kolmogorov_conservative"]
+            ),
+            d_kolmogorov_empirical=float(s["d_kolmogorov_empirical"]),
+        )
+        c = doc["chen_stein"]
+        chen = ChenSteinBound(
+            b1_samples=np.asarray(c["b1_samples"], dtype=float),
+            b2_samples=np.asarray(c["b2_samples"], dtype=float),
+            b1_worst=float(c["b1_worst"]),
+            b2_worst=float(c["b2_worst"]),
+            lambda_mean=float(c["lambda_mean"]),
+            d_kolmogorov=float(c["d_kolmogorov"]),
+        )
+        timing = doc.get("timing", {})
+        return cls(
+            program=doc["benchmark"],
+            total_instructions=int(doc["instructions"]),
+            static_instructions=int(doc["static_instructions"]),
+            basic_blocks=int(doc["basic_blocks"]),
+            characterized_pairs=int(doc["characterized_pairs"]),
+            lam=lam,
+            mixture=PoissonGaussianMixture(
+                lam, quadrature_points=int(doc["quadrature_points"])
+            ),
+            stein=stein,
+            chen_stein=chen,
+            training_seconds=float(timing.get("training_s", 0.0)),
+            simulation_seconds=float(timing.get("simulation_s", 0.0)),
+        )
+
+    # ------------------------------------------------------------------ #
 
     def table_row(self) -> dict:
         """One row of the paper's Table 2."""

@@ -63,31 +63,15 @@ class OperatingPointOptimizer:
             raise ValueError("need at least two sweep points")
         self.base = base
         self.points = tuple(sorted(points))
-        self._shared = None
 
     def _processor(self, speculation: float) -> "ProcessorModel":
-        from repro.core.processor import ProcessorModel
-
         check_positive("speculation", speculation)
-        proc = ProcessorModel(
-            pipeline=self.base.pipeline,
-            library=self.base.library,
-            scheme=self.base.scheme,
-            speculation=speculation,
-            yield_quantile=self.base.yield_quantile,
-            droop_guardband=self.base.droop_guardband,
-        )
-        if self._shared is None:
-            self._shared = {
-                "datapath_model": self.base.datapath_model,
-                "ssta": self.base.ssta,
-                "control_analyzer": self.base.control_analyzer,
-                "data_analyzer": self.base.data_analyzer,
-            }
-        proc.__dict__.update(self._shared)
-        # Variation model is shared too (netlist-level, not frequency).
-        proc.variation = self.base.variation
-        return proc
+        # Warm the frequency-independent engines on the base so every
+        # derived point inherits them instead of rebuilding its own.
+        _ = self.base.clock_period
+        _ = self.base.control_analyzer
+        _ = self.base.datapath_model
+        return self.base.derive(speculation=speculation)
 
     def evaluate(
         self,

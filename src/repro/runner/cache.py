@@ -1,0 +1,158 @@
+"""Content-addressed on-disk cache for trained estimation artifacts.
+
+Two artifact kinds are cached, mirroring the two expensive training
+phases of the framework:
+
+* **control** — a characterized :class:`ControlTimingModel` (via
+  ``TrainingArtifacts.to_doc``), keyed by everything the characterization
+  depends on: the program bytes, the pipeline/variation configuration,
+  the speculative clock period, the correction scheme, and the training
+  dataset + budget.
+* **datapath** — a trained :class:`DatapathTimingModel`, keyed by the
+  pipeline/variation configuration only: the datapath regression is
+  *period-independent*, so one entry is shared by every operating point
+  of a sweep — the FATE-style hierarchical reuse that makes large batch
+  runs cheap.
+
+Keys are SHA-256 digests of a canonical JSON document of the inputs;
+entries live at ``<root>/<kind>/<key[:2]>/<key>.json`` and are written
+atomically (temp file + rename) so concurrent pool workers can share one
+cache directory without locking: double writes are idempotent, torn
+reads impossible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.cpu.program import Program
+
+__all__ = [
+    "ArtifactCache",
+    "stable_digest",
+    "program_fingerprint",
+    "control_cache_key",
+    "datapath_cache_key",
+]
+
+
+def stable_digest(doc: dict) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``doc``."""
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def program_fingerprint(program: Program) -> str:
+    """Content hash of a program: its name plus full disassembly.
+
+    The listing covers every instruction field and label, so two
+    programs with the same fingerprint characterize identically.
+    """
+    blob = f"{program.name}\n{program.listing()}"
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _config_doc(config) -> dict:
+    """A dataclass config as a plain sortable dict."""
+    return dataclasses.asdict(config)
+
+
+def control_cache_key(
+    program: Program,
+    *,
+    pipeline_config,
+    variation_config,
+    scheme_name: str,
+    clock_period: float,
+    paths_per_endpoint: int,
+    train_scale: str,
+    train_seed: int | None,
+    train_instructions: int,
+) -> str:
+    """Cache key for a characterized control timing model."""
+    return stable_digest(
+        {
+            "kind": "control/1",
+            "program": program_fingerprint(program),
+            "pipeline": _config_doc(pipeline_config),
+            "variation": _config_doc(variation_config),
+            "scheme": scheme_name,
+            # repr() keeps full float precision; a different period is a
+            # different (and incompatible) characterization.
+            "clock_period": repr(float(clock_period)),
+            "paths_per_endpoint": paths_per_endpoint,
+            "train_scale": train_scale,
+            "train_seed": train_seed,
+            "train_instructions": train_instructions,
+        }
+    )
+
+
+def datapath_cache_key(
+    *,
+    pipeline_config,
+    variation_config,
+    paths_per_endpoint: int,
+) -> str:
+    """Cache key for the (period-independent) datapath timing model."""
+    return stable_digest(
+        {
+            "kind": "datapath/1",
+            "pipeline": _config_doc(pipeline_config),
+            "variation": _config_doc(variation_config),
+            "paths_per_endpoint": paths_per_endpoint,
+        }
+    )
+
+
+class ArtifactCache:
+    """A directory of content-addressed JSON artifact documents."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+
+    def path_for(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    def get(self, kind: str, key: str) -> dict | None:
+        """The stored document, or ``None`` on miss or corrupt entry."""
+        path = self.path_for(kind, key)
+        try:
+            with open(path) as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, kind: str, key: str, doc: dict) -> Path:
+        """Atomically store ``doc``; concurrent writers are safe."""
+        path = self.path_for(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, kind_key: tuple[str, str]) -> bool:
+        kind, key = kind_key
+        return self.path_for(kind, key).exists()
+
+    def entries(self) -> list[Path]:
+        """All cached artifact files (for inspection and tests)."""
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/??/*.json"))

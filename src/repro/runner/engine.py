@@ -1,0 +1,509 @@
+"""The parallel batch estimation engine.
+
+An :class:`EstimationEngine` executes a batch of
+:class:`~repro.core.request.EstimationRequest` jobs — (workload ×
+operating point) pairs — on a ``concurrent.futures`` process pool,
+backed by the content-addressed :class:`ArtifactCache`.  The per-job
+work (train + estimate) is embarrassingly parallel; everything shared is
+either derived once in the parent before forking (the base processor,
+its SSTA baseline period, the period-independent datapath model — all
+inherited by the workers through fork's copy-on-write memory) or read
+from the cache.
+
+Design points:
+
+* **Determinism** — every job carries an explicit or identity-derived
+  seed, results are returned in request order, and reports cross the
+  process boundary as their versioned JSON documents, so a parallel run
+  is byte-identical to a serial one.
+* **Graceful degradation** — a job that raises is captured as a failed
+  :class:`JobResult` with its traceback instead of killing the batch;
+  the pool falls back to in-process execution when ``max_workers <= 1``,
+  when there is a single job, or when the platform cannot fork.
+* **Telemetry** — each result records train/estimate wall time, the
+  simulated instruction count, cache hit/miss, and the worker PID;
+  :class:`RunSummary` aggregates them.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.processor import ProcessorModel
+from repro.core.request import EstimationRequest
+from repro.core.results import ErrorRateReport
+from repro.cpu.correction import (
+    CorrectionScheme,
+    NoCorrection,
+    PipelineFlush,
+    ReplayHalfFrequency,
+)
+from repro.netlist.generator import PipelineConfig
+from repro.runner.cache import (
+    ArtifactCache,
+    control_cache_key,
+    datapath_cache_key,
+    stable_digest,
+)
+from repro.variation.process import VariationConfig
+
+__all__ = [
+    "ProcessorConfig",
+    "JobResult",
+    "RunSummary",
+    "EstimationEngine",
+]
+
+#: Correction schemes constructible by name (for picklable configs).
+CORRECTION_SCHEMES: dict[str, type[CorrectionScheme]] = {
+    ReplayHalfFrequency.name: ReplayHalfFrequency,
+    PipelineFlush.name: PipelineFlush,
+    NoCorrection.name: NoCorrection,
+}
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """A picklable recipe for building a :class:`ProcessorModel`.
+
+    The engine ships this (not the multi-megabyte processor object) to
+    pool workers, which rebuild — or, under fork, inherit — the
+    processor.  The same fields feed the artifact-cache keys.
+    """
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    variation: VariationConfig = field(default_factory=VariationConfig)
+    scheme: str = ReplayHalfFrequency.name
+    speculation: float = 1.15
+    yield_quantile: float = 0.9987
+    droop_guardband: float = 1.04
+    paths_per_endpoint: int = 12
+
+    def __post_init__(self) -> None:
+        if self.scheme not in CORRECTION_SCHEMES:
+            raise ValueError(
+                f"unknown correction scheme {self.scheme!r}; "
+                f"known: {sorted(CORRECTION_SCHEMES)}"
+            )
+
+    def build(self) -> ProcessorModel:
+        from repro.netlist.generator import generate_pipeline
+
+        return ProcessorModel(
+            pipeline=generate_pipeline(self.pipeline),
+            variation_config=self.variation,
+            scheme=CORRECTION_SCHEMES[self.scheme](),
+            speculation=self.speculation,
+            yield_quantile=self.yield_quantile,
+            droop_guardband=self.droop_guardband,
+            paths_per_endpoint=self.paths_per_endpoint,
+        )
+
+    def digest(self) -> str:
+        """Identity of this configuration (worker-side registry key)."""
+        import dataclasses
+
+        return stable_digest(
+            {
+                "pipeline": dataclasses.asdict(self.pipeline),
+                "variation": dataclasses.asdict(self.variation),
+                "scheme": self.scheme,
+                "speculation": repr(self.speculation),
+                "yield_quantile": repr(self.yield_quantile),
+                "droop_guardband": repr(self.droop_guardband),
+                "paths_per_endpoint": self.paths_per_endpoint,
+            }
+        )
+
+
+@dataclass(slots=True)
+class JobResult:
+    """Outcome + telemetry of one estimation job."""
+
+    request: EstimationRequest
+    status: str  # "ok" | "error"
+    report: ErrorRateReport | None = None
+    error: str | None = None
+    cache_hit: bool = False
+    train_seconds: float = 0.0
+    estimate_seconds: float = 0.0
+    instructions: int = 0
+    worker: int = 0
+    seed: int = 0
+    speculation: float = 0.0
+    working_frequency_mhz: float | None = None
+    net_performance_percent: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_json(self) -> dict:
+        doc = {
+            "workload": self.request.workload_name,
+            "status": self.status,
+            "cache_hit": self.cache_hit,
+            "train_seconds": round(self.train_seconds, 3),
+            "estimate_seconds": round(self.estimate_seconds, 3),
+            "instructions": self.instructions,
+            "worker": self.worker,
+            "seed": self.seed,
+            "speculation": self.speculation,
+            "working_frequency_mhz": self.working_frequency_mhz,
+            "net_performance_percent": self.net_performance_percent,
+        }
+        if self.report is not None:
+            doc["report"] = self.report.to_json()
+        if self.error is not None:
+            doc["error"] = self.error
+        return doc
+
+
+@dataclass(slots=True)
+class RunSummary:
+    """Aggregate outcome of one engine batch."""
+
+    results: list[JobResult]
+    wall_seconds: float
+    max_workers: int
+    parallel: bool
+    cache_dir: str | None = None
+    #: ``None`` when caching is disabled; otherwise whether the shared
+    #: datapath model came from the cache.
+    datapath_cache_hit: bool | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def succeeded(self) -> list[JobResult]:
+        return [r for r in self.results if r.ok]
+
+    @property
+    def failed(self) -> list[JobResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    @property
+    def training_runs(self) -> int:
+        """Jobs that actually executed a control training phase."""
+        return sum(1 for r in self.results if r.ok and not r.cache_hit)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(r.instructions for r in self.results)
+
+    def reports(self) -> list[ErrorRateReport]:
+        """Successful reports in request order."""
+        return [r.report for r in self.results if r.ok]
+
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro.run-summary/1",
+            "jobs": len(self.results),
+            "succeeded": len(self.succeeded),
+            "failed": len(self.failed),
+            "cache_hits": self.cache_hits,
+            "training_runs": self.training_runs,
+            "datapath_cache_hit": self.datapath_cache_hit,
+            "total_instructions": self.total_instructions,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "max_workers": self.max_workers,
+            "parallel": self.parallel,
+            "cache_dir": self.cache_dir,
+            "results": [r.to_json() for r in self.results],
+        }
+
+    def describe(self) -> str:
+        """One-line telemetry summary for CLI output."""
+        return (
+            f"{len(self.results)} jobs, {len(self.succeeded)} ok, "
+            f"{len(self.failed)} failed, {self.cache_hits} cache hits, "
+            f"{self.training_runs} training runs, "
+            f"{self.total_instructions:,} instructions, "
+            f"{self.wall_seconds:.1f}s wall "
+            f"({'parallel x' + str(self.max_workers) if self.parallel else 'in-process'})"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Worker-side execution
+# --------------------------------------------------------------------- #
+
+#: Per-process registry of built processors.  Under the fork start
+#: method the parent's warmed entries (base processor, SSTA baseline,
+#: datapath model) are inherited by every worker for free.
+_PROCESSORS: dict[str, ProcessorModel] = {}
+_DERIVED: dict[tuple[str, float], ProcessorModel] = {}
+
+
+def _base_processor(config: ProcessorConfig) -> ProcessorModel:
+    key = config.digest()
+    if key not in _PROCESSORS:
+        _PROCESSORS[key] = config.build()
+    return _PROCESSORS[key]
+
+
+def _processor_for(
+    config: ProcessorConfig, speculation: float | None
+) -> ProcessorModel:
+    base = _base_processor(config)
+    if speculation is None or speculation == base.speculation:
+        return base
+    key = (config.digest(), speculation)
+    if key not in _DERIVED:
+        _DERIVED[key] = base.derive(speculation=speculation)
+    return _DERIVED[key]
+
+
+def _attach_datapath(
+    processor: ProcessorModel, config: ProcessorConfig, cache: ArtifactCache
+) -> bool:
+    """Load or train+store the shared datapath model; True on cache hit."""
+    from repro.dta.datapath import DatapathTimingModel
+
+    key = datapath_cache_key(
+        pipeline_config=config.pipeline,
+        variation_config=config.variation,
+        paths_per_endpoint=config.paths_per_endpoint,
+    )
+    doc = cache.get("datapath", key)
+    if doc is not None:
+        processor.datapath_model = DatapathTimingModel.from_json(
+            doc["model"]
+        )
+        return True
+    cache.put(
+        "datapath",
+        key,
+        {
+            "schema": "repro.datapath-model/1",
+            "model": processor.datapath_model.to_json(),
+        },
+    )
+    return False
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Run one job; never raises — failures become error documents.
+
+    Executed either in a pool worker or in-process; the return value is
+    a plain picklable dict (reports travel as their JSON documents).
+    """
+    request: EstimationRequest = payload["request"]
+    config: ProcessorConfig = payload["config"]
+    out = {
+        "worker": os.getpid(),
+        "status": "ok",
+        "cache_hit": False,
+    }
+    try:
+        from repro.core.framework import ErrorRateEstimator
+
+        cache = (
+            ArtifactCache(payload["cache_dir"])
+            if payload["cache_dir"]
+            else None
+        )
+        processor = _processor_for(config, request.speculation)
+        if cache is not None:
+            _attach_datapath(processor, config, cache)
+        estimator = ErrorRateEstimator(
+            processor, n_data_samples=payload["n_data_samples"]
+        )
+        workload = request.resolve_workload()
+        program, train_setup, train_budget = workload.run_spec(
+            request.train_scale, seed=request.train_seed
+        )
+        train_instructions = request.train_instructions or train_budget
+
+        t0 = time.perf_counter()
+        artifacts = None
+        key = None
+        if cache is not None:
+            key = control_cache_key(
+                program,
+                pipeline_config=config.pipeline,
+                variation_config=config.variation,
+                scheme_name=config.scheme,
+                clock_period=processor.clock_period,
+                paths_per_endpoint=config.paths_per_endpoint,
+                train_scale=request.train_scale,
+                train_seed=request.train_seed,
+                train_instructions=train_instructions,
+            )
+            doc = cache.get("control", key)
+            if doc is not None:
+                artifacts = estimator.artifacts_from_doc(program, doc)
+                out["cache_hit"] = True
+        if artifacts is None:
+            artifacts = estimator.train(
+                program,
+                setup=train_setup,
+                max_instructions=train_instructions,
+            )
+            if cache is not None:
+                cache.put("control", key, artifacts.to_doc())
+        out["train_seconds"] = time.perf_counter() - t0
+
+        _, eval_setup, eval_budget = workload.run_spec(
+            request.eval_scale, seed=request.eval_seed
+        )
+        seed = request.resolved_seed()
+        t1 = time.perf_counter()
+        report = estimator.estimate(
+            program,
+            artifacts,
+            setup=eval_setup,
+            max_instructions=request.max_instructions or eval_budget,
+            reservoir_size=request.reservoir_size,
+            seed=seed,
+        )
+        out["estimate_seconds"] = time.perf_counter() - t1
+        out["report"] = report.to_json()
+        out["instructions"] = report.total_instructions
+        out["seed"] = seed
+        out["speculation"] = processor.speculation
+        out["working_frequency_mhz"] = processor.working_frequency_mhz
+        out["net_performance_percent"] = (
+            processor.performance.improvement_percent(
+                report.error_rate_mean / 100.0
+            )
+        )
+    except Exception:
+        out["status"] = "error"
+        out["error"] = traceback.format_exc()
+    return out
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+
+
+class EstimationEngine:
+    """Batch executor for estimation requests.
+
+    Args:
+        config: Processor recipe shared by every job (default: the
+            paper's Section 6.1 configuration).
+        max_workers: Process-pool width; ``1`` executes in-process.
+        cache_dir: Artifact-cache directory, or ``None`` to disable
+            caching.
+        n_data_samples: Data-variation sample count per estimator.
+    """
+
+    def __init__(
+        self,
+        config: ProcessorConfig | None = None,
+        *,
+        max_workers: int = 1,
+        cache_dir=None,
+        n_data_samples: int = 128,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.config = config or ProcessorConfig()
+        self.max_workers = max_workers
+        self.cache_dir = str(cache_dir) if cache_dir else None
+        self.n_data_samples = n_data_samples
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def base_processor(self) -> ProcessorModel:
+        """The built (and registry-shared) base processor."""
+        return _base_processor(self.config)
+
+    @staticmethod
+    def fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def _prepare(self) -> bool | None:
+        """Warm parent-side shared state before any fork.
+
+        Builds the base processor, its baseline period (the SSTA solve),
+        and the datapath model — loading the latter from the cache when
+        possible — so pool workers inherit them copy-on-write instead of
+        re-deriving them per process.  Returns the datapath cache-hit
+        flag (``None`` when caching is off).
+        """
+        base = self.base_processor
+        _ = base.clock_period  # triggers the SSTA baseline solve
+        _ = base.control_analyzer
+        if self.cache_dir is None:
+            _ = base.datapath_model  # train once here, not per worker
+            return None
+        return _attach_datapath(
+            base, self.config, ArtifactCache(self.cache_dir)
+        )
+
+    def run(self, requests) -> RunSummary:
+        """Execute all requests; results come back in request order."""
+        requests = list(requests)
+        start = time.perf_counter()
+        datapath_hit = self._prepare()
+        payloads = [
+            {
+                "request": request,
+                "config": self.config,
+                "cache_dir": self.cache_dir,
+                "n_data_samples": self.n_data_samples,
+            }
+            for request in requests
+        ]
+        parallel = (
+            self.max_workers > 1
+            and len(requests) > 1
+            and self.fork_available()
+        )
+        if parallel:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(self.max_workers, len(requests)),
+                mp_context=context,
+            ) as pool:
+                raw = list(pool.map(_execute_payload, payloads))
+        else:
+            raw = [_execute_payload(p) for p in payloads]
+        results = [
+            self._result_from(request, doc)
+            for request, doc in zip(requests, raw)
+        ]
+        return RunSummary(
+            results=results,
+            wall_seconds=time.perf_counter() - start,
+            max_workers=self.max_workers,
+            parallel=parallel,
+            cache_dir=self.cache_dir,
+            datapath_cache_hit=datapath_hit,
+        )
+
+    @staticmethod
+    def _result_from(request: EstimationRequest, doc: dict) -> JobResult:
+        report = None
+        if doc.get("report") is not None:
+            report = ErrorRateReport.from_json(doc["report"])
+        return JobResult(
+            request=request,
+            status=doc["status"],
+            report=report,
+            error=doc.get("error"),
+            cache_hit=doc.get("cache_hit", False),
+            train_seconds=doc.get("train_seconds", 0.0),
+            estimate_seconds=doc.get("estimate_seconds", 0.0),
+            instructions=doc.get("instructions", 0),
+            worker=doc.get("worker", 0),
+            seed=doc.get("seed", 0),
+            speculation=doc.get("speculation", 0.0),
+            working_frequency_mhz=doc.get("working_frequency_mhz"),
+            net_performance_percent=doc.get("net_performance_percent"),
+        )

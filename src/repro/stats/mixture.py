@@ -46,6 +46,11 @@ class PoissonGaussianMixture:
     # ------------------------------------------------------------------ #
 
     @property
+    def quadrature_points(self) -> int:
+        """Gauss–Hermite node count this mixture was built with."""
+        return len(self._lam_nodes)
+
+    @property
     def mean(self) -> float:
         """``E[N_E] = E[lambda]`` (law of total expectation)."""
         return self.lam.mean

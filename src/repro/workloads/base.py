@@ -84,6 +84,21 @@ class Workload:
     def budget(self, scale: str) -> int:
         return self.max_instructions[scale]
 
+    def run_spec(
+        self, scale: str, seed: int | None = None
+    ) -> tuple[Program, Callable[[MachineState], None], int]:
+        """Everything one execution needs: ``(program, setup, budget)``.
+
+        Replaces the hand-threaded ``setup(dataset(scale))`` +
+        ``budget(scale)`` triple at every call site; ``seed`` overrides
+        the scale's canonical dataset seed.
+        """
+        return (
+            self.program,
+            self.setup(self.dataset(scale, seed)),
+            self.budget(scale),
+        )
+
 
 def make_workload(
     name: str,

@@ -147,21 +147,12 @@ class TestFrequencySensitivity:
                 cloud_gates=60, seed=7,
             )
         )
+        base = ProcessorModel(pipeline=pipeline, speculation=1.10)
         rates = []
-        shared = {}
-        for speculation in (1.10, 1.25):
-            proc = ProcessorModel(pipeline=pipeline, speculation=speculation)
-            for key, value in shared.items():
-                proc.__dict__[key] = value
+        for proc in (base, base.derive(speculation=1.25)):
             est = ErrorRateEstimator(proc, n_data_samples=48)
             artifacts = est.train(program)
             rates.append(
                 est.estimate(program, artifacts).error_rate_mean
             )
-            shared = {
-                "datapath_model": proc.datapath_model,
-                "ssta": proc.ssta,
-                "control_analyzer": proc.control_analyzer,
-                "data_analyzer": proc.data_analyzer,
-            }
         assert rates[1] > rates[0]

@@ -89,3 +89,47 @@ class TestCurves:
         # Grid is centred on the mean.
         mid = grid["rates_percent"][len(grid["rates_percent"]) // 2]
         assert mid == pytest.approx(report.error_rate_mean, rel=0.2)
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_every_view(self, report):
+        again = ErrorRateReport.from_json(report.to_json())
+        assert again.program == report.program
+        assert again.total_instructions == report.total_instructions
+        assert again.error_rate_mean == pytest.approx(
+            report.error_rate_mean
+        )
+        assert again.error_rate_sd == pytest.approx(report.error_rate_sd)
+        assert again.d_k_lambda == pytest.approx(report.d_k_lambda)
+        assert again.d_k_rate == pytest.approx(report.d_k_rate)
+        assert again.training_seconds == pytest.approx(1.5)
+        rates = np.linspace(0.3, 0.7, 20)
+        np.testing.assert_allclose(
+            again.error_rate_cdf(rates), report.error_rate_cdf(rates)
+        )
+        for side_a, side_b in zip(
+            again.error_rate_bounds(rates),
+            report.error_rate_bounds(rates),
+        ):
+            np.testing.assert_allclose(side_a, side_b)
+
+    def test_json_doc_is_json_serializable(self, report):
+        import json
+
+        blob = json.dumps(report.to_json(), sort_keys=True)
+        assert ErrorRateReport.from_json(
+            json.loads(blob)
+        ).error_rate_mean == pytest.approx(report.error_rate_mean)
+
+    def test_timing_section_is_optional(self, report):
+        doc = report.to_json(include_timing=False)
+        assert "timing" not in doc
+        again = ErrorRateReport.from_json(doc)
+        assert again.training_seconds == 0.0
+        assert again.simulation_seconds == 0.0
+
+    def test_rejects_wrong_schema(self, report):
+        doc = report.to_json()
+        doc["schema"] = "repro.error-rate-report/999"
+        with pytest.raises(ValueError):
+            ErrorRateReport.from_json(doc)

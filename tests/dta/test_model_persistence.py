@@ -170,3 +170,66 @@ class TestEndToEndPersistence:
         r1 = estimator.estimate(program, artifacts)
         r2 = estimator.estimate(program, reloaded)
         assert r2.error_rate_mean == pytest.approx(r1.error_rate_mean)
+
+
+class TestArtifactPeriodGuard:
+    """Persisted artifacts refuse to load at a different clock period."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, tmp_path_factory):
+        from repro.core import ErrorRateEstimator, ProcessorModel
+        from repro.cpu import assemble
+        from repro.netlist import PipelineConfig, generate_pipeline
+
+        pipeline = generate_pipeline(
+            PipelineConfig(
+                data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+                cloud_gates=60, seed=7,
+            )
+        )
+        proc = ProcessorModel(pipeline=pipeline, speculation=1.10)
+        program = assemble(
+            "li r1, 12\nloop: add r2, r2, r1\nsubcc r1, r1, 1\n"
+            "bne loop\nhalt",
+            name="period-toy",
+        )
+        estimator = ErrorRateEstimator(proc, n_data_samples=16)
+        artifacts = estimator.train(program)
+        path = tmp_path_factory.mktemp("artifacts") / "trained.json"
+        artifacts.save(path)
+        return proc, program, path
+
+    def test_doc_records_clock_period(self, trained):
+        import json
+
+        proc, _, path = trained
+        doc = json.loads(path.read_text())
+        assert doc["clock_period"] == pytest.approx(proc.clock_period)
+
+    def test_same_period_loads(self, trained):
+        from repro.core import ErrorRateEstimator
+
+        proc, program, path = trained
+        reloaded = ErrorRateEstimator(proc).load_artifacts(program, path)
+        assert len(reloaded.control_model) > 0
+
+    def test_other_period_refused(self, trained):
+        from repro.core import ErrorRateEstimator
+
+        proc, program, path = trained
+        faster = proc.derive(speculation=1.25)
+        with pytest.raises(ValueError, match="clock period"):
+            ErrorRateEstimator(faster).load_artifacts(program, path)
+
+    def test_legacy_doc_without_period_refused(self, trained):
+        import json
+
+        from repro.core import ErrorRateEstimator
+
+        proc, program, path = trained
+        doc = json.loads(path.read_text())
+        del doc["clock_period"]
+        legacy = path.with_name("legacy.json")
+        legacy.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="clock period"):
+            ErrorRateEstimator(proc).load_artifacts(program, legacy)

@@ -1,0 +1,131 @@
+"""Tests for the batch estimation engine (reduced pipeline + budgets)."""
+
+import json
+
+import pytest
+
+from repro.core import EstimationRequest
+from repro.netlist import PipelineConfig
+from repro.runner import ArtifactCache, EstimationEngine, ProcessorConfig
+
+SMALL = ProcessorConfig(
+    pipeline=PipelineConfig(
+        data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+        cloud_gates=60, seed=7,
+    )
+)
+
+
+def _engine(**kwargs):
+    kwargs.setdefault("n_data_samples", 32)
+    return EstimationEngine(SMALL, **kwargs)
+
+
+def _requests(*names, **overrides):
+    kwargs = dict(
+        train_instructions=4_000, max_instructions=6_000, seed=0
+    )
+    kwargs.update(overrides)
+    return [EstimationRequest(workload=name, **kwargs) for name in names]
+
+
+def _rows(summary):
+    """Result payloads with timing excluded (determinism comparison)."""
+    return [
+        json.dumps(r.report.to_json(include_timing=False), sort_keys=True)
+        for r in summary.results
+    ]
+
+
+class TestSerialRuns:
+    def test_summary_telemetry(self):
+        summary = _engine().run(_requests("bitcount", "stringsearch"))
+        assert len(summary) == 2
+        assert not summary.parallel
+        assert summary.failed == []
+        assert summary.cache_hits == 0
+        assert summary.training_runs == 2
+        assert summary.datapath_cache_hit is None
+        assert summary.total_instructions > 0
+        for result in summary.results:
+            assert result.ok
+            assert result.report is not None
+            assert result.train_seconds > 0
+            assert result.estimate_seconds > 0
+            assert result.worker > 0
+        doc = summary.to_json()
+        assert doc["schema"] == "repro.run-summary/1"
+        assert doc["jobs"] == 2
+        assert [r["workload"] for r in doc["results"]] == [
+            "bitcount", "stringsearch",
+        ]
+
+    def test_failed_job_is_captured_not_raised(self):
+        requests = _requests("bitcount") + [
+            EstimationRequest(workload="no-such-workload")
+        ]
+        summary = _engine().run(requests)
+        assert len(summary) == 2
+        assert summary.results[0].ok
+        failed = summary.results[1]
+        assert not failed.ok
+        assert failed.report is None
+        assert "no-such-workload" in failed.error
+        assert "Traceback" in failed.error
+        assert len(summary.failed) == 1
+        assert summary.to_json()["failed"] == 1
+
+    def test_results_keep_request_order(self):
+        names = ("stringsearch", "bitcount", "stringsearch")
+        summary = _engine().run(_requests(*names))
+        assert [
+            r.request.workload_name for r in summary.results
+        ] == list(names)
+
+
+class TestArtifactCaching:
+    def test_warm_cache_skips_all_training(self, tmp_path):
+        requests = _requests("bitcount")
+        cold = _engine(cache_dir=tmp_path).run(requests)
+        assert cold.training_runs == 1
+        assert cold.cache_hits == 0
+        assert cold.datapath_cache_hit is False
+
+        warm = _engine(cache_dir=tmp_path).run(requests)
+        assert warm.training_runs == 0
+        assert warm.cache_hits == 1
+        assert warm.datapath_cache_hit is True
+        assert _rows(warm) == _rows(cold)
+
+    def test_cache_entries_on_disk(self, tmp_path):
+        _engine(cache_dir=tmp_path).run(_requests("bitcount"))
+        cache = ArtifactCache(tmp_path)
+        kinds = {p.parent.parent.name for p in cache.entries()}
+        assert kinds == {"control", "datapath"}
+
+    def test_budget_change_is_a_cache_miss(self, tmp_path):
+        _engine(cache_dir=tmp_path).run(_requests("bitcount"))
+        other = _engine(cache_dir=tmp_path).run(
+            _requests("bitcount", train_instructions=5_000)
+        )
+        assert other.cache_hits == 0
+        assert other.training_runs == 1
+
+
+@pytest.mark.skipif(
+    not EstimationEngine.fork_available(), reason="needs fork"
+)
+class TestParallelMatchesSerial:
+    def test_rows_byte_identical(self):
+        requests = _requests("bitcount", "stringsearch")
+        serial = _engine(max_workers=1).run(requests)
+        parallel = _engine(max_workers=2).run(requests)
+        assert not serial.parallel
+        assert parallel.parallel
+        assert parallel.failed == []
+        assert _rows(parallel) == _rows(serial)
+
+    def test_single_job_falls_back_in_process(self):
+        summary = _engine(max_workers=4).run(_requests("bitcount"))
+        assert not summary.parallel
+        assert summary.results[0].ok
