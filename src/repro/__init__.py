@@ -33,6 +33,13 @@ from repro.core.framework import ErrorRateEstimator, TrainingArtifacts
 from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
 from repro.core.montecarlo import MonteCarloValidator
+from repro.kernels import (
+    KernelConfig,
+    KernelStats,
+    configure_kernels,
+    kernel_config,
+    kernel_stats,
+)
 
 __all__ = [
     "__version__",
@@ -43,4 +50,9 @@ __all__ = [
     "TrainingArtifacts",
     "ErrorRateReport",
     "MonteCarloValidator",
+    "KernelConfig",
+    "KernelStats",
+    "configure_kernels",
+    "kernel_config",
+    "kernel_stats",
 ]

@@ -34,6 +34,7 @@ from repro.dta.characterize import (
     ControlSampleCollector,
     ControlTimingModel,
 )
+from repro.kernels import kernel_stats
 from repro.sta.gaussian import Gaussian
 from repro.stats.chen_stein import chen_stein_bound
 from repro.stats.mixture import PoissonGaussianMixture
@@ -58,6 +59,9 @@ class TrainingArtifacts:
     training_seconds: float
     training_instructions: int
     clock_period: float | None = None
+    #: Kernel-layer counters accumulated during training (transient
+    #: telemetry — not persisted; ``None`` for loaded artifacts).
+    kernel_stats: dict | None = None
 
     def to_doc(self) -> dict:
         """The persistable document behind :meth:`save`."""
@@ -119,6 +123,7 @@ class ErrorRateEstimator:
             max_instructions: Budget for the training execution.
         """
         start = time.perf_counter()
+        kernels_before = kernel_stats().snapshot()
         cfg = build_cfg(program)
         simulator = FunctionalSimulator(program)
         state = MachineState()
@@ -148,6 +153,7 @@ class ErrorRateEstimator:
             training_seconds=elapsed,
             training_instructions=result.instructions,
             clock_period=self.processor.clock_period,
+            kernel_stats=kernel_stats().delta(kernels_before).to_json(),
         )
 
     def load_artifacts(self, program: Program, path) -> TrainingArtifacts:
@@ -219,6 +225,7 @@ class ErrorRateEstimator:
     ) -> ErrorRateReport:
         """Estimate the program's error-rate distribution on a dataset."""
         start = time.perf_counter()
+        kernels_before = kernel_stats().snapshot()
         cfg = artifacts.cfg
         simulator = FunctionalSimulator(program)
         state = MachineState()
@@ -269,6 +276,12 @@ class ErrorRateEstimator:
         lam = Gaussian(stein.mean, stein.variance)
         mixture = PoissonGaussianMixture(lam)
         elapsed = time.perf_counter() - start
+        kernels = (
+            kernel_stats()
+            .delta(kernels_before)
+            .merge(artifacts.kernel_stats)
+            .to_json()
+        )
         return ErrorRateReport(
             program=program.name,
             total_instructions=profile.total_instructions,
@@ -281,6 +294,7 @@ class ErrorRateEstimator:
             chen_stein=chen,
             training_seconds=artifacts.training_seconds,
             simulation_seconds=elapsed,
+            kernel_stats=kernels,
         )
 
     def _characterize_missing(self, artifacts, samples) -> None:

@@ -30,6 +30,11 @@ class ErrorRateReport:
         chen_stein: Poisson-approximation bound (Thm 5.1).
         training_seconds: Wall-clock training time.
         simulation_seconds: Wall-clock simulation + estimation time.
+        kernel_stats: Kernel-layer counters accumulated while producing
+            this report (see :class:`repro.kernels.KernelStats`), or
+            ``None`` when not captured.  Telemetry, like the wall-clock
+            timings: serialized in the ``timing`` section so result
+            payloads stay byte-stable.
     """
 
     program: str
@@ -43,6 +48,7 @@ class ErrorRateReport:
     chen_stein: ChenSteinBound
     training_seconds: float
     simulation_seconds: float
+    kernel_stats: dict | None = None
 
     # ------------------------------------------------------------------ #
     # Error-rate views
@@ -182,6 +188,8 @@ class ErrorRateReport:
                 "training_s": self.training_seconds,
                 "simulation_s": self.simulation_seconds,
             }
+            if self.kernel_stats is not None:
+                doc["timing"]["kernels"] = dict(self.kernel_stats)
         return doc
 
     @classmethod
@@ -232,6 +240,7 @@ class ErrorRateReport:
             chen_stein=chen,
             training_seconds=float(timing.get("training_s", 0.0)),
             simulation_seconds=float(timing.get("simulation_s", 0.0)),
+            kernel_stats=timing.get("kernels"),
         )
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._util import check_in, check_positive
+from repro.kernels import kernel_config, kernel_stats
 from repro.logicsim.activity import ActivityTrace
 from repro.netlist.gates import EndpointKind, GateType
 from repro.netlist.library import TimingLibrary
@@ -103,6 +104,69 @@ class _EndpointPaths:
         return counts == self.lengths[None, :]
 
 
+class _StagePlan:
+    """Batched AP-selection layout over all of a stage's endpoints.
+
+    Concatenates every (non-empty) endpoint's critical paths into one
+    global path axis so that a whole :meth:`StageDTSAnalyzer.ap_trace`
+    call needs a single gather + segment-reduce for activation and one
+    segmented rank-minimum per criticality ordering, instead of a
+    Python loop over endpoints.
+    """
+
+    __slots__ = (
+        "eps",
+        "paths_flat",
+        "n_paths",
+        "gather",
+        "path_segments",
+        "path_lengths",
+        "ep_offsets",
+        "ep_sizes",
+        "risk_metrics",
+        "orders",
+    )
+
+    def __init__(self, eps: list["_EndpointPaths"]) -> None:
+        self.eps = [ep for ep in eps if ep.paths]
+        self.paths_flat = [p for ep in self.eps for p in ep.paths]
+        self.n_paths = len(self.paths_flat)
+        self.gather = np.concatenate(
+            [ep.gather for ep in self.eps]
+        ) if self.eps else np.empty(0, dtype=int)
+        self.path_lengths = np.concatenate(
+            [ep.lengths for ep in self.eps]
+        ) if self.eps else np.empty(0, dtype=int)
+        self.path_segments = np.concatenate(
+            [[0], np.cumsum(self.path_lengths)[:-1]]
+        ) if self.eps else np.empty(0, dtype=int)
+        self.ep_sizes = np.array(
+            [len(ep.paths) for ep in self.eps], dtype=int
+        )
+        self.ep_offsets = np.concatenate(
+            [[0], np.cumsum(self.ep_sizes)[:-1]]
+        ).astype(int) if self.eps else np.empty(0, dtype=int)
+        self.risk_metrics = np.array(
+            [ep.risk_metric for ep in self.eps], dtype=float
+        )
+        # Per ordering: (ranks, order_flat) where ranks[g] is the
+        # criticality rank of global path g within its endpoint and
+        # order_flat[offset + r] is the global path of rank r.
+        self.orders = {
+            name: self._order_arrays(name)
+            for name in ("order_nominal", "order_worst", "order_best")
+        }
+
+    def _order_arrays(self, attr: str) -> tuple[np.ndarray, np.ndarray]:
+        ranks = np.empty(self.n_paths, dtype=int)
+        order_flat = np.empty(self.n_paths, dtype=int)
+        for off, ep in zip(self.ep_offsets, self.eps):
+            order = np.asarray(getattr(ep, attr), dtype=int)
+            ranks[off + order] = np.arange(len(order))
+            order_flat[off : off + len(order)] = off + order
+        return ranks, order_flat
+
+
 class StageDTSAnalyzer:
     """Algorithm 1 over a netlist with optional process variation.
 
@@ -143,7 +207,20 @@ class StageDTSAnalyzer:
         self._enumerator = PathEnumerator(
             netlist, netlist.nominal_delays(library)
         )
+        # Period-independent per-path state, precomputed once: a registry
+        # assigning a dense id to every analyzed path, its delay moments,
+        # a pairwise path-covariance cache (seeded per endpoint by the
+        # blocked kernel, filled lazily for cross-endpoint pairs), and a
+        # memo reducing each distinct (mode, period, AP id-set) exactly
+        # once.
+        self._path_ids: dict[tuple[tuple[int, ...], int], int] = {}
+        self._registered: list[Path] = []
+        self._path_mean: list[float] = []
+        self._path_var: list[float] = []
+        self._cov_cache: dict[tuple[int, int], float] = {}
+        self._combine_memo: dict[tuple, Gaussian] = {}
         self._stage_endpoints: dict[int, list[_EndpointPaths]] = {}
+        self._stage_plans: dict[int, _StagePlan] = {}
         for s in range(netlist.num_stages):
             self._stage_endpoints[s] = [
                 self._prepare_endpoint(g.gid)
@@ -157,9 +234,70 @@ class StageDTSAnalyzer:
         )
         means = np.empty(len(paths))
         variances = np.empty(len(paths))
-        for i, p in enumerate(paths):
-            means[i], variances[i] = self.variation.path_delay_moments(p.gates)
+        pids = [self._register_path(p) for p in paths]
+        for i, pid in enumerate(pids):
+            means[i] = self._path_mean[pid]
+            variances[i] = self._path_var[pid]
+        # Seed the covariance cache with the endpoint's full pairwise
+        # matrix in one blocked computation (period-independent).
+        if len(paths) > 1:
+            cov = self.variation.path_cov_matrix([p.gates for p in paths])
+            kernel_stats().cov_cells_computed += (
+                len(paths) * (len(paths) - 1) // 2
+            )
+            for i in range(len(paths)):
+                for j in range(i + 1, len(paths)):
+                    a, b = pids[i], pids[j]
+                    key = (a, b) if a < b else (b, a)
+                    self._cov_cache.setdefault(key, float(cov[i, j]))
         return _EndpointPaths(endpoint, paths, means, variances, self.margin)
+
+    def _register_path(self, path: Path) -> int:
+        """Dense id of ``path``, registering its delay moments on first use."""
+        key = (path.gates, path.sink)
+        pid = self._path_ids.get(key)
+        if pid is None:
+            pid = len(self._registered)
+            self._path_ids[key] = pid
+            self._registered.append(path)
+            mean, var = self.variation.path_delay_moments(path.gates)
+            self._path_mean.append(mean)
+            self._path_var.append(var)
+        return pid
+
+    def _cov_for(self, pids: tuple[int, ...]) -> np.ndarray:
+        """Pairwise slack covariance matrix for registered path ids.
+
+        Within-endpoint cells were precomputed by the blocked kernel;
+        cross-endpoint cells are computed on first use (in a canonical
+        ``(low id, high id)`` orientation, so the value never depends on
+        the AP set that triggered it) and cached for the analyzer's
+        lifetime.
+        """
+        n = len(pids)
+        stats = kernel_stats()
+        cov = np.zeros((n, n))
+        for i in range(n):
+            cov[i, i] = self._path_var[pids[i]]
+            for j in range(i + 1, n):
+                a, b = pids[i], pids[j]
+                key = (a, b) if a < b else (b, a)
+                value = self._cov_cache.get(key)
+                if value is None:
+                    # Exact per-pair computation, in canonical (low id,
+                    # high id) orientation: the cached value is bitwise
+                    # identical to the reference path's and independent
+                    # of which AP set first requested it.
+                    value = self.variation.path_cov(
+                        self._registered[key[0]].gates,
+                        self._registered[key[1]].gates,
+                    )
+                    self._cov_cache[key] = value
+                    stats.cov_cells_computed += 1
+                else:
+                    stats.cov_cache_hits += 1
+                cov[i, j] = cov[j, i] = value
+        return cov
 
     # ------------------------------------------------------------------ #
 
@@ -195,6 +333,76 @@ class StageDTSAnalyzer:
         in statistical mode) the first activated path is selected.
         """
         check_in("mode", mode, _MODES)
+        if not kernel_config().batched_ap_select:
+            return self._ap_trace_reference(
+                stage, activity, clock_period, mode, include_safe
+            )
+        n_cycles = activity.n_cycles
+        result: list[list[Path]] = [[] for _ in range(n_cycles)]
+        plan = self._stage_plans.get(stage)
+        if plan is None:
+            plan = _StagePlan(self._stage_endpoints[stage])
+            self._stage_plans[stage] = plan
+        if plan.n_paths == 0:
+            return result
+        threshold = clock_period - self.library.setup_time
+        risky = (
+            np.ones(len(plan.eps), dtype=bool)
+            if include_safe
+            else plan.risk_metrics > threshold
+        )
+        if not risky.any():
+            return result
+        # One gather + segment-reduce gives every path's full-activation
+        # flag for every cycle: (n_cycles, total_paths).
+        counts = np.add.reduceat(
+            activity.activated[:, plan.gather].astype(np.int16),
+            plan.path_segments,
+            axis=1,
+        )
+        act = counts == plan.path_lengths[None, :]
+        order_names = (
+            ("order_nominal",)
+            if mode == "deterministic"
+            else ("order_worst", "order_best")
+        )
+        # For each ordering, the first activated path of each endpoint is
+        # the activated path of minimum criticality rank: a segmented
+        # minimum over the global path axis.
+        sentinel = plan.n_paths
+        picks = []
+        for name in order_names:
+            ranks, order_flat = plan.orders[name]
+            masked = np.where(act, ranks[None, :], sentinel)
+            min_rank = np.minimum.reduceat(masked, plan.ep_offsets, axis=1)
+            found = (min_rank < plan.ep_sizes[None, :]) & risky[None, :]
+            idx = plan.ep_offsets[None, :] + np.minimum(
+                min_rank, plan.ep_sizes[None, :] - 1
+            )
+            picks.append(np.where(found, order_flat[idx], sentinel).T)
+        # Per cycle: sorted-unique union of the picks.  Global path ids
+        # are (endpoint, within-endpoint) ordered, and distinct endpoints
+        # never share a path, so one global sort + dedup reproduces the
+        # per-endpoint sorted-unique extension exactly.
+        chosen = np.concatenate(picks, axis=0)
+        chosen.sort(axis=0)
+        keep = chosen < sentinel
+        keep[1:] &= chosen[1:] != chosen[:-1]
+        for t in np.flatnonzero(keep.any(axis=0)):
+            result[t].extend(
+                plan.paths_flat[g] for g in chosen[keep[:, t], t]
+            )
+        return result
+
+    def _ap_trace_reference(
+        self,
+        stage: int,
+        activity: ActivityTrace,
+        clock_period: float,
+        mode: str,
+        include_safe: bool,
+    ) -> list[list[Path]]:
+        """Reference AP selection: per-endpoint loop, per-cycle set union."""
         n_cycles = activity.n_cycles
         result: list[list[Path]] = [[] for _ in range(n_cycles)]
         threshold = clock_period - self.library.setup_time
@@ -228,7 +436,16 @@ class StageDTSAnalyzer:
     def combine(
         self, paths: list[Path], clock_period: float, mode: str = "statistical"
     ) -> Gaussian | None:
-        """Reduce an AP set to the stage DTS (``SL(CP(AP))``)."""
+        """Reduce an AP set to the stage DTS (``SL(CP(AP))``).
+
+        Path moments and pairwise covariances come from the analyzer's
+        period-independent registry, and the reduction itself is memoized
+        on (mode, clock period, AP path-id tuple): the same AP set recurs
+        across cycles and across (block, edge) characterizations, so with
+        the memo each distinct set pays for its Clark reduction exactly
+        once.  The pre-kernel recompute-everything path is kept behind the
+        ``precomputed_cov`` switch of :mod:`repro.kernels`.
+        """
         check_in("mode", mode, _MODES)
         if not paths:
             return None
@@ -236,6 +453,36 @@ class StageDTSAnalyzer:
         if mode == "deterministic":
             worst = max(p.delay for p in paths)
             return Gaussian(clock_period - worst - setup, 0.0)
+        config = kernel_config()
+        stats = kernel_stats()
+        stats.combine_calls += 1
+        if not config.precomputed_cov:
+            return self._combine_reference(paths, clock_period, setup)
+        pids = tuple(self._register_path(p) for p in paths)
+        memo_key = (mode, clock_period, pids)
+        if config.combine_memo:
+            hit = self._combine_memo.get(memo_key)
+            if hit is not None:
+                stats.combine_memo_hits += 1
+                return hit
+        slacks = [
+            Gaussian(clock_period - self._path_mean[pid] - setup,
+                     self._path_var[pid])
+            for pid in pids
+        ]
+        if len(slacks) == 1:
+            result = slacks[0]
+        else:
+            stats.clark_reductions += len(slacks) - 1
+            result = statistical_min(slacks, self._cov_for(pids))
+        if config.combine_memo:
+            self._combine_memo[memo_key] = result
+        return result
+
+    def _combine_reference(
+        self, paths: list[Path], clock_period: float, setup: float
+    ) -> Gaussian:
+        """Reference statistical reduction: recompute every moment per call."""
         slacks = []
         for p in paths:
             mean, var = self.variation.path_delay_moments(p.gates)
@@ -243,6 +490,7 @@ class StageDTSAnalyzer:
         if len(slacks) == 1:
             return slacks[0]
         n = len(paths)
+        kernel_stats().clark_reductions += n - 1
         cov = np.zeros((n, n))
         for i in range(n):
             cov[i, i] = slacks[i].var

@@ -1,0 +1,176 @@
+"""Vectorized DTS kernel layer: runtime configuration and counters.
+
+The hot loops of a characterization run — gate-by-gate logic simulation,
+per-AP recomputation of path moments, and pairwise covariance assembly
+for every Clark reduction — are replaced by batched numpy kernels (see
+``LevelizedSimulator``, ``StageDTSAnalyzer``, and
+``ProcessVariationModel.path_cov_matrix``).  This module holds the two
+cross-cutting pieces:
+
+* :class:`KernelConfig` — process-wide switches that select between the
+  vectorized kernels and the straight-line reference implementations.
+  The reference paths are kept both as ground truth for property tests
+  and as the baseline the ``benchmarks/test_kernels.py`` microbenchmark
+  measures speedups against.
+* :class:`KernelStats` — cheap counters (simulated cycle-gates, Clark
+  reductions performed vs. memo hits, covariance cells computed)
+  threaded through :class:`~repro.runner.engine.RunSummary` and the
+  report ``timing`` section so the speedup is measured, not asserted.
+
+Both are per-process globals: pool workers each carry their own copy, and
+the engine merges worker-side snapshots into the run summary.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields, replace
+
+__all__ = [
+    "KernelConfig",
+    "KernelStats",
+    "kernel_config",
+    "configure_kernels",
+    "kernel_stats",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class KernelConfig:
+    """Process-wide kernel-layer switches.
+
+    Attributes:
+        level_grouped_sim: Evaluate the combinational fabric with one
+            vectorized op per (level, gate-type) group instead of a
+            per-gate Python loop.
+        combine_memo: Memoize :meth:`StageDTSAnalyzer.combine` results on
+            (mode, clock period, AP path-id tuple) so repeated AP sets
+            across cycles and (block, edge) characterizations reduce
+            exactly once.
+        precomputed_cov: Serve path moments and pairwise path covariances
+            from the analyzer's precomputed registry/cache instead of
+            recomputing them per combine call.
+        batched_ap_select: Select activated paths for a whole stage with
+            one gather + segmented rank-minimum over all endpoints per
+            :meth:`StageDTSAnalyzer.ap_trace` call, instead of a Python
+            loop over endpoints and cycles.
+        scalar_norm: Evaluate the scalar standard-normal pdf/cdf inside
+            each Clark reduction step directly (``exp``/``ndtr``) instead
+            of through the ``scipy.stats`` distribution machinery.  The
+            values are bitwise identical; only the per-call argument
+            validation and broadcasting overhead is skipped.
+        stimulus_cache: Memoize per-stage control-bit patterns and operand
+            bit decompositions in :class:`StimulusEncoder`, and scatter
+            them through precomputed source-position index arrays.
+    """
+
+    level_grouped_sim: bool = True
+    combine_memo: bool = True
+    precomputed_cov: bool = True
+    batched_ap_select: bool = True
+    scalar_norm: bool = True
+    stimulus_cache: bool = True
+
+    @classmethod
+    def reference(cls) -> "KernelConfig":
+        """The pre-kernel-layer behaviour (every switch off)."""
+        return cls(**{f.name: False for f in fields(cls)})
+
+
+_CONFIG = KernelConfig()
+
+
+def kernel_config() -> KernelConfig:
+    """The active (process-wide) kernel configuration."""
+    return _CONFIG
+
+
+@contextmanager
+def configure_kernels(**overrides):
+    """Temporarily override kernel switches (testing / benchmarking).
+
+    >>> with configure_kernels(combine_memo=False):
+    ...     ...  # runs with memoization disabled
+
+    Pass ``reference=True`` to switch every kernel off at once.
+    """
+    global _CONFIG
+    previous = _CONFIG
+    if overrides.pop("reference", False):
+        base = KernelConfig.reference()
+    else:
+        base = previous
+    _CONFIG = replace(base, **overrides)
+    try:
+        yield _CONFIG
+    finally:
+        _CONFIG = previous
+
+
+@dataclass(slots=True)
+class KernelStats:
+    """Counters for the kernel layer's hot paths (one per process).
+
+    Attributes:
+        sim_calls: Number of :meth:`LevelizedSimulator.evaluate` calls.
+        sim_cycle_gates: Combinational gate evaluations performed, summed
+            as (cycles x combinational gates) per call.
+        flushed_state_reuses: ``activity()`` calls that reused the cached
+            zero-stimulus settled state instead of re-simulating it.
+        combine_calls: Non-empty ``combine()`` invocations.
+        combine_memo_hits: Of those, how many were served from the memo.
+        clark_reductions: Pairwise Clark reductions actually performed.
+        cov_cells_computed: Pairwise path-covariance cells computed
+            (blocked precompute plus lazy cross-endpoint fills).
+        cov_cache_hits: Covariance cells served from the cache.
+    """
+
+    sim_calls: int = 0
+    sim_cycle_gates: int = 0
+    flushed_state_reuses: int = 0
+    combine_calls: int = 0
+    combine_memo_hits: int = 0
+    clark_reductions: int = 0
+    cov_cells_computed: int = 0
+    cov_cache_hits: int = 0
+
+    def snapshot(self) -> "KernelStats":
+        """An independent copy of the current counter values."""
+        return KernelStats(**self.to_json())
+
+    def delta(self, since: "KernelStats") -> "KernelStats":
+        """Counters accumulated after the ``since`` snapshot was taken."""
+        return KernelStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "KernelStats | dict | None") -> "KernelStats":
+        """Add another stats object (or its JSON form) into this one."""
+        if other is None:
+            return self
+        doc = other if isinstance(other, dict) else other.to_json()
+        for name, value in doc.items():
+            setattr(self, name, getattr(self, name) + int(value))
+        return self
+
+    def to_json(self) -> dict:
+        return {f.name: int(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def aggregate(cls, docs) -> "KernelStats":
+        """Sum a sequence of stats documents (``None`` entries skipped)."""
+        total = cls()
+        for doc in docs:
+            total.merge(doc)
+        return total
+
+
+_STATS = KernelStats()
+
+
+def kernel_stats() -> KernelStats:
+    """The process-wide kernel counters (mutated in place by the kernels)."""
+    return _STATS

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.kernels import kernel_config
 from repro.netlist.generator import PipelineNetlist
 
 __all__ = [
@@ -109,19 +110,83 @@ class StimulusEncoder:
         self.netlist = pipeline.netlist
         self.source_ids = [g.gid for g in self.netlist.gates if g.is_endpoint]
         self._source_pos = {gid: i for i, gid in enumerate(self.source_ids)}
+        # Precomputed source-position scatter indices and memo tables for
+        # the cached encoding path (see encode_cycle).
+        self._ctrl_pos = [
+            np.array([self._source_pos[g] for g in ctrl], dtype=int)
+            for ctrl in pipeline.ctrl_src
+        ]
+        self._data_pos = [
+            {
+                bus: np.array([self._source_pos[g] for g in gids], dtype=int)
+                for bus, gids in pipeline.data_src[s].items()
+            }
+            for s in range(pipeline.num_stages)
+        ]
+        self._ctrl_cache: dict[tuple, np.ndarray] = {}
+        self._bits_cache: dict[tuple[int, int], np.ndarray] = {}
 
     @property
     def n_sources(self) -> int:
         return len(self.source_ids)
 
+    def _ctrl_pattern(self, s: int, occ: StageOccupancy) -> np.ndarray:
+        """The stage's control-bit pattern, memoized on the token triple."""
+        key = (s, occ.class_token, occ.op_token, occ.token)
+        pattern = self._ctrl_cache.get(key)
+        if pattern is None:
+            n = len(self.pipeline.ctrl_src[s])
+            stage_salt = mix64(s + 101)
+            levels = (
+                token_bits(mix64(occ.class_token ^ stage_salt), n),
+                token_bits(mix64(occ.op_token ^ stage_salt), n),
+                token_bits(mix64(occ.token ^ stage_salt), n),
+            )
+            pattern = np.array(
+                [
+                    levels[0 if i % 4 < 2 else (1 if i % 4 == 2 else 2)][i]
+                    for i in range(n)
+                ],
+                dtype=bool,
+            )
+            self._ctrl_cache[key] = pattern
+        return pattern
+
+    def _value_bits(self, value: int, width: int) -> np.ndarray:
+        """Memoized little-endian bit decomposition as a bool array."""
+        key = (value, width)
+        bits = self._bits_cache.get(key)
+        if bits is None:
+            if len(self._bits_cache) > (1 << 16):
+                self._bits_cache.clear()
+            bits = np.array(int_to_bits(value, width), dtype=bool)
+            self._bits_cache[key] = bits
+        return bits
+
+    def _encode_cycle_cached(self, cycle: PipelineCycle) -> np.ndarray:
+        """Cached encoding: memoized patterns + index-array scatters."""
+        row = np.zeros(self.n_sources, dtype=bool)
+        for s, occ in enumerate(cycle):
+            pos = self._ctrl_pos[s]
+            row[pos] = self._ctrl_pattern(s, occ)
+            for i, bit in occ.ctrl_overrides.items():
+                row[pos[i]] = bit
+            for bus_name, bus_pos in self._data_pos[s].items():
+                row[bus_pos] = self._value_bits(
+                    occ.data.get(bus_name, 0), len(bus_pos)
+                )
+        return row
+
     def encode_cycle(self, cycle: PipelineCycle) -> np.ndarray:
         """Encode one pipeline cycle into a source-value row."""
-        row = np.zeros(self.n_sources, dtype=bool)
         num_stages = self.pipeline.num_stages
         if len(cycle) != num_stages:
             raise ValueError(
                 f"cycle must have {num_stages} stage entries, got {len(cycle)}"
             )
+        if kernel_config().stimulus_cache:
+            return self._encode_cycle_cached(cycle)
+        row = np.zeros(self.n_sources, dtype=bool)
         for s, occ in enumerate(cycle):
             ctrl = self.pipeline.ctrl_src[s]
             n = len(ctrl)

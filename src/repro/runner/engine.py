@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from repro.core.processor import ProcessorModel
 from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
+from repro.kernels import KernelStats
 from repro.cpu.correction import (
     CorrectionScheme,
     NoCorrection,
@@ -138,6 +139,8 @@ class JobResult:
     speculation: float = 0.0
     working_frequency_mhz: float | None = None
     net_performance_percent: float | None = None
+    #: Kernel-layer counters for this job (see :class:`KernelStats`).
+    kernel_stats: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -156,6 +159,7 @@ class JobResult:
             "speculation": self.speculation,
             "working_frequency_mhz": self.working_frequency_mhz,
             "net_performance_percent": self.net_performance_percent,
+            "kernel_stats": self.kernel_stats,
         }
         if self.report is not None:
             doc["report"] = self.report.to_json()
@@ -205,6 +209,12 @@ class RunSummary:
         """Successful reports in request order."""
         return [r.report for r in self.results if r.ok]
 
+    def kernel_totals(self) -> dict:
+        """Kernel-layer counters summed over every job in the batch."""
+        return KernelStats.aggregate(
+            r.kernel_stats for r in self.results
+        ).to_json()
+
     def to_json(self) -> dict:
         return {
             "schema": "repro.run-summary/1",
@@ -219,6 +229,7 @@ class RunSummary:
             "max_workers": self.max_workers,
             "parallel": self.parallel,
             "cache_dir": self.cache_dir,
+            "kernels": self.kernel_totals(),
             "results": [r.to_json() for r in self.results],
         }
 
@@ -370,6 +381,7 @@ def _execute_payload(payload: dict) -> dict:
         out["estimate_seconds"] = time.perf_counter() - t1
         out["report"] = report.to_json()
         out["instructions"] = report.total_instructions
+        out["kernel_stats"] = report.kernel_stats
         out["seed"] = seed
         out["speculation"] = processor.speculation
         out["working_frequency_mhz"] = processor.working_frequency_mhz
@@ -506,4 +518,5 @@ class EstimationEngine:
             speculation=doc.get("speculation", 0.0),
             working_frequency_mhz=doc.get("working_frequency_mhz"),
             net_performance_percent=doc.get("net_performance_percent"),
+            kernel_stats=doc.get("kernel_stats"),
         )

@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 from scipy import stats
+from scipy.special import ndtr
 
+from repro.kernels import kernel_config
 from repro.sta.gaussian import Gaussian
 
 __all__ = [
@@ -22,6 +24,11 @@ __all__ = [
 ]
 
 _EPS = 1e-12
+
+#: Normalizing constant of the standard normal pdf, matching the one
+#: scipy computes internally so the fast scalar path below is bitwise
+#: identical to ``stats.norm.pdf``.
+_NORM_PDF_C = np.sqrt(2 * np.pi)
 
 
 def _theta(var_x: float, var_y: float, cov_xy: float) -> float:
@@ -46,8 +53,15 @@ def clark_max_coefficients(
             return x, 1.0, 0.0
         return y, 0.0, 1.0
     alpha = (x.mean - y.mean) / theta
-    phi = float(stats.norm.pdf(alpha))
-    cphi = float(stats.norm.cdf(alpha))
+    if kernel_config().scalar_norm:
+        # Same formulas scipy evaluates inside stats.norm (bitwise
+        # identical), minus its per-call shape/validity machinery —
+        # this sits inside every step of every Clark chain.
+        phi = float(np.exp(-alpha * alpha / 2.0) / _NORM_PDF_C)
+        cphi = float(ndtr(alpha))
+    else:
+        phi = float(stats.norm.pdf(alpha))
+        cphi = float(stats.norm.cdf(alpha))
     mean = x.mean * cphi + y.mean * (1.0 - cphi) + theta * phi
     second = (
         (x.var + x.mean**2) * cphi

@@ -133,14 +133,22 @@ class StatisticalTimingAnalysis:
         return self.variation.path_cov(a.gates, b.gates)
 
     def slack_cov_matrix(self, paths: list[Path]) -> np.ndarray:
-        """Pairwise slack covariance matrix for a list of paths."""
+        """Pairwise slack covariance matrix for a list of paths.
+
+        Off-diagonal cells come from the blocked
+        :meth:`~repro.variation.process.ProcessVariationModel.path_cov_matrix`
+        kernel (one gather + segment-reduce for the whole set); the
+        diagonal is pinned to each path's
+        :meth:`~repro.variation.process.ProcessVariationModel.path_delay_moments`
+        variance so it matches :meth:`path_slack` exactly.
+        """
         n = len(paths)
-        cov = np.zeros((n, n))
+        if n == 0:
+            return np.zeros((0, 0))
+        cov = self.variation.path_cov_matrix([p.gates for p in paths])
         for i in range(n):
-            mi, vi = self.variation.path_delay_moments(paths[i].gates)
+            _, vi = self.variation.path_delay_moments(paths[i].gates)
             cov[i, i] = vi
-            for j in range(i + 1, n):
-                cov[i, j] = cov[j, i] = self.slack_cov(paths[i], paths[j])
         return cov
 
     def min_slack(

@@ -104,9 +104,29 @@ class ProcessVariationModel:
         return np.maximum(self.mu + self.sigma * z, 0.0)
 
     def sample_chips(self, n: int, seed_or_rng=None) -> np.ndarray:
-        """Sample ``n`` chips; returns an ``(n, n_gates)`` delay array."""
+        """Sample ``n`` chips; returns an ``(n, n_gates)`` delay array.
+
+        One batched draw replaces the per-chip Python loop: the
+        ``n * (1 + n_cells + n_gates)`` standard normals are drawn in a
+        single generator call (consuming the stream in the same per-chip
+        order as :meth:`sample_chip`) and mixed with vectorized
+        broadcasting, which is what keeps Monte Carlo validation runs out
+        of the interpreter.
+        """
         rng = as_rng(seed_or_rng)
-        return np.stack([self.sample_chip(rng) for _ in range(n)])
+        cfg = self.config
+        n_cells = self.spatial.n_cells
+        n_gates = len(self.mu)
+        z = rng.standard_normal((n, 1 + n_cells + n_gates))
+        g = z[:, :1]
+        s = self.spatial.fields_from_normals(z[:, 1 : 1 + n_cells])
+        r = z[:, 1 + n_cells :]
+        mix = (
+            np.sqrt(cfg.global_fraction) * g
+            + np.sqrt(cfg.spatial_fraction) * s
+            + np.sqrt(cfg.random_fraction) * r
+        )
+        return np.maximum(self.mu + self.sigma * mix, 0.0)
 
     # ------------------------------------------------------------------ #
     # Analytic interface
@@ -161,3 +181,43 @@ class ProcessVariationModel:
             cfg.random_fraction
         )
         return float(cov.sum())
+
+    def path_cov_matrix(self, gate_seqs) -> np.ndarray:
+        """Pairwise covariance matrix of many summed path delays.
+
+        Equivalent to filling an ``(n, n)`` matrix with :meth:`path_cov`
+        over every pair, but computed as one blocked gather +
+        segment-reduce: all gate sequences are concatenated, per-path
+        sigma totals, per-(path, cell) sigma aggregates, and
+        per-(path, gate) sigma indicators are segment-reduced from the
+        flat buffer, and the three variance components become three small
+        matrix products.  Diagonal entries equal each path's delay
+        variance.
+        """
+        seqs = [np.asarray(s, dtype=int) for s in gate_seqs]
+        n = len(seqs)
+        if n == 0:
+            return np.zeros((0, 0))
+        cfg = self.config
+        lengths = np.array([len(s) for s in seqs], dtype=int)
+        if lengths.min() == 0:
+            raise ValueError("gate sequences must be non-empty")
+        gather = np.concatenate(seqs)
+        segments = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        sig = self.sigma[gather]
+        path_of = np.repeat(np.arange(n), lengths)
+        # Chip-global component: outer product of per-path sigma totals.
+        totals = np.add.reduceat(sig, segments)
+        # Spatial component: aggregate sigmas onto the correlation grid.
+        cells = self.spatial.cell_index[gather]
+        per_cell = np.zeros((n, self.spatial.n_cells))
+        np.add.at(per_cell, (path_of, cells), sig)
+        spatial = per_cell @ self.spatial.cell_correlation @ per_cell.T
+        # Independent component: only gates shared between paths survive.
+        per_gate = np.zeros((n, len(self.sigma)))
+        np.add.at(per_gate, (path_of, gather), sig)
+        return (
+            cfg.global_fraction * np.outer(totals, totals)
+            + cfg.spatial_fraction * spatial
+            + cfg.random_fraction * (per_gate @ per_gate.T)
+        )

@@ -74,6 +74,23 @@ class SpatialCorrelationModel:
         z = self._chol @ rng.standard_normal(self.n_cells)
         return z[self.cell_index]
 
+    def fields_from_normals(self, z: np.ndarray) -> np.ndarray:
+        """Correlate pre-drawn standard normals into per-gate field values.
+
+        ``z`` has shape ``(n_samples, n_cells)`` — one row of independent
+        standard normals per field sample, in the draw order of
+        :meth:`sample_field`.  Returns ``(n_samples, n_gates)``.  Factoring
+        the draw out of the correlation lets
+        :meth:`ProcessVariationModel.sample_chips` batch the randomness for
+        a whole lot of chips into a single generator call.
+        """
+        z = np.asarray(z, dtype=float)
+        if z.ndim != 2 or z.shape[1] != self.n_cells:
+            raise ValueError(
+                f"z must be (n_samples, {self.n_cells}), got {z.shape}"
+            )
+        return (z @ self._chol.T)[:, self.cell_index]
+
     def gate_correlation(self, i: int, j: int) -> float:
         """Correlation of the spatial component between gates ``i`` and ``j``."""
         return float(

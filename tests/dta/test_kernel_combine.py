@@ -1,0 +1,131 @@
+"""Kernel-layer equivalence tests for Algorithm 1 (AP selection + combine).
+
+The batched AP selection and the memoized/precomputed combine path must
+reproduce the reference implementations exactly: AP sets path-for-path,
+and statistical-min results bitwise (``Gaussian`` is a frozen dataclass,
+so ``==`` compares the float payload exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.dta import StageDTSAnalyzer
+from repro.kernels import configure_kernels, kernel_stats
+from repro.logicsim import LevelizedSimulator
+from repro.netlist import PipelineConfig, TimingLibrary, generate_pipeline
+
+CONFIG = PipelineConfig(
+    data_width=8, mult_width=4, ctrl_regs=8, cloud_gates=40, seed=1
+)
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return generate_pipeline(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def analyzer(pipe):
+    return StageDTSAnalyzer(
+        pipe.netlist, TimingLibrary(), paths_per_endpoint=6
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(pipe):
+    sim = LevelizedSimulator(pipe.netlist)
+    rng = np.random.default_rng(42)
+    sources = rng.random((12, sim.n_sources)) < 0.5
+    return sim.activity(sources)
+
+
+def _periods(analyzer):
+    dmax = max(
+        p.delay
+        for eps in analyzer._stage_endpoints.values()
+        for ep in eps
+        for p in ep.paths
+    )
+    return [dmax * 0.9, dmax * 1.05]
+
+
+def _ap_ids(aps):
+    return [[(p.gates, p.sink) for p in cycle] for cycle in aps]
+
+
+@pytest.mark.parametrize("mode", ["statistical", "deterministic"])
+@pytest.mark.parametrize("include_safe", [False, True])
+def test_batched_ap_matches_reference(analyzer, trace, mode, include_safe):
+    for period in _periods(analyzer):
+        for stage in range(analyzer.netlist.num_stages):
+            batched = analyzer.ap_trace(
+                stage, trace, period, mode, include_safe
+            )
+            with configure_kernels(batched_ap_select=False):
+                reference = analyzer.ap_trace(
+                    stage, trace, period, mode, include_safe
+                )
+            assert _ap_ids(batched) == _ap_ids(reference)
+
+
+def _ap_sets(analyzer, trace, period, mode):
+    aps = []
+    for stage in range(analyzer.netlist.num_stages):
+        aps.extend(
+            ap
+            for ap in analyzer.ap_trace(
+                stage, trace, period, mode, include_safe=True
+            )
+            if ap
+        )
+    return aps
+
+
+def test_memoized_combine_bitwise_equal_to_direct(analyzer, trace):
+    period = _periods(analyzer)[1]
+    aps = _ap_sets(analyzer, trace, period, "statistical")
+    assert aps  # the random trace must actually activate paths
+    with configure_kernels(combine_memo=False):
+        direct = [analyzer.combine(ap, period) for ap in aps]
+    memo_once = [analyzer.combine(ap, period) for ap in aps]
+    memo_again = [analyzer.combine(ap, period) for ap in aps]
+    assert memo_once == direct
+    assert memo_again == direct
+
+
+def test_combine_memo_hit_counters(analyzer, trace):
+    period = _periods(analyzer)[0] * 1.001  # distinct memo keyspace
+    aps = _ap_sets(analyzer, trace, period, "statistical")
+    analyzer.combine(aps[0], period)  # warm the memo for this key
+    before = kernel_stats().snapshot()
+    analyzer.combine(aps[0], period)
+    delta = kernel_stats().delta(before)
+    assert delta.combine_calls == 1
+    assert delta.combine_memo_hits == 1
+    assert delta.clark_reductions == 0
+
+
+def test_precomputed_cov_matches_reference(analyzer, trace):
+    period = _periods(analyzer)[1]
+    aps = _ap_sets(analyzer, trace, period, "statistical")
+    for ap in aps[:20]:
+        with configure_kernels(combine_memo=False):
+            fast = analyzer.combine(ap, period)
+        with configure_kernels(precomputed_cov=False, combine_memo=False):
+            reference = analyzer.combine(ap, period)
+        assert fast.mean == pytest.approx(reference.mean, rel=1e-9)
+        assert fast.var == pytest.approx(reference.var, rel=1e-9, abs=1e-12)
+
+
+def test_deterministic_mode_bypasses_memo(analyzer, trace):
+    period = _periods(analyzer)[1]
+    aps = _ap_sets(analyzer, trace, period, "deterministic")
+    result = analyzer.combine(aps[0], period, mode="deterministic")
+    with configure_kernels(reference=True):
+        reference = analyzer.combine(aps[0], period, mode="deterministic")
+    assert result == reference
+    assert result.var == 0.0
+
+
+def test_empty_ap_combines_to_none(analyzer):
+    assert analyzer.combine([], 100.0) is None

@@ -1,0 +1,79 @@
+"""Determinism of the kernel layer across full engine runs.
+
+The ISSUE contract: the vectorized kernels must not change results at
+all.  Memo-on vs. memo-off, kernels-on vs. full reference, and serial
+vs. parallel engine runs must all produce byte-identical report payloads
+(timing excluded — wall-clock is the one thing that legitimately
+differs).
+"""
+
+import json
+
+from repro.core import EstimationRequest
+from repro.kernels import configure_kernels
+from repro.netlist import PipelineConfig
+from repro.runner import EstimationEngine, ProcessorConfig
+
+SMALL = ProcessorConfig(
+    pipeline=PipelineConfig(
+        data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+        cloud_gates=60, seed=7,
+    )
+)
+
+
+def _engine(**kwargs):
+    kwargs.setdefault("n_data_samples", 32)
+    return EstimationEngine(SMALL, **kwargs)
+
+
+def _requests(*names):
+    return [
+        EstimationRequest(
+            workload=name,
+            train_instructions=4_000,
+            max_instructions=6_000,
+            seed=0,
+        )
+        for name in names
+    ]
+
+
+def _rows(summary):
+    return [
+        json.dumps(r.report.to_json(include_timing=False), sort_keys=True)
+        for r in summary.results
+    ]
+
+
+def test_memo_on_matches_memo_off():
+    with configure_kernels(combine_memo=False):
+        memo_off = _engine().run(_requests("bitcount"))
+    memo_on = _engine().run(_requests("bitcount"))
+    assert _rows(memo_on) == _rows(memo_off)
+
+
+def test_kernels_match_full_reference():
+    with configure_kernels(reference=True):
+        reference = _engine().run(_requests("bitcount"))
+    kernels = _engine().run(_requests("bitcount"))
+    assert _rows(kernels) == _rows(reference)
+
+
+def test_parallel_matches_serial_with_kernels():
+    requests = _requests("bitcount", "stringsearch")
+    serial = _engine(max_workers=1).run(requests)
+    parallel = _engine(max_workers=2).run(requests)
+    assert _rows(serial) == _rows(parallel)
+
+
+def test_summary_reports_kernel_stats():
+    summary = _engine().run(_requests("bitcount"))
+    result = summary.results[0]
+    assert result.kernel_stats is not None
+    assert result.kernel_stats["sim_calls"] > 0
+    assert result.kernel_stats["combine_memo_hits"] > 0
+    totals = summary.to_json()["kernels"]
+    assert totals["sim_calls"] >= result.kernel_stats["sim_calls"]
+    timing = result.report.to_json()["timing"]
+    assert timing["kernels"]["combine_calls"] > 0

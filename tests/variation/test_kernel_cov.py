@@ -1,0 +1,110 @@
+"""Kernel tests: blocked path covariances and batched chip sampling.
+
+``path_cov_matrix`` reorganizes the per-pair ``path_cov`` arithmetic into
+three matrix products and ``sample_chips`` batches the per-chip normal
+draws — both must agree with the scalar references to rounding error.
+"""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.netlist import (
+    PipelineConfig,
+    TimingLibrary,
+    generate_pipeline,
+)
+from repro.netlist.paths import PathEnumerator
+from repro.variation import ProcessVariationModel
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return generate_pipeline(
+        PipelineConfig(
+            data_width=8, mult_width=4, ctrl_regs=8, cloud_gates=40, seed=5
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def model(pipe):
+    return ProcessVariationModel(pipe.netlist, TimingLibrary())
+
+
+@pytest.fixture(scope="module")
+def path_seqs(pipe, model):
+    """Real path gate sequences, including paths that share gates."""
+    enum = PathEnumerator(
+        pipe.netlist, pipe.netlist.nominal_delays(TimingLibrary())
+    )
+    seqs = []
+    for g in pipe.netlist.gates:
+        if g.is_endpoint and g.inputs:
+            # k=3 per endpoint: sibling paths share long gate prefixes.
+            seqs.extend(p.gates for p in enum.critical_paths(g.gid, k=3))
+        if len(seqs) >= 24:
+            break
+    assert len(seqs) >= 8
+    return seqs
+
+
+def test_blocked_matches_pairwise(model, path_seqs):
+    blocked = model.path_cov_matrix(path_seqs)
+    pairwise = np.array(
+        [[model.path_cov(a, b) for b in path_seqs] for a in path_seqs]
+    )
+    assert np.allclose(blocked, pairwise, rtol=1e-9)
+
+
+def test_blocked_shares_gates_correctly(model, path_seqs):
+    # Pick two sequences with a non-trivial overlap (sibling paths) and
+    # one disjoint pair; the shared-gate random component must only
+    # appear in the former.
+    overlapping = [
+        (a, b)
+        for i, a in enumerate(path_seqs)
+        for b in path_seqs[i + 1 :]
+        if a != b and set(a) & set(b)
+    ]
+    assert overlapping, "fixture must contain overlapping paths"
+    a, b = overlapping[0]
+    cov = model.path_cov_matrix([a, b])
+    assert cov[0, 1] == pytest.approx(model.path_cov(a, b), rel=1e-9)
+    # Diagonal = path delay variance.
+    for i, seq in enumerate((a, b)):
+        _, var = model.path_delay_moments(seq)
+        assert cov[i, i] == pytest.approx(var, rel=1e-9)
+
+
+def test_blocked_duplicate_sequence_is_symmetric(model, path_seqs):
+    seq = path_seqs[0]
+    cov = model.path_cov_matrix([seq, seq])
+    assert cov[0, 1] == pytest.approx(cov[0, 0], rel=1e-12)
+    assert np.allclose(cov, cov.T)
+
+
+def test_empty_sequence_rejected(model, path_seqs):
+    with pytest.raises(ValueError, match="non-empty"):
+        model.path_cov_matrix([path_seqs[0], []])
+
+
+def test_no_sequences_gives_empty_matrix(model):
+    assert model.path_cov_matrix([]).shape == (0, 0)
+
+
+def test_sample_chips_matches_sequential_stream(model):
+    # The batched draw consumes the generator stream in the same per-chip
+    # order as sample_chip, so equal seeds give equal chips.
+    batched = model.sample_chips(4, as_rng(123))
+    rng = as_rng(123)
+    sequential = np.stack([model.sample_chip(rng) for _ in range(4)])
+    assert np.allclose(batched, sequential, rtol=1e-12)
+
+
+def test_fields_from_normals_validates_shape(model):
+    spatial = model.spatial
+    with pytest.raises(ValueError, match="n_samples"):
+        spatial.fields_from_normals(np.zeros(spatial.n_cells))
+    with pytest.raises(ValueError, match="n_samples"):
+        spatial.fields_from_normals(np.zeros((2, spatial.n_cells + 1)))
