@@ -8,14 +8,19 @@ Usage (after ``pip install -e .``)::
     python -m repro table2 [--workers 4] [--max-instructions N] [--json]
     python -m repro sweep bitcount --points 1.0,1.1,1.15,1.2
     python -m repro batch bitcount dijkstra --workers 2 --cache-dir .cache
+    python -m repro montecarlo bitcount --chips 16 --window-workers 4
 
 ``info`` prints the processor operating point, ``estimate`` runs the full
 train+estimate flow for one benchmark, ``table2`` regenerates the paper's
 Table 2 across the suite, ``sweep`` maps error rate and net performance
-over speculation ratios, and ``batch`` executes an arbitrary set of
-(workload × operating point) jobs.  ``table2``, ``sweep``, and ``batch``
-all run on the batch estimation engine: ``--workers N`` fans the
-independent jobs out across a process pool, and ``--cache-dir`` (or the
+over speculation ratios, ``batch`` executes an arbitrary set of
+(workload × operating point) jobs, and ``montecarlo`` measures the
+brute-force per-chip error-rate distribution the framework is validated
+against.  ``table2``, ``sweep``, and ``batch`` all run on the batch
+estimation engine: ``--workers N`` fans the independent jobs out across
+a process pool, ``--window-workers N`` fans the per-window analysis
+*inside* each job out across the window pool (pinned to 1 automatically
+when the engine itself runs parallel), and ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) enables the content-addressed
 artifact cache so warm re-runs skip every training phase.
 """
@@ -69,6 +74,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the artifact cache for this run",
+    )
+    parser.add_argument(
+        "--window-workers", type=_positive_int, default=1,
+        help=(
+            "intra-job window-analysis pool width (pinned to 1 when "
+            "--workers already runs the jobs in parallel)"
+        ),
     )
 
 
@@ -126,6 +138,28 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--seed", type=int, default=0)
     bat.add_argument("--json", action="store_true")
     _add_engine_arguments(bat)
+
+    mc = sub.add_parser(
+        "montecarlo",
+        help="brute-force per-chip Monte Carlo validation run",
+    )
+    mc.add_argument("benchmark", choices=list_workloads())
+    mc.add_argument(
+        "--chips", type=_positive_int, default=16,
+        help="manufactured chips to sample",
+    )
+    mc.add_argument(
+        "--windows-per-block", type=_positive_int, default=6,
+        help="execution windows analyzed per basic block",
+    )
+    mc.add_argument(
+        "--window-workers", type=_positive_int, default=1,
+        help="window-analysis pool width for the per-window DTA",
+    )
+    mc.add_argument("--speculation", type=float, default=1.15)
+    mc.add_argument("--max-instructions", type=int, default=100_000)
+    mc.add_argument("--seed", type=int, default=0)
+    mc.add_argument("--json", action="store_true")
     return parser
 
 
@@ -137,6 +171,7 @@ def _engine_from_args(args) -> EstimationEngine:
         ProcessorConfig(),
         max_workers=args.workers,
         cache_dir=cache_dir,
+        window_workers=args.window_workers,
     )
 
 
@@ -282,6 +317,53 @@ def _cmd_batch(args, out) -> int:
     return 0
 
 
+def _cmd_montecarlo(args, out) -> int:
+    from repro.core.montecarlo import MonteCarloValidator
+
+    processor = ProcessorModel(speculation=args.speculation)
+    validator = MonteCarloValidator(
+        processor,
+        n_chips=args.chips,
+        windows_per_block=args.windows_per_block,
+        window_workers=args.window_workers,
+    )
+    program, setup, budget = load_workload(args.benchmark).run_spec(
+        "large", seed=args.seed
+    )
+    result = validator.estimate(
+        program,
+        setup=setup,
+        max_instructions=args.max_instructions or budget,
+        seed=args.seed,
+    )
+    if args.json:
+        out.write(
+            json.dumps(
+                {
+                    "benchmark": args.benchmark,
+                    "chips": args.chips,
+                    "mean_percent": result.mean_percent,
+                    "sd_percent": result.sd_percent,
+                    "chip_error_rates_percent": [
+                        100.0 * float(x) for x in result.chip_error_rates
+                    ],
+                    "total_instructions": result.total_instructions,
+                    "windows_analyzed": result.windows_analyzed,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    else:
+        out.write(
+            f"{args.benchmark}: MC ER = {result.mean_percent:.3f}% "
+            f"(SD {result.sd_percent:.3f}%) over {args.chips} chips, "
+            f"{result.windows_analyzed} windows, "
+            f"{result.total_instructions} instructions\n"
+        )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "list": _cmd_list,
@@ -289,6 +371,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "sweep": _cmd_sweep,
     "batch": _cmd_batch,
+    "montecarlo": _cmd_montecarlo,
 }
 
 

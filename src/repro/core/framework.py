@@ -19,8 +19,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.cfg.cfg import ControlFlowGraph, build_cfg
-from repro.cfg.marginal import MarginalSolver
+from repro.cfg.marginal import BlockProbabilities, MarginalSolver
 from repro.core.collect import SimulationCollector
 from repro.core.errormodel import InstructionErrorModel
 from repro.core.processor import ProcessorModel
@@ -34,6 +36,7 @@ from repro.dta.characterize import (
     ControlSampleCollector,
     ControlTimingModel,
 )
+from repro.dta.windowpool import ActivityCache
 from repro.kernels import kernel_stats
 from repro.sta.gaussian import Gaussian
 from repro.stats.chen_stein import chen_stein_bound
@@ -94,15 +97,88 @@ class ErrorRateEstimator:
         processor: Hardware configuration under analysis.
         n_data_samples: Data-variation sample count used to represent the
             probability random variables.
+        window_workers: Fork-pool width for the intra-job window-analysis
+            fan-out (per-(block, edge) characterization); ``1`` runs
+            serially.  Parallel results are byte-identical to serial.
+        activity_cache: Content-addressed window activity cache shared by
+            training, on-demand characterization, and breakdowns (a
+            fresh one is built when omitted).  Preload persisted entries
+            with :meth:`preload_windows` to reuse logic simulations
+            across clock periods.
     """
 
     def __init__(
-        self, processor: ProcessorModel, n_data_samples: int = 128
+        self,
+        processor: ProcessorModel,
+        n_data_samples: int = 128,
+        window_workers: int = 1,
+        activity_cache: ActivityCache | None = None,
     ) -> None:
         if n_data_samples < 2:
             raise ValueError("n_data_samples must be >= 2")
+        if window_workers < 1:
+            raise ValueError("window_workers must be >= 1")
         self.processor = processor
         self.n_data_samples = n_data_samples
+        self.window_workers = window_workers
+        self.activity_cache = (
+            activity_cache if activity_cache is not None else ActivityCache()
+        )
+
+    def _build_characterizer(self, program: Program) -> ControlCharacterizer:
+        """A characterizer wired to this estimator's cache and pool width."""
+        return ControlCharacterizer(
+            self.processor.pipeline,
+            self.processor.control_analyzer,
+            program,
+            self.processor.scheme,
+            self.processor.clock_period,
+            activity_cache=self.activity_cache,
+            window_workers=self.window_workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Period-independent window artifacts (frequency-sweep reuse)
+    # ------------------------------------------------------------------ #
+
+    def window_doc(self) -> dict:
+        """Persistable period-independent window artifacts.
+
+        Bundles the content-addressed activity traces with the stage
+        analyzer's path-moment registry.  Neither depends on the clock
+        period — the period enters only through the risky-endpoint
+        filter and the Clark combines — so an estimator for *another*
+        operating point of the same processor/program can
+        :meth:`preload_windows` this document and re-characterize with
+        zero logic simulations.
+        """
+        return {
+            "schema": "repro.window-artifacts/1",
+            "activity": self.activity_cache.to_doc(),
+            "path_registry": (
+                self.processor.control_analyzer.stage_analyzer.registry_doc()
+            ),
+        }
+
+    def preload_windows(self, doc: dict) -> int:
+        """Load a :meth:`window_doc` document; returns entries added.
+
+        Preloading is strictly fill-missing on both layers (activity
+        digests, path registry/covariances), so it can only skip work,
+        never change results.
+        """
+        if doc.get("schema") != "repro.window-artifacts/1":
+            raise ValueError(
+                f"unsupported window-artifacts schema "
+                f"{doc.get('schema')!r}"
+            )
+        added = self.activity_cache.preload(doc["activity"])
+        registry = doc.get("path_registry")
+        if registry is not None:
+            self.processor.control_analyzer.stage_analyzer.preload_registry(
+                registry
+            )
+        return added
 
     # ------------------------------------------------------------------ #
     # Phase 1: training
@@ -134,13 +210,7 @@ class ErrorRateEstimator:
             state, max_instructions=max_instructions,
             listener=collector.listener,
         )
-        characterizer = ControlCharacterizer(
-            self.processor.pipeline,
-            self.processor.control_analyzer,
-            program,
-            self.processor.scheme,
-            self.processor.clock_period,
-        )
+        characterizer = self._build_characterizer(program)
         control_model = characterizer.characterize(collector.samples)
         # The datapath model is shared across programs; its (cached)
         # construction is charged to the first training phase that uses it.
@@ -192,13 +262,7 @@ class ErrorRateEstimator:
                 f"at {period:.3f} ps; re-train for this operating point"
             )
         cfg = build_cfg(program)
-        characterizer = ControlCharacterizer(
-            self.processor.pipeline,
-            self.processor.control_analyzer,
-            program,
-            self.processor.scheme,
-            self.processor.clock_period,
-        )
+        characterizer = self._build_characterizer(program)
         return TrainingArtifacts(
             cfg=cfg,
             control_model=ControlTimingModel.from_json(
@@ -249,16 +313,12 @@ class ErrorRateEstimator:
         # A block whose only execution was cut off by the instruction
         # budget has no complete sample; treat it as error-free (its
         # weight is at most one truncated execution).
-        import numpy as _np
-
         for bid in profile.executed_blocks():
             if bid not in conditionals:
                 n_i = cfg.block(bid).size
-                from repro.cfg.marginal import BlockProbabilities
-
                 conditionals[bid] = BlockProbabilities(
-                    pc=_np.zeros((n_i, self.n_data_samples)),
-                    pe=_np.zeros((n_i, self.n_data_samples)),
+                    pc=np.zeros((n_i, self.n_data_samples)),
+                    pe=np.zeros((n_i, self.n_data_samples)),
                 )
         solver = MarginalSolver(cfg, profile)
         marginals, p_in = solver.solve(conditionals)
@@ -295,6 +355,7 @@ class ErrorRateEstimator:
             training_seconds=artifacts.training_seconds,
             simulation_seconds=elapsed,
             kernel_stats=kernels,
+            training_kernel_stats=artifacts.kernel_stats,
         )
 
     def _characterize_missing(self, artifacts, samples) -> None:
@@ -302,9 +363,11 @@ class ErrorRateEstimator:
 
         Blocks reached only by the evaluation dataset get characterized
         from the simulation-phase window (with the single pre-entry record
-        as the pipeline-sharing tail).
+        as the pipeline-sharing tail).  Missing pairs are batched through
+        the same window-analysis pool as training, in sorted key order.
         """
         model = artifacts.control_model
+        tasks = []
         for bid, block_samples in sorted(samples.items()):
             preds_needed = {s.pred for s in block_samples}
             for pred in sorted(preds_needed):
@@ -317,9 +380,9 @@ class ErrorRateEstimator:
                     s for s in block_samples if s.pred == pred
                 )
                 tail = [example.entry_prev] if example.entry_prev else []
-                artifacts.characterizer.characterize_edge(
-                    bid, pred, tail, example.records, model
-                )
+                tasks.append((bid, pred, tail, example.records))
+        if tasks:
+            artifacts.characterizer.characterize_many(tasks, model)
 
     # ------------------------------------------------------------------ #
 
@@ -343,9 +406,14 @@ class ErrorRateEstimator:
             request.speculation is not None
             and request.speculation != self.processor.speculation
         ):
+            # The derived operating point shares the period-independent
+            # engines (ProcessorModel.derive) — and the activity cache,
+            # since stimulus digests are period-independent too.
             estimator = ErrorRateEstimator(
                 self.processor.derive(speculation=request.speculation),
                 n_data_samples=self.n_data_samples,
+                window_workers=self.window_workers,
+                activity_cache=self.activity_cache,
             )
         program, train_setup, train_budget = workload.run_spec(
             request.train_scale, seed=request.train_seed

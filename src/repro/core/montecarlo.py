@@ -29,6 +29,7 @@ from repro.cpu.interpreter import FunctionalSimulator
 from repro.cpu.pipeline import InstructionWindow, PipelineScheduler
 from repro.cpu.state import MachineState
 from repro.dta.graphdta import GraphDTSAnalyzer
+from repro.dta.windowpool import ActivityCache, WindowAnalysisPool
 from repro.logicsim.simulator import LevelizedSimulator
 from repro.logicsim.stimulus import StimulusEncoder
 
@@ -69,6 +70,13 @@ class MonteCarloValidator:
         windows_per_block: Execution windows analyzed per basic block
             (data-variation subsampling; the activity of each window is
             simulated once and reused for every chip).
+        window_workers: Fork-pool width for fanning the per-window DTA
+            out through :class:`WindowAnalysisPool`; ``1`` runs
+            serially.  Parallel results equal serial exactly.
+        activity_cache: Content-addressed activity cache; pass the
+            estimator's cache to share logic simulations with the
+            framework run being validated (a fresh one is built when
+            omitted).
     """
 
     def __init__(
@@ -76,12 +84,20 @@ class MonteCarloValidator:
         processor: ProcessorModel,
         n_chips: int = 16,
         windows_per_block: int = 6,
+        window_workers: int = 1,
+        activity_cache: ActivityCache | None = None,
     ) -> None:
         if n_chips < 2:
             raise ValueError("n_chips must be >= 2")
+        if window_workers < 1:
+            raise ValueError("window_workers must be >= 1")
         self.processor = processor
         self.n_chips = n_chips
         self.windows_per_block = windows_per_block
+        self.window_workers = window_workers
+        self.activity_cache = (
+            activity_cache if activity_cache is not None else ActivityCache()
+        )
         self.graph = GraphDTSAnalyzer(
             processor.pipeline.netlist,
             processor.library,
@@ -109,58 +125,63 @@ class MonteCarloValidator:
         profile = collector.profile()
         samples = collector.samples()
 
-        scheduler = PipelineScheduler(
-            program, num_stages=self.processor.pipeline.num_stages
+        runtime = _MCRuntime(
+            cfg=cfg,
+            scheduler=PipelineScheduler(
+                program, num_stages=self.processor.pipeline.num_stages
+            ),
+            simulator=LevelizedSimulator(self.processor.pipeline.netlist),
+            encoder=StimulusEncoder(self.processor.pipeline),
+            cache=self.activity_cache,
+            chips=self.processor.variation.sample_chips(self.n_chips, rng),
+            period=self.processor.clock_period,
+            setup_time=self.processor.library.setup_time,
         )
-        simulator = LevelizedSimulator(self.processor.pipeline.netlist)
-        encoder = StimulusEncoder(self.processor.pipeline)
-        period = self.processor.clock_period
-        setup_time = self.processor.library.setup_time
-        chips = self.processor.variation.sample_chips(self.n_chips, rng)
 
-        # lambda per chip, accumulated block by block.
-        lam = np.zeros(self.n_chips)
-        windows = 0
+        # Window subsampling happens up front, in sorted block order, for
+        # two reasons: the reservoir's first-k entries over-represent
+        # early executions (reservoir sampling only randomizes *which*
+        # k survive eviction, not their order), so the subsample must be
+        # drawn with the seeded rng; and consuming the rng stream before
+        # any fan-out keeps serial and parallel runs identical.
+        plan: list[tuple[int, int, list]] = []
         for bid, block_samples in sorted(samples.items()):
             executions = int(profile.block_counts[bid])
             if executions == 0:
                 continue
-            chosen = block_samples[: self.windows_per_block]
+            if len(block_samples) > self.windows_per_block:
+                picked = rng.choice(
+                    len(block_samples),
+                    size=self.windows_per_block,
+                    replace=False,
+                )
+                chosen = [block_samples[i] for i in np.sort(picked)]
+            else:
+                chosen = list(block_samples)
+            plan.append((bid, executions, chosen))
+
+        tasks = [
+            (pi, wi)
+            for pi, (_, _, chosen) in enumerate(plan)
+            for wi in range(len(chosen))
+        ]
+        pool = WindowAnalysisPool(self.window_workers)
+        errors = pool.map(
+            _mc_window_task, (self, runtime, plan, tasks), len(tasks)
+        )
+
+        # lambda per chip, accumulated block by block in task order —
+        # the same float-addition sequence as a serial run.
+        lam = np.zeros(self.n_chips)
+        windows = 0
+        cursor = 0
+        for bid, executions, chosen in plan:
             n_i = cfg.block(bid).size
             # error fraction per chip, averaged over this block's windows.
             err = np.zeros((self.n_chips, n_i))
-            for sample in chosen:
-                tail = [sample.entry_prev] if sample.entry_prev else []
-                window = InstructionWindow(
-                    list(tail) + list(sample.records)
-                )
-                schedule = scheduler.schedule(window)
-                activity = simulator.activity(
-                    encoder.encode_schedule(schedule)
-                )
-                entries = [len(tail) + k for k in range(n_i)]
-                # One propagation covers every sampled chip.
-                arrivals = self.graph.activated_arrivals_multi(
-                    activity, chips
-                )
-                n_stages = self.processor.pipeline.num_stages
-                for k, entry in enumerate(entries):
-                    worst = np.full(self.n_chips, -np.inf)
-                    for s in range(n_stages):
-                        t = entry + s
-                        if not 0 <= t < activity.n_cycles:
-                            continue
-                        drivers = self.graph.stage_drivers(s)
-                        if drivers:
-                            np.maximum(
-                                worst,
-                                arrivals[:, t, drivers].max(axis=1),
-                                out=worst,
-                            )
-                    dts = period - setup_time - worst
-                    err[:, k] += (np.isfinite(worst) & (dts < 0.0)).astype(
-                        float
-                    )
+            for _ in chosen:
+                err += errors[cursor]
+                cursor += 1
                 windows += 1
             err /= max(len(chosen), 1)
             lam += executions * err.sum(axis=1)
@@ -170,3 +191,56 @@ class MonteCarloValidator:
             total_instructions=profile.total_instructions,
             windows_analyzed=windows,
         )
+
+    def _window_error(self, rt: "_MCRuntime", bid: int, sample) -> np.ndarray:
+        """Per-chip error counts ``(n_chips, n_i)`` for one window."""
+        n_i = rt.cfg.block(bid).size
+        tail = [sample.entry_prev] if sample.entry_prev else []
+        window = InstructionWindow(list(tail) + list(sample.records))
+        schedule = rt.scheduler.schedule(window)
+        activity = rt.cache.activity(
+            rt.encoder.encode_schedule(schedule), rt.simulator.activity
+        )
+        entries = [len(tail) + k for k in range(n_i)]
+        # One propagation covers every sampled chip.
+        arrivals = self.graph.activated_arrivals_multi(activity, rt.chips)
+        n_stages = self.processor.pipeline.num_stages
+        err = np.zeros((self.n_chips, n_i))
+        for k, entry in enumerate(entries):
+            worst = np.full(self.n_chips, -np.inf)
+            for s in range(n_stages):
+                t = entry + s
+                if not 0 <= t < activity.n_cycles:
+                    continue
+                drivers = self.graph.stage_drivers(s)
+                if drivers:
+                    np.maximum(
+                        worst,
+                        arrivals[:, t, drivers].max(axis=1),
+                        out=worst,
+                    )
+            dts = rt.period - rt.setup_time - worst
+            err[:, k] += (np.isfinite(worst) & (dts < 0.0)).astype(float)
+        return err
+
+
+@dataclass(slots=True)
+class _MCRuntime:
+    """Per-estimate machinery shared with pool workers via fork."""
+
+    cfg: object
+    scheduler: PipelineScheduler
+    simulator: LevelizedSimulator
+    encoder: StimulusEncoder
+    cache: ActivityCache
+    chips: np.ndarray
+    period: float
+    setup_time: float
+
+
+def _mc_window_task(context, index: int) -> np.ndarray:
+    """Pool task: deterministic DTA for one (block, window) pair."""
+    validator, runtime, plan, tasks = context
+    pi, wi = tasks[index]
+    bid, _executions, chosen = plan[pi]
+    return validator._window_error(runtime, bid, chosen[wi])

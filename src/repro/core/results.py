@@ -35,6 +35,10 @@ class ErrorRateReport:
             ``None`` when not captured.  Telemetry, like the wall-clock
             timings: serialized in the ``timing`` section so result
             payloads stay byte-stable.
+        training_kernel_stats: The training phase's share of the kernel
+            counters (``None`` for loaded artifacts / cache hits).  The
+            period-sweep benchmark asserts on this: a warm re-train at a
+            new clock period shows ``sim_calls == 0`` here.
     """
 
     program: str
@@ -49,6 +53,7 @@ class ErrorRateReport:
     training_seconds: float
     simulation_seconds: float
     kernel_stats: dict | None = None
+    training_kernel_stats: dict | None = None
 
     # ------------------------------------------------------------------ #
     # Error-rate views
@@ -190,6 +195,10 @@ class ErrorRateReport:
             }
             if self.kernel_stats is not None:
                 doc["timing"]["kernels"] = dict(self.kernel_stats)
+            if self.training_kernel_stats is not None:
+                doc["timing"]["kernels_training"] = dict(
+                    self.training_kernel_stats
+                )
         return doc
 
     @classmethod
@@ -241,6 +250,7 @@ class ErrorRateReport:
             training_seconds=float(timing.get("training_s", 0.0)),
             simulation_seconds=float(timing.get("simulation_s", 0.0)),
             kernel_stats=timing.get("kernels"),
+            training_kernel_stats=timing.get("kernels_training"),
         )
 
     # ------------------------------------------------------------------ #

@@ -25,8 +25,11 @@ from repro.dta.characterize import (
 from repro.dta.datapath import DatapathTimingModel, DatapathSample, extract_features
 from repro.dta.trainer import DatapathTrainer
 from repro.dta.graphdta import GraphDTSAnalyzer
+from repro.dta.windowpool import ActivityCache, WindowAnalysisPool
 
 __all__ = [
+    "ActivityCache",
+    "WindowAnalysisPool",
     "DatapathTrainer",
     "GraphDTSAnalyzer",
     "StageDTSAnalyzer",

@@ -300,6 +300,73 @@ class StageDTSAnalyzer:
         return cov
 
     # ------------------------------------------------------------------ #
+    # Registry persistence (period-sweep reuse)
+    # ------------------------------------------------------------------ #
+
+    #: Schema tag of the persisted path-moment registry.
+    REGISTRY_SCHEMA = "repro.path-registry/1"
+
+    def registry_doc(self) -> dict:
+        """The period-independent path registry as a JSON-safe document.
+
+        Captures every registered path's identity and delay moments plus
+        the pairwise covariance cache — everything Algorithm 1 needs to
+        turn an AP set into a slack Gaussian at *any* clock period
+        without touching the variation model again.
+        """
+        return {
+            "schema": self.REGISTRY_SCHEMA,
+            "paths": [
+                {
+                    "gates": list(path.gates),
+                    "sink": path.sink,
+                    "delay": path.delay,
+                    "mean": self._path_mean[pid],
+                    "var": self._path_var[pid],
+                }
+                for pid, path in enumerate(self._registered)
+            ],
+            "cov": [
+                [a, b, value]
+                for (a, b), value in sorted(self._cov_cache.items())
+            ],
+        }
+
+    def preload_registry(self, doc: dict) -> None:
+        """Fill the registry/covariance cache from a persisted document.
+
+        Strictly fill-missing: paths already registered (the constructor
+        registers every enumerated critical path) and covariance cells
+        already cached keep their locally computed values, so preloading
+        can never perturb results — it only spares recomputation for
+        entries the current analyzer has not produced yet.
+        """
+        if doc.get("schema") != self.REGISTRY_SCHEMA:
+            raise ValueError(
+                f"unsupported path-registry schema {doc.get('schema')!r};"
+                f" expected {self.REGISTRY_SCHEMA!r}"
+            )
+        ids = []
+        for entry in doc["paths"]:
+            gates = tuple(int(g) for g in entry["gates"])
+            key = (gates, int(entry["sink"]))
+            pid = self._path_ids.get(key)
+            if pid is None:
+                pid = len(self._registered)
+                self._path_ids[key] = pid
+                self._registered.append(
+                    Path(gates=gates, sink=key[1],
+                         delay=float(entry["delay"]))
+                )
+                self._path_mean.append(float(entry["mean"]))
+                self._path_var.append(float(entry["var"]))
+            ids.append(pid)
+        for a, b, value in doc["cov"]:
+            pa, pb = ids[int(a)], ids[int(b)]
+            cov_key = (pa, pb) if pa < pb else (pb, pa)
+            self._cov_cache.setdefault(cov_key, float(value))
+
+    # ------------------------------------------------------------------ #
 
     def endpoints(self, stage: int) -> list[int]:
         """Analyzed capture endpoints of ``stage``."""

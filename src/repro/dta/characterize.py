@@ -25,6 +25,7 @@ from repro.cpu.interpreter import StepRecord
 from repro.cpu.pipeline import InstructionWindow, PipelineScheduler
 from repro.cpu.program import Program
 from repro.dta.algorithm2 import InstructionDTSAnalyzer
+from repro.dta.windowpool import ActivityCache, WindowAnalysisPool
 from repro.logicsim.simulator import LevelizedSimulator
 from repro.logicsim.stimulus import StimulusEncoder
 from repro.sta.gaussian import Gaussian
@@ -211,6 +212,11 @@ class ControlCharacterizer:
         program: The program under analysis.
         scheme: Error-correction scheme (supplies the p^e emulation).
         clock_period: Speculative clock period (ps).
+        activity_cache: Content-addressed activity cache shared by every
+            window analysis of this characterizer (a fresh one is built
+            when omitted).
+        window_workers: Fork-pool width for fanning (block, edge) tasks
+            out through :class:`WindowAnalysisPool`; ``1`` runs serially.
     """
 
     def __init__(
@@ -220,12 +226,18 @@ class ControlCharacterizer:
         program: Program,
         scheme: CorrectionScheme,
         clock_period: float,
+        activity_cache: ActivityCache | None = None,
+        window_workers: int = 1,
     ) -> None:
         self.pipeline = pipeline
         self.analyzer = analyzer
         self.program = program
         self.scheme = scheme
         self.clock_period = clock_period
+        self.activity_cache = (
+            activity_cache if activity_cache is not None else ActivityCache()
+        )
+        self.window_workers = window_workers
         self.scheduler = PipelineScheduler(
             program, num_stages=pipeline.num_stages
         )
@@ -237,20 +249,26 @@ class ControlCharacterizer:
     ) -> list[Gaussian | None]:
         schedule = self.scheduler.schedule(window)
         source_values = self.encoder.encode_schedule(schedule)
-        activity = self.simulator.activity(source_values)
+        activity = self.activity_cache.activity(
+            source_values, self.simulator.activity
+        )
         return self.analyzer.window_dts(
             activity, slot_indices, self.clock_period
         )
 
-    def characterize_edge(
+    def characterize_edge_values(
         self,
         bid: int,
         pred: int,
         tail: list[StepRecord],
         block_records: list[StepRecord],
-        model: ControlTimingModel,
-    ) -> None:
-        """Characterize one (block, incoming edge) pair into ``model``."""
+    ) -> list[tuple[ControlKey, Gaussian | None, Gaussian | None]]:
+        """The (key, normal, corrected) rows for one (block, edge) pair.
+
+        The pure-computation half of :meth:`characterize_edge` — no model
+        mutation, so it can run inside a pool worker and be merged in
+        deterministic key order by the parent.
+        """
         tail_slots: list[StepRecord | None] = list(tail)
         n = len(block_records)
         # Normal flow: predecessor tail + block.
@@ -269,14 +287,65 @@ class ControlCharacterizer:
             corrected = emulated
             positions.append(len(corrected.slots) - 1)
         dts_e = self._window_dts(corrected, positions)
-        for k in range(n):
-            model.record((bid, pred, k), dts_c[k], dts_e[k])
+        return [
+            ((bid, pred, k), dts_c[k], dts_e[k]) for k in range(n)
+        ]
+
+    def characterize_edge(
+        self,
+        bid: int,
+        pred: int,
+        tail: list[StepRecord],
+        block_records: list[StepRecord],
+        model: ControlTimingModel,
+    ) -> None:
+        """Characterize one (block, incoming edge) pair into ``model``."""
+        for key, normal, corrected in self.characterize_edge_values(
+            bid, pred, tail, block_records
+        ):
+            model.record(key, normal, corrected)
+
+    def characterize_many(
+        self,
+        tasks: list[tuple[int, int, list, list]],
+        model: ControlTimingModel,
+    ) -> None:
+        """Characterize ``(bid, pred, tail, block_records)`` tasks.
+
+        Tasks are expected in sorted (bid, pred) order; results are
+        recorded into ``model`` in exactly that order whether the tasks
+        run serially or through the fork pool, so the model's contents —
+        including the insertion-order-sensitive fallback-edge lists —
+        are byte-identical either way.  Worker-side activity traces are
+        adopted into the parent cache so downstream consumers (missing-
+        edge characterization, breakdowns, persistence) still hit.
+        """
+        pool = WindowAnalysisPool(self.window_workers)
+        results = pool.map(_characterize_task, (self, tasks), len(tasks))
+        for rows, entries in results:
+            self.activity_cache.adopt_packed(entries)
+            for key, normal, corrected in rows:
+                model.record(key, normal, corrected)
 
     def characterize(
         self, samples: dict[tuple[int, int], tuple[list, list]]
     ) -> ControlTimingModel:
         """Characterize every captured (block, edge) sample."""
         model = ControlTimingModel()
-        for (bid, pred), (tail, block_records) in sorted(samples.items()):
-            self.characterize_edge(bid, pred, tail, block_records, model)
+        tasks = [
+            (bid, pred, tail, block_records)
+            for (bid, pred), (tail, block_records) in sorted(samples.items())
+        ]
+        self.characterize_many(tasks, model)
         return model
+
+
+def _characterize_task(context, index: int):
+    """Pool task: one (block, edge) pair; returns rows + new activity."""
+    characterizer, tasks = context
+    bid, pred, tail, block_records = tasks[index]
+    before = characterizer.activity_cache.snapshot_keys()
+    rows = characterizer.characterize_edge_values(
+        bid, pred, tail, block_records
+    )
+    return rows, characterizer.activity_cache.export_packed_since(before)

@@ -1,0 +1,314 @@
+"""Window-analysis layer: activity deduplication and intra-job fan-out.
+
+Every expensive step of the training phase is a *window analysis*: push
+an instruction window through the pipeline scheduler, encode the
+stimulus, run the levelized logic simulation, and analyze the resulting
+switching activity with Algorithms 1 and 2.  This module factors the two
+structural optimizations out of the call sites:
+
+* :class:`ActivityCache` — a content-addressed cache of
+  :class:`~repro.logicsim.activity.ActivityTrace` results, keyed on a
+  SHA-256 digest of the *encoded stimulus*.  The schedule → stimulus →
+  logic-sim pipeline is a pure function of the stimulus (windows are
+  always simulated from the flushed pipeline state), so two windows with
+  the same encoded stimulus have bitwise-identical activity; the second
+  occurrence is free.  The normal and corrected characterization flows,
+  on-demand characterization during estimation, per-instruction
+  breakdowns, and the Monte Carlo validator all route through one cache.
+  Entries round-trip losslessly through a JSON document (packed bits +
+  base64), which is what makes **period-sweep reuse** possible: the
+  digest and the trace are independent of the clock period, so a
+  re-characterization of the same program at a new period can preload
+  the persisted entries and run zero logic simulations.
+* :class:`WindowAnalysisPool` — a fork-based process pool for
+  per-window / per-(block, edge) analysis tasks.  Tasks are dispatched
+  in sorted key order and results are merged back in that same order,
+  so a parallel run is byte-identical to a serial one; worker-side
+  :class:`~repro.kernels.KernelStats` deltas are merged into the
+  parent's counters so telemetry survives the fan-out.
+
+Both honor the process-wide kernel switches: ``activity_cache=False``
+(or ``reference=True``) in :func:`~repro.kernels.configure_kernels`
+restores the simulate-every-window behaviour.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.kernels import kernel_config, kernel_stats
+from repro.logicsim.activity import ActivityTrace
+
+__all__ = ["ActivityCache", "WindowAnalysisPool"]
+
+
+def _encode_bits(array: np.ndarray) -> dict:
+    """A boolean array as a JSON-safe packed-bits document."""
+    data = np.packbits(np.ascontiguousarray(array, dtype=bool), axis=None)
+    return {
+        "shape": [int(d) for d in array.shape],
+        "bits": base64.b64encode(data.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_bits(doc: dict) -> np.ndarray:
+    """Exact inverse of :func:`_encode_bits`."""
+    shape = tuple(int(d) for d in doc["shape"])
+    count = int(np.prod(shape)) if shape else 0
+    raw = np.frombuffer(base64.b64decode(doc["bits"]), dtype=np.uint8)
+    return np.unpackbits(raw, count=count).astype(bool).reshape(shape)
+
+
+class ActivityCache:
+    """Content-addressed window activity traces.
+
+    The cache is an in-memory map ``stimulus digest -> ActivityTrace``
+    shared by every consumer of window analysis within one estimator.
+    It distinguishes entries *preloaded* from a persisted document (the
+    sweep-reuse path, counted as ``windows_reused``) from entries added
+    by this process's own simulations (counted as plain cache hits on
+    re-use, and flagged ``dirty`` so callers know there is new content
+    worth persisting).
+    """
+
+    #: Schema tag of the persisted document.
+    SCHEMA = "repro.window-activity/1"
+
+    def __init__(self) -> None:
+        self._entries: dict[str, ActivityTrace] = {}
+        self._preloaded: set[str] = set()
+        self._dirty = False
+
+    @staticmethod
+    def digest(source_values: np.ndarray) -> str:
+        """Content hash of an encoded stimulus (shape + packed bits)."""
+        values = np.ascontiguousarray(source_values, dtype=bool)
+        h = hashlib.sha256()
+        h.update(repr(values.shape).encode())
+        h.update(np.packbits(values, axis=None).tobytes())
+        return h.hexdigest()
+
+    def activity(self, source_values: np.ndarray, compute) -> ActivityTrace:
+        """The activity trace for ``source_values``, cached by content.
+
+        ``compute`` is the fallback simulator call (typically
+        ``LevelizedSimulator.activity``); it runs on a miss and its
+        result is stored.  With the ``activity_cache`` kernel switch off
+        the cache is bypassed entirely.
+        """
+        if not kernel_config().activity_cache:
+            return compute(source_values)
+        stats = kernel_stats()
+        key = self.digest(source_values)
+        trace = self._entries.get(key)
+        if trace is not None:
+            stats.activity_cache_hits += 1
+            if key in self._preloaded:
+                stats.windows_reused += 1
+            return trace
+        stats.activity_cache_misses += 1
+        trace = compute(source_values)
+        self._entries[key] = trace
+        self._dirty = True
+        return trace
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._entries
+
+    @property
+    def dirty(self) -> bool:
+        """True when entries were added since construction / preload."""
+        return self._dirty
+
+    # ------------------------------------------------------------------ #
+    # Worker hand-off (fork-based pool)
+    # ------------------------------------------------------------------ #
+
+    def snapshot_keys(self) -> set[str]:
+        """The digests currently cached (cheap; for worker deltas)."""
+        return set(self._entries)
+
+    def export_since(self, keys: set[str]) -> dict[str, ActivityTrace]:
+        """Entries added after a :meth:`snapshot_keys` snapshot."""
+        return {
+            digest: trace
+            for digest, trace in self._entries.items()
+            if digest not in keys
+        }
+
+    def adopt(self, entries: dict[str, ActivityTrace]) -> None:
+        """Merge worker-computed entries into this (parent) cache."""
+        for digest, trace in entries.items():
+            if digest not in self._entries:
+                self._entries[digest] = trace
+                self._dirty = True
+
+    def export_packed_since(self, keys: set[str]) -> dict[str, tuple]:
+        """Like :meth:`export_since`, but bit-packed for the pool hop.
+
+        A trace crosses the worker→parent process boundary pickled; raw
+        boolean arrays are 8x larger than their information content, and
+        at fleet scale that pickle traffic dominates the pool's wall
+        time.  Entries here are ``(shape, activated bytes, values
+        bytes)`` packed with :func:`numpy.packbits`.
+        """
+        return {
+            digest: (
+                trace.activated.shape,
+                np.packbits(trace.activated, axis=None).tobytes(),
+                np.packbits(trace.values, axis=None).tobytes(),
+            )
+            for digest, trace in self._entries.items()
+            if digest not in keys
+        }
+
+    def adopt_packed(self, entries: dict[str, tuple]) -> None:
+        """Exact inverse of :meth:`export_packed_since` (only-missing)."""
+
+        def unpack(shape, raw):
+            count = int(np.prod(shape)) if shape else 0
+            bits = np.frombuffer(raw, dtype=np.uint8)
+            return np.unpackbits(bits, count=count).astype(bool).reshape(
+                shape
+            )
+
+        for digest, (shape, activated, values) in entries.items():
+            if digest not in self._entries:
+                self._entries[digest] = ActivityTrace(
+                    activated=unpack(shape, activated),
+                    values=unpack(shape, values),
+                )
+                self._dirty = True
+
+    # ------------------------------------------------------------------ #
+    # Persistence (period-sweep reuse)
+    # ------------------------------------------------------------------ #
+
+    def to_doc(self) -> dict:
+        """A JSON-safe document of every entry (sorted, lossless)."""
+        return {
+            "schema": self.SCHEMA,
+            "windows": {
+                digest: {
+                    "activated": _encode_bits(trace.activated),
+                    "values": _encode_bits(trace.values),
+                }
+                for digest, trace in sorted(self._entries.items())
+            },
+        }
+
+    def preload(self, doc: dict) -> int:
+        """Load persisted entries; returns how many were added.
+
+        Preloaded entries are tracked separately so that hits on them
+        count as ``windows_reused`` — the counter the sweep benchmark
+        asserts on.  Existing entries are never overwritten.
+        """
+        if doc.get("schema") != self.SCHEMA:
+            raise ValueError(
+                f"unsupported window-activity schema {doc.get('schema')!r};"
+                f" expected {self.SCHEMA!r}"
+            )
+        added = 0
+        for digest, entry in doc["windows"].items():
+            if digest in self._entries:
+                continue
+            self._entries[digest] = ActivityTrace(
+                activated=_decode_bits(entry["activated"]),
+                values=_decode_bits(entry["values"]),
+            )
+            self._preloaded.add(digest)
+            added += 1
+        return added
+
+
+# --------------------------------------------------------------------- #
+# The pool
+# --------------------------------------------------------------------- #
+
+#: (task function, shared context) inherited by forked workers.  Set
+#: immediately before the fork and cleared after; fork's copy-on-write
+#: semantics hand each worker the parent's warmed analyzers for free,
+#: which is why the pool refuses to run without the fork start method.
+_WORKER_STATE: tuple | None = None
+
+
+def _run_pool_task(index: int):
+    """Worker-side task wrapper: run, and return the kernel-stats delta."""
+    func, context = _WORKER_STATE
+    before = kernel_stats().snapshot()
+    start = time.perf_counter()
+    result = func(context, index)
+    elapsed_ms = int(1000 * (time.perf_counter() - start))
+    return result, kernel_stats().delta(before).to_json(), elapsed_ms
+
+
+class WindowAnalysisPool:
+    """Deterministic fork-based fan-out for window-analysis tasks.
+
+    ``map(func, context, n_tasks)`` evaluates ``func(context, i)`` for
+    ``i in range(n_tasks)`` and returns the results *in task order* —
+    the contract callers rely on to merge results in the same sorted
+    key order as a serial run, making parallel output byte-identical.
+    ``context`` is shared with workers through fork inheritance (not
+    pickling), so it may hold arbitrarily heavy analyzer state; task
+    *results* must be picklable.
+
+    With ``workers == 1``, a single task, or no fork support, the tasks
+    run in-process through the same wrapper, so counters and results are
+    shaped identically either way.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    @staticmethod
+    def fork_available() -> bool:
+        return "fork" in multiprocessing.get_all_start_methods()
+
+    def should_parallelize(self, n_tasks: int) -> bool:
+        return self.workers > 1 and n_tasks > 1 and self.fork_available()
+
+    def map(self, func, context, n_tasks: int) -> list:
+        global _WORKER_STATE
+        stats = kernel_stats()
+        if not self.should_parallelize(n_tasks):
+            results = []
+            _WORKER_STATE = (func, context)
+            try:
+                for index in range(n_tasks):
+                    result, _delta, elapsed_ms = _run_pool_task(index)
+                    stats.pool_tasks += 1
+                    stats.pool_task_ms += elapsed_ms
+                    results.append(result)
+            finally:
+                _WORKER_STATE = None
+            return results
+        _WORKER_STATE = (func, context)
+        try:
+            mp_context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, n_tasks),
+                mp_context=mp_context,
+            ) as pool:
+                raw = list(pool.map(_run_pool_task, range(n_tasks)))
+        finally:
+            _WORKER_STATE = None
+        results = []
+        for result, delta, elapsed_ms in raw:
+            stats.merge(delta)
+            stats.pool_tasks += 1
+            stats.pool_task_ms += elapsed_ms
+            results.append(result)
+        return results

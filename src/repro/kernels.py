@@ -62,6 +62,11 @@ class KernelConfig:
         stimulus_cache: Memoize per-stage control-bit patterns and operand
             bit decompositions in :class:`StimulusEncoder`, and scatter
             them through precomputed source-position index arrays.
+        activity_cache: Serve window activity traces from the
+            content-addressed :class:`~repro.dta.windowpool.ActivityCache`
+            (keyed on a hash of the encoded stimulus) instead of
+            re-running the logic simulation for every occurrence of the
+            same window.
     """
 
     level_grouped_sim: bool = True
@@ -70,6 +75,7 @@ class KernelConfig:
     batched_ap_select: bool = True
     scalar_norm: bool = True
     stimulus_cache: bool = True
+    activity_cache: bool = True
 
     @classmethod
     def reference(cls) -> "KernelConfig":
@@ -123,6 +129,18 @@ class KernelStats:
         cov_cells_computed: Pairwise path-covariance cells computed
             (blocked precompute plus lazy cross-endpoint fills).
         cov_cache_hits: Covariance cells served from the cache.
+        activity_cache_hits: Window activity traces served from the
+            content-addressed :class:`ActivityCache` instead of simulated.
+        activity_cache_misses: Activity-cache lookups that fell through
+            to the logic simulator.
+        windows_reused: Of the activity-cache hits, how many were served
+            from entries preloaded out of a persisted window artifact
+            (the period-sweep reuse path).
+        pool_tasks: Window-analysis tasks executed through
+            :class:`~repro.dta.windowpool.WindowAnalysisPool` (serial or
+            parallel).
+        pool_task_ms: Total task wall time in milliseconds, summed over
+            pool tasks (an integer so worker-side snapshots merge).
     """
 
     sim_calls: int = 0
@@ -133,6 +151,11 @@ class KernelStats:
     clark_reductions: int = 0
     cov_cells_computed: int = 0
     cov_cache_hits: int = 0
+    activity_cache_hits: int = 0
+    activity_cache_misses: int = 0
+    windows_reused: int = 0
+    pool_tasks: int = 0
+    pool_task_ms: int = 0
 
     def snapshot(self) -> "KernelStats":
         """An independent copy of the current counter values."""

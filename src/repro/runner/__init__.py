@@ -29,6 +29,7 @@ from repro.runner.cache import (
     datapath_cache_key,
     program_fingerprint,
     stable_digest,
+    window_cache_key,
 )
 from repro.runner.engine import (
     EstimationEngine,
@@ -48,4 +49,5 @@ __all__ = [
     "datapath_cache_key",
     "program_fingerprint",
     "stable_digest",
+    "window_cache_key",
 ]

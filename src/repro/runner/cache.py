@@ -1,7 +1,7 @@
 """Content-addressed on-disk cache for trained estimation artifacts.
 
-Two artifact kinds are cached, mirroring the two expensive training
-phases of the framework:
+Three artifact kinds are cached, mirroring the expensive phases of the
+framework:
 
 * **control** — a characterized :class:`ControlTimingModel` (via
   ``TrainingArtifacts.to_doc``), keyed by everything the characterization
@@ -13,6 +13,12 @@ phases of the framework:
   *period-independent*, so one entry is shared by every operating point
   of a sweep — the FATE-style hierarchical reuse that makes large batch
   runs cheap.
+* **windows** — period-independent window artifacts (content-addressed
+  activity traces plus the path-moment registry, via
+  ``ErrorRateEstimator.window_doc``), keyed like **control** but without
+  the clock period: when the control entry misses because only the
+  period changed (a frequency sweep), the re-characterization preloads
+  this entry and runs zero logic simulations.
 
 Keys are SHA-256 digests of a canonical JSON document of the inputs;
 entries live at ``<root>/<kind>/<key[:2]>/<key>.json`` and are written
@@ -38,6 +44,7 @@ __all__ = [
     "program_fingerprint",
     "control_cache_key",
     "datapath_cache_key",
+    "window_cache_key",
 ]
 
 
@@ -85,6 +92,38 @@ def control_cache_key(
             # repr() keeps full float precision; a different period is a
             # different (and incompatible) characterization.
             "clock_period": repr(float(clock_period)),
+            "paths_per_endpoint": paths_per_endpoint,
+            "train_scale": train_scale,
+            "train_seed": train_seed,
+            "train_instructions": train_instructions,
+        }
+    )
+
+
+def window_cache_key(
+    program: Program,
+    *,
+    pipeline_config,
+    variation_config,
+    scheme_name: str,
+    paths_per_endpoint: int,
+    train_scale: str,
+    train_seed: int | None,
+    train_instructions: int,
+) -> str:
+    """Cache key for period-independent window artifacts.
+
+    Everything in the control key *except* the clock period: activity
+    traces and path moments do not depend on it, so one entry serves
+    every operating point of a frequency sweep.
+    """
+    return stable_digest(
+        {
+            "kind": "windows/1",
+            "program": program_fingerprint(program),
+            "pipeline": _config_doc(pipeline_config),
+            "variation": _config_doc(variation_config),
+            "scheme": scheme_name,
             "paths_per_endpoint": paths_per_endpoint,
             "train_scale": train_scale,
             "train_seed": train_seed,

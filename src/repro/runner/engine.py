@@ -50,6 +50,7 @@ from repro.runner.cache import (
     control_cache_key,
     datapath_cache_key,
     stable_digest,
+    window_cache_key,
 )
 from repro.variation.process import VariationConfig
 
@@ -177,6 +178,9 @@ class RunSummary:
     max_workers: int
     parallel: bool
     cache_dir: str | None = None
+    #: Intra-job window-analysis pool width the engine was configured
+    #: with (pinned to 1 inside jobs when the engine itself ran parallel).
+    window_workers: int = 1
     #: ``None`` when caching is disabled; otherwise whether the shared
     #: datapath model came from the cache.
     datapath_cache_hit: bool | None = None
@@ -228,6 +232,7 @@ class RunSummary:
             "wall_seconds": round(self.wall_seconds, 3),
             "max_workers": self.max_workers,
             "parallel": self.parallel,
+            "window_workers": self.window_workers,
             "cache_dir": self.cache_dir,
             "kernels": self.kernel_totals(),
             "results": [r.to_json() for r in self.results],
@@ -328,7 +333,9 @@ def _execute_payload(payload: dict) -> dict:
         if cache is not None:
             _attach_datapath(processor, config, cache)
         estimator = ErrorRateEstimator(
-            processor, n_data_samples=payload["n_data_samples"]
+            processor,
+            n_data_samples=payload["n_data_samples"],
+            window_workers=payload.get("window_workers", 1),
         )
         workload = request.resolve_workload()
         program, train_setup, train_budget = workload.run_spec(
@@ -339,6 +346,7 @@ def _execute_payload(payload: dict) -> dict:
         t0 = time.perf_counter()
         artifacts = None
         key = None
+        windows_key = None
         if cache is not None:
             key = control_cache_key(
                 program,
@@ -355,6 +363,25 @@ def _execute_payload(payload: dict) -> dict:
             if doc is not None:
                 artifacts = estimator.artifacts_from_doc(program, doc)
                 out["cache_hit"] = True
+            # Period-independent window artifacts: preload even on a
+            # control hit (on-demand characterization during estimation
+            # still benefits), and fill the characterization at a *new*
+            # clock period entirely from cached activity traces.
+            windows_key = window_cache_key(
+                program,
+                pipeline_config=config.pipeline,
+                variation_config=config.variation,
+                scheme_name=config.scheme,
+                paths_per_endpoint=config.paths_per_endpoint,
+                train_scale=request.train_scale,
+                train_seed=request.train_seed,
+                train_instructions=train_instructions,
+            )
+            windows_doc = cache.get("windows", windows_key)
+            if windows_doc is not None:
+                out["windows_preloaded"] = estimator.preload_windows(
+                    windows_doc
+                )
         if artifacts is None:
             artifacts = estimator.train(
                 program,
@@ -379,6 +406,8 @@ def _execute_payload(payload: dict) -> dict:
             seed=seed,
         )
         out["estimate_seconds"] = time.perf_counter() - t1
+        if cache is not None and estimator.activity_cache.dirty:
+            cache.put("windows", windows_key, estimator.window_doc())
         out["report"] = report.to_json()
         out["instructions"] = report.total_instructions
         out["kernel_stats"] = report.kernel_stats
@@ -411,6 +440,12 @@ class EstimationEngine:
         cache_dir: Artifact-cache directory, or ``None`` to disable
             caching.
         n_data_samples: Data-variation sample count per estimator.
+        window_workers: Intra-job :class:`WindowAnalysisPool` width for
+            window characterization and Monte Carlo DTA.  The engine and
+            the pool share one worker budget: when the engine itself
+            runs its jobs in parallel, jobs are pinned to
+            ``window_workers=1`` so a batch never oversubscribes to
+            ``max_workers x window_workers`` processes.
     """
 
     def __init__(
@@ -420,13 +455,17 @@ class EstimationEngine:
         max_workers: int = 1,
         cache_dir=None,
         n_data_samples: int = 128,
+        window_workers: int = 1,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if window_workers < 1:
+            raise ValueError("window_workers must be >= 1")
         self.config = config or ProcessorConfig()
         self.max_workers = max_workers
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.n_data_samples = n_data_samples
+        self.window_workers = window_workers
 
     # ------------------------------------------------------------------ #
 
@@ -463,20 +502,23 @@ class EstimationEngine:
         requests = list(requests)
         start = time.perf_counter()
         datapath_hit = self._prepare()
+        parallel = (
+            self.max_workers > 1
+            and len(requests) > 1
+            and self.fork_available()
+        )
         payloads = [
             {
                 "request": request,
                 "config": self.config,
                 "cache_dir": self.cache_dir,
                 "n_data_samples": self.n_data_samples,
+                # Shared worker budget: intra-job pools stay serial when
+                # the engine already fans jobs out across processes.
+                "window_workers": 1 if parallel else self.window_workers,
             }
             for request in requests
         ]
-        parallel = (
-            self.max_workers > 1
-            and len(requests) > 1
-            and self.fork_available()
-        )
         if parallel:
             context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(
@@ -496,6 +538,7 @@ class EstimationEngine:
             max_workers=self.max_workers,
             parallel=parallel,
             cache_dir=self.cache_dir,
+            window_workers=self.window_workers,
             datapath_cache_hit=datapath_hit,
         )
 

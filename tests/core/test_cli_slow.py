@@ -41,3 +41,36 @@ class TestSweep:
         )
         assert code == 2
         assert "no sweep points" in text
+
+
+class TestMonteCarlo:
+    def test_montecarlo_json(self):
+        import json
+
+        code, text = _run(
+            [
+                "montecarlo", "bitcount",
+                "--chips", "4",
+                "--windows-per-block", "2",
+                "--max-instructions", "3000",
+                "--window-workers", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["benchmark"] == "bitcount"
+        assert len(doc["chip_error_rates_percent"]) == 4
+        assert doc["windows_analyzed"] > 0
+
+    def test_montecarlo_human(self):
+        code, text = _run(
+            [
+                "montecarlo", "bitcount",
+                "--chips", "4",
+                "--windows-per-block", "2",
+                "--max-instructions", "3000",
+            ]
+        )
+        assert code == 0
+        assert "MC ER" in text and "bitcount" in text

@@ -139,6 +139,46 @@ class TestCorrectionEffect:
         assert max_diff > 0.0
 
 
+class TestOnDemandCharacterization:
+    def test_missing_pairs_characterized_during_estimate(
+        self, estimator, program
+    ):
+        """Blocks first reached by the evaluation run get characterized
+        on demand, and the new pairs show up in characterized_pairs."""
+        # A training budget this small cuts the run off inside the first
+        # outer iteration, so later blocks/edges are unseen in training.
+        artifacts = estimator.train(program, max_instructions=8)
+        pairs_before = len(artifacts.control_model)
+        report = estimator.estimate(
+            program, artifacts, max_instructions=5_000, seed=1
+        )
+        assert report.characterized_pairs > pairs_before
+        assert report.characterized_pairs == len(artifacts.control_model)
+
+    def test_second_estimate_adds_nothing(self, estimator, program):
+        artifacts = estimator.train(program, max_instructions=8)
+        estimator.estimate(program, artifacts, max_instructions=5_000)
+        pairs = len(artifacts.control_model)
+        estimator.estimate(program, artifacts, max_instructions=5_000)
+        assert len(artifacts.control_model) == pairs
+
+    def test_fallback_edge_matches_first_sorted_pred(
+        self, estimator, program
+    ):
+        """An edge seen only in evaluation resolves through the model's
+        fallback: the block's first *recorded* edge.  Characterization
+        records in sorted key order, so that edge is deterministic."""
+        artifacts = estimator.train(program)
+        model = artifacts.control_model
+        by_block: dict[int, list[int]] = {}
+        for bid, pred, _k in model.normal:
+            by_block.setdefault(bid, []).append(pred)
+        bid, preds = next(iter(sorted(by_block.items())))
+        assert sorted(set(preds))[0] == preds[0]
+        unseen = max(preds) + 1_000
+        assert model.get(bid, unseen, 0) == model.get(bid, preds[0], 0)
+
+
 class TestFrequencySensitivity:
     def test_error_rate_grows_with_frequency(self, program):
         pipeline = generate_pipeline(

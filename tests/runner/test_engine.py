@@ -101,7 +101,7 @@ class TestArtifactCaching:
         _engine(cache_dir=tmp_path).run(_requests("bitcount"))
         cache = ArtifactCache(tmp_path)
         kinds = {p.parent.parent.name for p in cache.entries()}
-        assert kinds == {"control", "datapath"}
+        assert kinds == {"control", "datapath", "windows"}
 
     def test_budget_change_is_a_cache_miss(self, tmp_path):
         _engine(cache_dir=tmp_path).run(_requests("bitcount"))
