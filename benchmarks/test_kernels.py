@@ -31,8 +31,8 @@ from repro.netlist import PipelineConfig, TimingLibrary, generate_pipeline
 from repro.runner import ProcessorConfig
 from repro.workloads import load_workload
 
+#: Single canonical output location — CI uploads the repo-root file.
 REPO_ROOT = pathlib.Path(__file__).parent.parent
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Reduced pipeline (same shape the engine test-suite uses) so the bench
 #: finishes in seconds while still exercising every kernel.
@@ -189,8 +189,6 @@ def test_kernel_speedups():
         "kernel_stats": stats_ker.to_json(),
     }
     (REPO_ROOT / "BENCH_kernels.json").write_text(json.dumps(doc, indent=2))
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_kernels.json").write_text(json.dumps(doc, indent=2))
 
     print_table(
         ["kernel", "reference_s", "kernels_s", "speedup"],

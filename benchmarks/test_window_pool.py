@@ -31,14 +31,14 @@ import time
 
 from conftest import print_table
 from repro.core import EstimationRequest
-from repro.core.framework import ErrorRateEstimator
 from repro.kernels import configure_kernels, kernel_stats
 from repro.netlist import PipelineConfig
+from repro.pipeline.pipeline import EstimationPipeline
 from repro.runner import EstimationEngine, ProcessorConfig
 from repro.workloads import load_workload
 
+#: Single canonical output location — CI uploads the repo-root file.
 REPO_ROOT = pathlib.Path(__file__).parent.parent
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Reduced pipeline (the engine test-suite shape).  The workload is
 #: dijkstra: its CFG yields the largest (block, edge) task set of the
@@ -63,7 +63,7 @@ def _training_inputs():
     program, setup, _ = workload.run_spec("small", seed=0)
     # One untimed round warms every period-level analyzer cache so the
     # measured rounds compare pool widths, not cold-start effects.
-    ErrorRateEstimator(processor, n_data_samples=32).train(
+    EstimationPipeline(processor, n_data_samples=32).train(
         program, setup=setup, max_instructions=TRAIN_INSTRUCTIONS
     )
     return processor, program, setup
@@ -71,11 +71,14 @@ def _training_inputs():
 
 def _train_once(processor, program, setup, workers):
     """One training phase with a fresh activity cache; (seconds, stats)."""
-    estimator = ErrorRateEstimator(
-        processor, n_data_samples=32, window_workers=workers
+    pipeline = EstimationPipeline(
+        processor,
+        backends={"dta": "windowpool" if workers > 1 else "kernels"},
+        n_data_samples=32,
+        window_workers=workers,
     )
     t0 = time.perf_counter()
-    artifacts = estimator.train(
+    artifacts = pipeline.train(
         program, setup=setup, max_instructions=TRAIN_INSTRUCTIONS
     )
     return time.perf_counter() - t0, artifacts.kernel_stats
@@ -98,8 +101,8 @@ def _per_task_durations(processor, program, setup):
         state, max_instructions=TRAIN_INSTRUCTIONS,
         listener=collector.listener,
     )
-    estimator = ErrorRateEstimator(processor, n_data_samples=32)
-    characterizer = estimator._build_characterizer(program)
+    pipeline = EstimationPipeline(processor, n_data_samples=32)
+    characterizer = pipeline.build_characterizer(program)
     tasks = [
         (bid, pred, tail, records)
         for (bid, pred), (tail, records) in sorted(
@@ -218,8 +221,6 @@ def test_window_pool_benchmark(tmp_path):
     }
     text = json.dumps(doc, indent=2)
     (REPO_ROOT / "BENCH_window_pool.json").write_text(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_window_pool.json").write_text(text)
 
     print_table(
         ["metric", "serial", "pooled/cached", "gain"],

@@ -40,16 +40,23 @@ from repro.kernels import (
     kernel_config,
     kernel_stats,
 )
+from repro.pipeline.pipeline import EstimationPipeline
+from repro.pipeline.registry import REGISTRY, use_backends
+from repro.pipeline.store import ArtifactStore
 
 __all__ = [
     "__version__",
     "ProcessorModel",
     "default_processor",
     "ErrorRateEstimator",
+    "EstimationPipeline",
     "EstimationRequest",
     "TrainingArtifacts",
     "ErrorRateReport",
     "MonteCarloValidator",
+    "ArtifactStore",
+    "REGISTRY",
+    "use_backends",
     "KernelConfig",
     "KernelStats",
     "configure_kernels",

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro table2 [--workers 4] [--max-instructions N] [--json]
     python -m repro sweep bitcount --points 1.0,1.1,1.15,1.2
     python -m repro batch bitcount dijkstra --workers 2 --cache-dir .cache
+    python -m repro pipeline inspect [--backend dta=reference] [--cache-dir D]
     python -m repro montecarlo bitcount --chips 16 --window-workers 4
 
 ``info`` prints the processor operating point, ``estimate`` runs the full
@@ -138,6 +139,33 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--seed", type=int, default=0)
     bat.add_argument("--json", action="store_true")
     _add_engine_arguments(bat)
+
+    pipe = sub.add_parser(
+        "pipeline", help="inspect the staged estimation pipeline"
+    )
+    pipe_sub = pipe.add_subparsers(dest="pipeline_command", required=True)
+    ins = pipe_sub.add_parser(
+        "inspect",
+        help=(
+            "print the registered stages, the resolved backend plan, "
+            "and the artifact-store state"
+        ),
+    )
+    ins.add_argument(
+        "--backend", action="append", default=[], metavar="STAGE=NAME",
+        help=(
+            "select a backend for a stage (repeatable), e.g. "
+            "--backend dta=reference --backend statmin=montecarlo"
+        ),
+    )
+    ins.add_argument(
+        "--cache-dir", default=None,
+        help=(
+            "artifact-store directory to report entry counts for "
+            "(default: $REPRO_CACHE_DIR when set)"
+        ),
+    )
+    ins.add_argument("--json", action="store_true")
 
     mc = sub.add_parser(
         "montecarlo",
@@ -364,6 +392,62 @@ def _cmd_montecarlo(args, out) -> int:
     return 0
 
 
+def _parse_backend_overrides(pairs) -> dict[str, str]:
+    overrides: dict[str, str] = {}
+    for pair in pairs:
+        stage, sep, name = pair.partition("=")
+        if not sep or not stage or not name:
+            raise argparse.ArgumentTypeError(
+                f"expected STAGE=NAME, got {pair!r}"
+            )
+        overrides[stage] = name
+    return overrides
+
+
+def _cmd_pipeline(args, out) -> int:
+    from repro.pipeline.registry import REGISTRY
+    from repro.pipeline.store import ArtifactStore
+
+    try:
+        overrides = _parse_backend_overrides(args.backend)
+        plan = REGISTRY.resolve(overrides)
+    except (KeyError, argparse.ArgumentTypeError) as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    store = ArtifactStore(cache_dir) if cache_dir else None
+    if args.json:
+        doc = {
+            "schema": "repro.pipeline/1",
+            "plan": plan,
+            "stages": REGISTRY.describe(),
+            "store": store.describe() if store is not None else None,
+        }
+        out.write(json.dumps(doc, indent=2) + "\n")
+        return 0
+    out.write(f"{'stage':12s} {'backend':14s} {'cache id':12s} description\n")
+    for entry in REGISTRY.describe():
+        stage = entry["stage"]
+        for backend in entry["backends"]:
+            selected = "*" if plan[stage] == backend["name"] else " "
+            out.write(
+                f"{stage:12s} {selected}{backend['name']:13s} "
+                f"{backend['cache_id']:12s} {backend['description']}\n"
+            )
+    if store is not None:
+        info = store.describe()
+        out.write(f"store: {info['location']}\n")
+        for namespace in sorted(info["entries"]):
+            out.write(
+                f"  {namespace:12s} {info['entries'][namespace]} entries\n"
+            )
+        if not info["entries"]:
+            out.write("  (empty)\n")
+    else:
+        out.write("store: (none — pass --cache-dir or set REPRO_CACHE_DIR)\n")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "list": _cmd_list,
@@ -371,6 +455,7 @@ _COMMANDS = {
     "table2": _cmd_table2,
     "sweep": _cmd_sweep,
     "batch": _cmd_batch,
+    "pipeline": _cmd_pipeline,
     "montecarlo": _cmd_montecarlo,
 }
 

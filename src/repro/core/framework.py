@@ -1,4 +1,4 @@
-"""The end-to-end error-rate estimation flow.
+"""The end-to-end error-rate estimation flow (legacy composition root).
 
 Two phases, mirroring Section 6.2:
 
@@ -12,130 +12,113 @@ Two phases, mirroring Section 6.2:
   marginal probabilities, and assemble the statistical estimate: Gaussian
   lambda (CLT + Stein bound), Poisson mixture (Eq. 14 + Chen–Stein bound),
   and the bound CDFs of Section 6.4.
+
+The flow itself now lives in the staged pipeline
+(:class:`repro.pipeline.pipeline.EstimationPipeline`), where each phase
+is a registered backend with a typed contract.  This module keeps the
+original :class:`ErrorRateEstimator` surface as a thin shim over that
+pipeline: constructing it still works everywhere, every method delegates,
+and outputs are byte-identical — but the keyword paths the pipeline
+absorbed (``window_workers``, ``activity_cache``) emit a
+``DeprecationWarning`` pointing at their pipeline spelling.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+import warnings
 
-import numpy as np
-
-from repro.cfg.cfg import ControlFlowGraph, build_cfg
-from repro.cfg.marginal import BlockProbabilities, MarginalSolver
-from repro.core.collect import SimulationCollector
-from repro.core.errormodel import InstructionErrorModel
 from repro.core.processor import ProcessorModel
 from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
-from repro.cpu.interpreter import FunctionalSimulator
 from repro.cpu.program import Program
-from repro.cpu.state import MachineState
-from repro.dta.characterize import (
-    ControlCharacterizer,
-    ControlSampleCollector,
-    ControlTimingModel,
-)
+from repro.dta.characterize import ControlCharacterizer
 from repro.dta.windowpool import ActivityCache
-from repro.kernels import kernel_stats
-from repro.sta.gaussian import Gaussian
-from repro.stats.chen_stein import chen_stein_bound
-from repro.stats.mixture import PoissonGaussianMixture
-from repro.stats.stein import stein_normal_bound
+from repro.pipeline.ir import TrainingArtifacts
 
 __all__ = ["ErrorRateEstimator", "TrainingArtifacts"]
 
 
-@dataclass(slots=True)
-class TrainingArtifacts:
-    """Everything the training phase produces for one program.
-
-    ``clock_period`` records the speculative clock period (ps) the
-    control model was characterized at; loading refuses artifacts trained
-    at a different period, since the characterized slack distributions
-    are meaningless off-period.
-    """
-
-    cfg: ControlFlowGraph
-    control_model: ControlTimingModel
-    characterizer: ControlCharacterizer
-    training_seconds: float
-    training_instructions: int
-    clock_period: float | None = None
-    #: Kernel-layer counters accumulated during training (transient
-    #: telemetry — not persisted; ``None`` for loaded artifacts).
-    kernel_stats: dict | None = None
-
-    def to_doc(self) -> dict:
-        """The persistable document behind :meth:`save`."""
-        return {
-            "schema": "repro.training-artifacts/1",
-            "control_model": self.control_model.to_json(),
-            "training_seconds": self.training_seconds,
-            "training_instructions": self.training_instructions,
-            "clock_period": self.clock_period,
-        }
-
-    def save(self, path) -> None:
-        """Persist the trained control model (JSON).
-
-        The CFG and characterizer are deterministic functions of the
-        program and processor, so only the (expensive) characterized
-        timing needs storing — plus the clock period it is valid for;
-        reload with :meth:`ErrorRateEstimator.load_artifacts`.
-        """
-        import json
-
-        with open(path, "w") as handle:
-            json.dump(self.to_doc(), handle)
-
-
 class ErrorRateEstimator:
-    """The paper's framework, end to end.
+    """The paper's framework, end to end (shim over the staged pipeline).
 
     Args:
         processor: Hardware configuration under analysis.
         n_data_samples: Data-variation sample count used to represent the
             probability random variables.
-        window_workers: Fork-pool width for the intra-job window-analysis
-            fan-out (per-(block, edge) characterization); ``1`` runs
-            serially.  Parallel results are byte-identical to serial.
-        activity_cache: Content-addressed window activity cache shared by
+        window_workers: *Deprecated* — select the ``dta.windowpool``
+            backend on an :class:`~repro.pipeline.pipeline.EstimationPipeline`
+            instead.  Fork-pool width for the intra-job window-analysis
+            fan-out; ``1`` runs serially, and parallel results are
+            byte-identical to serial.
+        activity_cache: *Deprecated* — pass the cache to the pipeline
+            instead.  Content-addressed window activity cache shared by
             training, on-demand characterization, and breakdowns (a
-            fresh one is built when omitted).  Preload persisted entries
-            with :meth:`preload_windows` to reuse logic simulations
-            across clock periods.
+            fresh one is built when omitted).
     """
 
     def __init__(
         self,
         processor: ProcessorModel,
         n_data_samples: int = 128,
-        window_workers: int = 1,
+        window_workers: int | None = None,
         activity_cache: ActivityCache | None = None,
     ) -> None:
+        if window_workers is not None:
+            warnings.warn(
+                "ErrorRateEstimator(window_workers=...) is deprecated; "
+                "use EstimationPipeline(..., backends={'dta': 'windowpool'}, "
+                "window_workers=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        if activity_cache is not None:
+            warnings.warn(
+                "ErrorRateEstimator(activity_cache=...) is deprecated; "
+                "use EstimationPipeline(..., activity_cache=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        # Validation stays here so the legacy error contract is exact
+        # even though the pipeline re-validates.
         if n_data_samples < 2:
             raise ValueError("n_data_samples must be >= 2")
-        if window_workers < 1:
+        workers = 1 if window_workers is None else window_workers
+        if workers < 1:
             raise ValueError("window_workers must be >= 1")
-        self.processor = processor
-        self.n_data_samples = n_data_samples
-        self.window_workers = window_workers
-        self.activity_cache = (
-            activity_cache if activity_cache is not None else ActivityCache()
+        from repro.pipeline.pipeline import EstimationPipeline
+
+        self._pipeline = EstimationPipeline(
+            processor,
+            backends={"dta": "windowpool" if workers > 1 else "kernels"},
+            store=None,
+            n_data_samples=n_data_samples,
+            window_workers=workers,
+            activity_cache=activity_cache,
         )
+
+    # ------------------------------------------------------------------ #
+    # Legacy attribute surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def processor(self) -> ProcessorModel:
+        return self._pipeline.processor
+
+    @property
+    def n_data_samples(self) -> int:
+        return self._pipeline.n_data_samples
+
+    @property
+    def window_workers(self) -> int:
+        return self._pipeline.window_workers
+
+    @property
+    def activity_cache(self) -> ActivityCache:
+        return self._pipeline.activity_cache
 
     def _build_characterizer(self, program: Program) -> ControlCharacterizer:
         """A characterizer wired to this estimator's cache and pool width."""
-        return ControlCharacterizer(
-            self.processor.pipeline,
-            self.processor.control_analyzer,
-            program,
-            self.processor.scheme,
-            self.processor.clock_period,
-            activity_cache=self.activity_cache,
-            window_workers=self.window_workers,
-        )
+        return self._pipeline.build_characterizer(program)
 
     # ------------------------------------------------------------------ #
     # Period-independent window artifacts (frequency-sweep reuse)
@@ -145,40 +128,14 @@ class ErrorRateEstimator:
         """Persistable period-independent window artifacts.
 
         Bundles the content-addressed activity traces with the stage
-        analyzer's path-moment registry.  Neither depends on the clock
-        period — the period enters only through the risky-endpoint
-        filter and the Clark combines — so an estimator for *another*
-        operating point of the same processor/program can
-        :meth:`preload_windows` this document and re-characterize with
-        zero logic simulations.
+        analyzer's path-moment registry; see
+        :meth:`EstimationPipeline.window_doc`.
         """
-        return {
-            "schema": "repro.window-artifacts/1",
-            "activity": self.activity_cache.to_doc(),
-            "path_registry": (
-                self.processor.control_analyzer.stage_analyzer.registry_doc()
-            ),
-        }
+        return self._pipeline.window_doc()
 
     def preload_windows(self, doc: dict) -> int:
-        """Load a :meth:`window_doc` document; returns entries added.
-
-        Preloading is strictly fill-missing on both layers (activity
-        digests, path registry/covariances), so it can only skip work,
-        never change results.
-        """
-        if doc.get("schema") != "repro.window-artifacts/1":
-            raise ValueError(
-                f"unsupported window-artifacts schema "
-                f"{doc.get('schema')!r}"
-            )
-        added = self.activity_cache.preload(doc["activity"])
-        registry = doc.get("path_registry")
-        if registry is not None:
-            self.processor.control_analyzer.stage_analyzer.preload_registry(
-                registry
-            )
-        return added
+        """Load a :meth:`window_doc` document; returns entries added."""
+        return self._pipeline.preload_windows(doc)
 
     # ------------------------------------------------------------------ #
     # Phase 1: training
@@ -190,89 +147,20 @@ class ErrorRateEstimator:
         setup=None,
         max_instructions: int = 2_000_000,
     ) -> TrainingArtifacts:
-        """Characterize the program's control network on a training run.
-
-        Args:
-            program: The program.
-            setup: Optional callable ``setup(state, )`` initializing the
-                machine (training/small dataset).
-            max_instructions: Budget for the training execution.
-        """
-        start = time.perf_counter()
-        kernels_before = kernel_stats().snapshot()
-        cfg = build_cfg(program)
-        simulator = FunctionalSimulator(program)
-        state = MachineState()
-        if setup is not None:
-            setup(state)
-        collector = ControlSampleCollector(cfg)
-        result = simulator.run(
-            state, max_instructions=max_instructions,
-            listener=collector.listener,
-        )
-        characterizer = self._build_characterizer(program)
-        control_model = characterizer.characterize(collector.samples)
-        # The datapath model is shared across programs; its (cached)
-        # construction is charged to the first training phase that uses it.
-        _ = self.processor.datapath_model
-        elapsed = time.perf_counter() - start
-        return TrainingArtifacts(
-            cfg=cfg,
-            control_model=control_model,
-            characterizer=characterizer,
-            training_seconds=elapsed,
-            training_instructions=result.instructions,
-            clock_period=self.processor.clock_period,
-            kernel_stats=kernel_stats().delta(kernels_before).to_json(),
+        """Characterize the program's control network on a training run."""
+        return self._pipeline.train(
+            program, setup=setup, max_instructions=max_instructions
         )
 
     def load_artifacts(self, program: Program, path) -> TrainingArtifacts:
-        """Reload artifacts persisted by :meth:`TrainingArtifacts.save`.
-
-        The CFG and characterizer are rebuilt for this estimator's
-        processor; loading refuses a model trained at a different clock
-        period (``ValueError``), since off-period slack Gaussians would
-        silently corrupt the estimate.
-        """
-        import json
-
-        with open(path) as handle:
-            doc = json.load(handle)
-        return self.artifacts_from_doc(program, doc)
+        """Reload artifacts persisted by :meth:`TrainingArtifacts.save`."""
+        return self._pipeline.load_artifacts(program, path)
 
     def artifacts_from_doc(
         self, program: Program, doc: dict
     ) -> TrainingArtifacts:
-        """Rebuild :class:`TrainingArtifacts` from a persisted document.
-
-        The in-memory form of :meth:`load_artifacts`, shared with the
-        batch engine's artifact cache.
-        """
-        stored_period = doc.get("clock_period")
-        if stored_period is None:
-            raise ValueError(
-                "artifacts document does not record a clock period; "
-                "re-train and re-save with this version"
-            )
-        period = self.processor.clock_period
-        if abs(float(stored_period) - period) > 1e-6 * period:
-            raise ValueError(
-                f"artifacts were trained at clock period "
-                f"{float(stored_period):.3f} ps but this processor runs "
-                f"at {period:.3f} ps; re-train for this operating point"
-            )
-        cfg = build_cfg(program)
-        characterizer = self._build_characterizer(program)
-        return TrainingArtifacts(
-            cfg=cfg,
-            control_model=ControlTimingModel.from_json(
-                doc["control_model"]
-            ),
-            characterizer=characterizer,
-            training_seconds=float(doc["training_seconds"]),
-            training_instructions=int(doc["training_instructions"]),
-            clock_period=float(stored_period),
-        )
+        """Rebuild :class:`TrainingArtifacts` from a persisted document."""
+        return self._pipeline.artifacts_from_doc(program, doc)
 
     # ------------------------------------------------------------------ #
     # Phase 2: simulation + estimation
@@ -288,101 +176,18 @@ class ErrorRateEstimator:
         seed: int = 0,
     ) -> ErrorRateReport:
         """Estimate the program's error-rate distribution on a dataset."""
-        start = time.perf_counter()
-        kernels_before = kernel_stats().snapshot()
-        cfg = artifacts.cfg
-        simulator = FunctionalSimulator(program)
-        state = MachineState()
-        if setup is not None:
-            setup(state)
-        collector = SimulationCollector(cfg, reservoir_size=reservoir_size)
-        simulator.run(
-            state, max_instructions=max_instructions,
-            listener=collector.listener,
-        )
-        profile = collector.profile()
-        samples = collector.samples()
-        self._characterize_missing(artifacts, samples)
-
-        error_model = InstructionErrorModel(
-            self.processor, program, cfg, artifacts.control_model
-        )
-        conditionals = error_model.all_block_probabilities(
-            samples, n_samples=self.n_data_samples, seed=seed
-        )
-        # A block whose only execution was cut off by the instruction
-        # budget has no complete sample; treat it as error-free (its
-        # weight is at most one truncated execution).
-        for bid in profile.executed_blocks():
-            if bid not in conditionals:
-                n_i = cfg.block(bid).size
-                conditionals[bid] = BlockProbabilities(
-                    pc=np.zeros((n_i, self.n_data_samples)),
-                    pe=np.zeros((n_i, self.n_data_samples)),
-                )
-        solver = MarginalSolver(cfg, profile)
-        marginals, p_in = solver.solve(conditionals)
-        executions = {
-            bid: int(profile.block_counts[bid])
-            for bid in profile.executed_blocks()
-        }
-        stein = stein_normal_bound(marginals, executions)
-        chen = chen_stein_bound(
-            marginals,
-            {bid: bp.pe for bid, bp in conditionals.items()},
-            p_in,
-            executions,
-        )
-        lam = Gaussian(stein.mean, stein.variance)
-        mixture = PoissonGaussianMixture(lam)
-        elapsed = time.perf_counter() - start
-        kernels = (
-            kernel_stats()
-            .delta(kernels_before)
-            .merge(artifacts.kernel_stats)
-            .to_json()
-        )
-        return ErrorRateReport(
-            program=program.name,
-            total_instructions=profile.total_instructions,
-            static_instructions=len(program),
-            basic_blocks=len(cfg),
-            characterized_pairs=len(artifacts.control_model),
-            lam=lam,
-            mixture=mixture,
-            stein=stein,
-            chen_stein=chen,
-            training_seconds=artifacts.training_seconds,
-            simulation_seconds=elapsed,
-            kernel_stats=kernels,
-            training_kernel_stats=artifacts.kernel_stats,
+        return self._pipeline.estimate(
+            program,
+            artifacts,
+            setup=setup,
+            max_instructions=max_instructions,
+            reservoir_size=reservoir_size,
+            seed=seed,
         )
 
     def _characterize_missing(self, artifacts, samples) -> None:
-        """On-demand characterization for blocks/edges unseen in training.
-
-        Blocks reached only by the evaluation dataset get characterized
-        from the simulation-phase window (with the single pre-entry record
-        as the pipeline-sharing tail).  Missing pairs are batched through
-        the same window-analysis pool as training, in sorted key order.
-        """
-        model = artifacts.control_model
-        tasks = []
-        for bid, block_samples in sorted(samples.items()):
-            preds_needed = {s.pred for s in block_samples}
-            for pred in sorted(preds_needed):
-                try:
-                    model.get(bid, pred, 0)
-                    continue
-                except KeyError:
-                    pass
-                example = next(
-                    s for s in block_samples if s.pred == pred
-                )
-                tail = [example.entry_prev] if example.entry_prev else []
-                tasks.append((bid, pred, tail, example.records))
-        if tasks:
-            artifacts.characterizer.characterize_many(tasks, model)
+        """On-demand characterization for blocks/edges unseen in training."""
+        self._pipeline._dta.characterize_missing(artifacts, samples)
 
     # ------------------------------------------------------------------ #
 
@@ -397,46 +202,10 @@ class ErrorRateEstimator:
         (unless pre-trained ``artifacts`` are supplied), and estimates on
         the evaluation dataset.  A request carrying a ``speculation``
         different from this estimator's processor runs on a derived
-        operating point (:meth:`ProcessorModel.derive`) that shares the
-        period-independent trained engines.
+        operating point that shares the period-independent trained
+        engines and the activity cache.
         """
-        workload = request.resolve_workload()
-        estimator = self
-        if (
-            request.speculation is not None
-            and request.speculation != self.processor.speculation
-        ):
-            # The derived operating point shares the period-independent
-            # engines (ProcessorModel.derive) — and the activity cache,
-            # since stimulus digests are period-independent too.
-            estimator = ErrorRateEstimator(
-                self.processor.derive(speculation=request.speculation),
-                n_data_samples=self.n_data_samples,
-                window_workers=self.window_workers,
-                activity_cache=self.activity_cache,
-            )
-        program, train_setup, train_budget = workload.run_spec(
-            request.train_scale, seed=request.train_seed
-        )
-        if artifacts is None:
-            artifacts = estimator.train(
-                program,
-                setup=train_setup,
-                max_instructions=(
-                    request.train_instructions or train_budget
-                ),
-            )
-        _, eval_setup, eval_budget = workload.run_spec(
-            request.eval_scale, seed=request.eval_seed
-        )
-        return estimator.estimate(
-            program,
-            artifacts,
-            setup=eval_setup,
-            max_instructions=request.max_instructions or eval_budget,
-            reservoir_size=request.reservoir_size,
-            seed=request.resolved_seed(),
-        )
+        return self._pipeline.run(request, artifacts)
 
     def instruction_breakdown(
         self,
@@ -446,57 +215,11 @@ class ErrorRateEstimator:
         max_instructions: int = 1_000_000,
         seed: int = 0,
     ) -> list[dict]:
-        """Per-static-instruction contribution to the expected error count.
-
-        Returns one row per executed instruction, sorted by decreasing
-        contribution to lambda: ``{"block", "position", "index",
-        "instruction", "executions", "mean_probability",
-        "expected_errors", "share"}`` — the view an architect uses to
-        locate *where* a kernel is vulnerable.
-        """
-        cfg = artifacts.cfg
-        simulator = FunctionalSimulator(program)
-        state = MachineState()
-        if setup is not None:
-            setup(state)
-        collector = SimulationCollector(cfg)
-        simulator.run(
-            state, max_instructions=max_instructions,
-            listener=collector.listener,
+        """Per-static-instruction contribution to the expected error count."""
+        return self._pipeline.instruction_breakdown(
+            program,
+            artifacts,
+            setup=setup,
+            max_instructions=max_instructions,
+            seed=seed,
         )
-        profile = collector.profile()
-        samples = collector.samples()
-        self._characterize_missing(artifacts, samples)
-        error_model = InstructionErrorModel(
-            self.processor, program, cfg, artifacts.control_model
-        )
-        conditionals = error_model.all_block_probabilities(
-            samples, n_samples=self.n_data_samples, seed=seed
-        )
-        marginals, _ = MarginalSolver(cfg, profile).solve(conditionals)
-        rows: list[dict] = []
-        lam_total = 0.0
-        for bid, probs in marginals.items():
-            executions = int(profile.block_counts[bid])
-            block = cfg.block(bid)
-            for k in range(probs.shape[0]):
-                p_mean = float(probs[k].mean())
-                contribution = executions * p_mean
-                lam_total += contribution
-                rows.append(
-                    {
-                        "block": bid,
-                        "position": k,
-                        "index": block.start + k,
-                        "instruction": str(program[block.start + k]),
-                        "executions": executions,
-                        "mean_probability": p_mean,
-                        "expected_errors": contribution,
-                    }
-                )
-        for row in rows:
-            row["share"] = (
-                row["expected_errors"] / lam_total if lam_total > 0 else 0.0
-            )
-        rows.sort(key=lambda r: -r["expected_errors"])
-        return rows

@@ -28,6 +28,7 @@ from repro.netlist.gates import EndpointKind, GateType
 from repro.netlist.library import TimingLibrary
 from repro.netlist.netlist import Netlist
 from repro.netlist.paths import Path, PathEnumerator
+from repro.pipeline.registry import active_backend
 from repro.sta.gaussian import Gaussian
 from repro.sta.ssta import statistical_min
 from repro.variation.process import ProcessVariationModel
@@ -526,7 +527,10 @@ class StageDTSAnalyzer:
         if not config.precomputed_cov:
             return self._combine_reference(paths, clock_period, setup)
         pids = tuple(self._register_path(p) for p in paths)
-        memo_key = (mode, clock_period, pids)
+        # The statmin pipeline backend is part of the memo identity: a
+        # Clark result must never serve a Monte Carlo run (or vice versa).
+        method = active_backend("statmin", "clark")
+        memo_key = (mode, clock_period, pids, method)
         if config.combine_memo:
             hit = self._combine_memo.get(memo_key)
             if hit is not None:
@@ -541,7 +545,7 @@ class StageDTSAnalyzer:
             result = slacks[0]
         else:
             stats.clark_reductions += len(slacks) - 1
-            result = statistical_min(slacks, self._cov_for(pids))
+            result = statistical_min(slacks, self._cov_for(pids), method=method)
         if config.combine_memo:
             self._combine_memo[memo_key] = result
         return result

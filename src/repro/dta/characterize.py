@@ -16,6 +16,7 @@ state the error-correction mechanism leaves behind (giving p^e).
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -90,9 +91,8 @@ class ControlTimingModel:
     # Persistence
     # ------------------------------------------------------------------ #
 
-    def to_json(self) -> str:
-        """Serialize the characterized model to JSON."""
-        import json
+    def to_doc(self) -> dict:
+        """The characterized model as a plain JSON-ready document."""
 
         def encode(table):
             return [
@@ -106,20 +106,23 @@ class ControlTimingModel:
                 for (b, p, k), g in sorted(table.items())
             ]
 
-        return json.dumps(
-            {
-                "normal": encode(self.normal),
-                "corrected": encode(self.corrected),
-            },
-            indent=2,
-        )
+        return {
+            "normal": encode(self.normal),
+            "corrected": encode(self.corrected),
+        }
+
+    def to_json(self) -> str:
+        """Serialize the characterized model to JSON."""
+        return json.dumps(self.to_doc(), indent=2)
 
     @classmethod
     def from_json(cls, text: str) -> "ControlTimingModel":
         """Rebuild a model serialized by :meth:`to_json`."""
-        import json
+        return cls.from_doc(json.loads(text))
 
-        doc = json.loads(text)
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ControlTimingModel":
+        """Rebuild a model from a :meth:`to_doc` document."""
 
         def decode(rows):
             out = {}

@@ -230,6 +230,13 @@ class ActivityCache:
             added += 1
         return added
 
+    @classmethod
+    def from_doc(cls, doc: dict) -> "ActivityCache":
+        """A fresh cache populated from a :meth:`to_doc` document."""
+        cache = cls()
+        cache.preload(doc)
+        return cache
+
 
 # --------------------------------------------------------------------- #
 # The pool

@@ -82,6 +82,27 @@ class KernelConfig:
         """The pre-kernel-layer behaviour (every switch off)."""
         return cls(**{f.name: False for f in fields(cls)})
 
+    @classmethod
+    def named(cls, profile: str) -> "KernelConfig":
+        """A configuration by profile name.
+
+        ``"kernels"`` is the fully vectorized default, ``"reference"``
+        the pre-kernel ground truth — the same identities the pipeline's
+        ``dta`` backends carry as their ``cache_id``.
+        """
+        if profile == "kernels":
+            return cls()
+        if profile == "reference":
+            return cls.reference()
+        raise ValueError(
+            f"unknown kernel profile {profile!r}; "
+            f"known: kernels, reference"
+        )
+
+    def to_overrides(self) -> dict[str, bool]:
+        """This configuration as ``configure_kernels`` keyword overrides."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 _CONFIG = KernelConfig()
 

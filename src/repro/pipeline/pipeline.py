@@ -1,0 +1,636 @@
+"""The staged estimation pipeline: composition root of the flow.
+
+:class:`EstimationPipeline` wires the registered stage backends
+(:mod:`repro.pipeline.stages`) into the paper's two-phase flow —
+training (control characterization + datapath fit) and simulation
+(profile, error model, marginal solve, statistical estimate) — with
+every stage boundary crossing a typed IR document
+(:mod:`repro.pipeline.ir`) and every persistable artifact living in one
+content-addressed :class:`~repro.pipeline.store.ArtifactStore`.
+
+Three persisted artifact streams feed the store (their namespaces keep
+the on-disk layout of the legacy ``ArtifactCache``):
+
+* ``control`` — the characterized control timing model, keyed on the
+  full :class:`~repro.pipeline.ir.ControlInputIR` (period-dependent);
+* ``windows`` — period-independent activity traces + path moments,
+  keyed on the same IR minus the clock period (frequency-sweep reuse);
+* ``datapath`` — the shared datapath timing model, keyed on the
+  processor's :class:`~repro.pipeline.ir.DatapathInputIR`.
+
+Store keys additionally fold in the stage name and the selected
+backend's ``cache_id``, so a reference run can never serve a kernels
+run (or vice versa) — while the ``kernels`` and ``windowpool`` backends,
+byte-identical by construction, share entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.collect import SimulationCollector
+from repro.cpu.interpreter import FunctionalSimulator
+from repro.cpu.state import MachineState
+from repro.dta.windowpool import ActivityCache
+from repro.kernels import kernel_stats
+from repro.pipeline.ir import (
+    ControlInputIR,
+    DatapathInputIR,
+    ProcessorConfig,
+    TrainingArtifacts,
+    TrainingSpec,
+)
+from repro.pipeline.registry import REGISTRY, use_backends
+from repro.pipeline.store import ArtifactStore
+
+# Importing the stage module is what populates REGISTRY.
+from repro.pipeline import stages as _stages  # noqa: F401
+
+__all__ = ["EstimationPipeline", "PipelineResult", "StageEvent"]
+
+_UNSET = object()
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One stage execution record: where its output came from."""
+
+    stage: str
+    backend: str
+    status: str  # "hit" | "computed" | "provided"
+    seconds: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "stage": self.stage,
+            "backend": self.backend,
+            "status": self.status,
+            "seconds": round(self.seconds, 3),
+        }
+
+
+@dataclass(slots=True)
+class PipelineResult:
+    """Outcome of one :meth:`EstimationPipeline.execute` call."""
+
+    report: object
+    events: list[StageEvent] = field(default_factory=list)
+    cache_hit: bool = False
+    windows_preloaded: int | None = None
+    seed: int = 0
+    train_seconds: float = 0.0
+    estimate_seconds: float = 0.0
+    processor: object = None
+
+    def event(self, stage: str) -> StageEvent | None:
+        """The last recorded event for ``stage`` (None if absent)."""
+        found = None
+        for event in self.events:
+            if event.stage == stage:
+                found = event
+        return found
+
+
+class EstimationPipeline:
+    """The paper's framework as an explicit staged pipeline.
+
+    Args:
+        processor: Either a built
+            :class:`~repro.core.processor.ProcessorModel`, a picklable
+            :class:`~repro.pipeline.ir.ProcessorConfig` recipe, or
+            ``None`` (the paper's default configuration).  Only the
+            recipe form can key the artifact store — a pre-built
+            processor runs storeless.
+        backends: Stage -> backend-name overrides (e.g. ``{"dta":
+            "reference"}``); unset stages use registry defaults.
+        store: The :class:`~repro.pipeline.store.ArtifactStore` to
+            persist stage outputs in; defaults to a process-local
+            in-memory store when a config is given, and ``None``
+            (storeless) otherwise.  Pass ``None`` explicitly to disable.
+        n_data_samples: Data-variation sample count used to represent
+            the probability random variables.
+        window_workers: Fork-pool width for the intra-job window
+            fan-out; only honored by the ``dta.windowpool`` backend.
+        activity_cache: Content-addressed window activity cache shared
+            by training, on-demand characterization, and breakdowns (a
+            fresh one is built when omitted).
+    """
+
+    def __init__(
+        self,
+        processor=None,
+        *,
+        backends: dict[str, str] | None = None,
+        store=_UNSET,
+        n_data_samples: int = 128,
+        window_workers: int = 1,
+        activity_cache: ActivityCache | None = None,
+    ) -> None:
+        if n_data_samples < 2:
+            raise ValueError("n_data_samples must be >= 2")
+        if window_workers < 1:
+            raise ValueError("window_workers must be >= 1")
+        if processor is None:
+            processor = ProcessorConfig()
+        if isinstance(processor, ProcessorConfig):
+            self.config: ProcessorConfig | None = processor
+            self._processor = None
+        else:
+            self.config = None
+            self._processor = processor
+        if store is _UNSET:
+            store = ArtifactStore() if self.config is not None else None
+        self.store: ArtifactStore | None = store
+        self.n_data_samples = n_data_samples
+        self.window_workers = window_workers
+        self.activity_cache = (
+            activity_cache if activity_cache is not None else ActivityCache()
+        )
+        self.plan = REGISTRY.resolve(backends)
+        self._netlist = REGISTRY.create("netlist", self.plan["netlist"])
+        self._datapath = REGISTRY.create("datapath", self.plan["datapath"])
+        self._dta = REGISTRY.create(
+            "dta", self.plan["dta"], window_workers=window_workers
+        )
+        self._errormodel = REGISTRY.create("errormodel", self.plan["errormodel"])
+        self._estimate = REGISTRY.create("estimate", self.plan["estimate"])
+        self._derived: dict[float, EstimationPipeline] = {}
+        self._derived_models: dict[float, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Processor access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def processor(self):
+        """The processor under analysis (built on first use)."""
+        if self._processor is None:
+            self._processor = self._netlist.build(self.config)
+        return self._processor
+
+    def processor_for(self, speculation):
+        """The processor at ``speculation`` (derived, shared engines)."""
+        if (
+            speculation is None
+            or speculation == self.processor.speculation
+        ):
+            return self.processor
+        if self.config is not None:
+            return self._netlist.derive(self.config, speculation)
+        if speculation not in self._derived_models:
+            self._derived_models[speculation] = self.processor.derive(
+                speculation=speculation
+            )
+        return self._derived_models[speculation]
+
+    def pipeline_for(self, speculation) -> "EstimationPipeline":
+        """This pipeline at a derived operating point.
+
+        Shares the activity cache (stimulus digests are
+        period-independent), the artifact store, and the backend plan.
+        """
+        if (
+            speculation is None
+            or speculation == self.processor.speculation
+        ):
+            return self
+        if speculation not in self._derived:
+            self._derived[speculation] = EstimationPipeline(
+                self.processor_for(speculation),
+                backends=self.plan,
+                store=self.store,
+                n_data_samples=self.n_data_samples,
+                window_workers=self.window_workers,
+                activity_cache=self.activity_cache,
+            )
+        return self._derived[speculation]
+
+    # ------------------------------------------------------------------ #
+    # Characterizer / window-artifact plumbing (shim + benchmark surface)
+    # ------------------------------------------------------------------ #
+
+    def build_characterizer(self, program):
+        """A characterizer wired to this pipeline's cache and pool width."""
+        with use_backends(**self.plan):
+            with self._dta.activation():
+                return self._dta.build_characterizer(
+                    self.processor, program, self.activity_cache
+                )
+
+    def window_doc(self) -> dict:
+        """Persistable period-independent window artifacts."""
+        return self._dta.window_doc(self.processor, self.activity_cache)
+
+    def preload_windows(self, doc: dict) -> int:
+        """Load a :meth:`window_doc` document; returns entries added."""
+        return self._dta.preload_windows(
+            self.processor, self.activity_cache, doc
+        )
+
+    def artifacts_from_doc(self, program, doc: dict) -> TrainingArtifacts:
+        """Rebuild :class:`TrainingArtifacts` from a persisted document."""
+        with use_backends(**self.plan):
+            return self._dta.artifacts_from_doc(
+                self.processor, program, self.activity_cache, doc
+            )
+
+    def load_artifacts(self, program, path) -> TrainingArtifacts:
+        """Reload artifacts persisted by :meth:`TrainingArtifacts.save`."""
+        import json
+
+        with open(path) as handle:
+            doc = json.load(handle)
+        return self.artifacts_from_doc(program, doc)
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: training
+    # ------------------------------------------------------------------ #
+
+    def train(
+        self,
+        program,
+        setup=None,
+        max_instructions: int = 2_000_000,
+    ) -> TrainingArtifacts:
+        """Characterize the program's control network on a training run."""
+        with use_backends(**self.plan):
+            return self._dta.train(
+                self.processor,
+                program,
+                self.activity_cache,
+                setup=setup,
+                max_instructions=max_instructions,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: simulation + estimation
+    # ------------------------------------------------------------------ #
+
+    def estimate(
+        self,
+        program,
+        artifacts: TrainingArtifacts,
+        setup=None,
+        max_instructions: int = 5_000_000,
+        reservoir_size: int = 160,
+        seed: int = 0,
+    ):
+        """Estimate the program's error-rate distribution on a dataset."""
+        with use_backends(**self.plan):
+            with self._dta.activation():
+                return self._estimate_body(
+                    program,
+                    artifacts,
+                    setup=setup,
+                    max_instructions=max_instructions,
+                    reservoir_size=reservoir_size,
+                    seed=seed,
+                )
+
+    def _estimate_body(
+        self,
+        program,
+        artifacts: TrainingArtifacts,
+        *,
+        setup,
+        max_instructions: int,
+        reservoir_size: int,
+        seed: int,
+    ):
+        from repro.core.results import ErrorRateReport
+
+        start = time.perf_counter()
+        kernels_before = kernel_stats().snapshot()
+        cfg = artifacts.cfg
+        simulator = FunctionalSimulator(program)
+        state = MachineState()
+        if setup is not None:
+            setup(state)
+        collector = SimulationCollector(cfg, reservoir_size=reservoir_size)
+        simulator.run(
+            state, max_instructions=max_instructions,
+            listener=collector.listener,
+        )
+        profile = collector.profile()
+        samples = collector.samples()
+        self._dta.characterize_missing(artifacts, samples)
+        conditionals = self._errormodel.conditionals(
+            self.processor,
+            program,
+            cfg,
+            artifacts.control_model,
+            samples,
+            profile,
+            n_data_samples=self.n_data_samples,
+            seed=seed,
+        )
+        lam, mixture, stein, chen = self._estimate.distribution(
+            cfg, profile, conditionals
+        )
+        elapsed = time.perf_counter() - start
+        kernels = (
+            kernel_stats()
+            .delta(kernels_before)
+            .merge(artifacts.kernel_stats)
+            .to_json()
+        )
+        return ErrorRateReport(
+            program=program.name,
+            total_instructions=profile.total_instructions,
+            static_instructions=len(program),
+            basic_blocks=len(cfg),
+            characterized_pairs=len(artifacts.control_model),
+            lam=lam,
+            mixture=mixture,
+            stein=stein,
+            chen_stein=chen,
+            training_seconds=artifacts.training_seconds,
+            simulation_seconds=elapsed,
+            kernel_stats=kernels,
+            training_kernel_stats=artifacts.kernel_stats,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Request execution (store-aware)
+    # ------------------------------------------------------------------ #
+
+    def run(self, request, artifacts: TrainingArtifacts | None = None):
+        """Execute one :class:`~repro.core.request.EstimationRequest`.
+
+        Resolves the workload, trains on the request's training dataset
+        (unless pre-trained ``artifacts`` are supplied), and estimates
+        on the evaluation dataset; a request carrying a different
+        ``speculation`` runs on the derived operating point.  Returns
+        the :class:`~repro.core.results.ErrorRateReport` — use
+        :meth:`execute` for the store-aware flow with stage telemetry.
+        """
+        workload = request.resolve_workload()
+        pipe = self.pipeline_for(request.speculation)
+        program, train_setup, train_budget = workload.run_spec(
+            request.train_scale, seed=request.train_seed
+        )
+        if artifacts is None:
+            artifacts = pipe.train(
+                program,
+                setup=train_setup,
+                max_instructions=(
+                    request.train_instructions or train_budget
+                ),
+            )
+        _, eval_setup, eval_budget = workload.run_spec(
+            request.eval_scale, seed=request.eval_seed
+        )
+        return pipe.estimate(
+            program,
+            artifacts,
+            setup=eval_setup,
+            max_instructions=request.max_instructions or eval_budget,
+            reservoir_size=request.reservoir_size,
+            seed=request.resolved_seed(),
+        )
+
+    def execute(self, request) -> PipelineResult:
+        """Run one request through the store-aware staged flow.
+
+        The store-consulting superset of :meth:`run`: every persistable
+        stage output (datapath model, control model, window artifacts)
+        is fetched from / written to the :class:`ArtifactStore`, and the
+        result carries one :class:`StageEvent` per stage saying whether
+        its output was a store ``hit`` or freshly ``computed``.
+        """
+        events: list[StageEvent] = []
+        pipe = self.pipeline_for(request.speculation)
+        workload = request.resolve_workload()
+        program, train_setup, train_budget = workload.run_spec(
+            request.train_scale, seed=request.train_seed
+        )
+        train_instructions = request.train_instructions or train_budget
+
+        # --- netlist ---------------------------------------------------- #
+        t0 = time.perf_counter()
+        provided = pipe._processor is not None
+        processor = pipe.processor
+        events.append(
+            StageEvent(
+                "netlist",
+                self.plan["netlist"],
+                "provided" if provided else "computed",
+                time.perf_counter() - t0,
+            )
+        )
+
+        use_store = self.store is not None and self.config is not None
+        dta_info = REGISTRY.get("dta", self.plan["dta"])
+        spec = TrainingSpec(
+            scale=request.train_scale,
+            seed=request.train_seed,
+            instructions=train_instructions,
+        )
+
+        # --- datapath ---------------------------------------------------- #
+        t0 = time.perf_counter()
+        if use_store:
+            datapath_key = self.store.compose_key(
+                "datapath",
+                REGISTRY.get("datapath", self.plan["datapath"]).cache_id,
+                DatapathInputIR.build(self.config).content_hash,
+            )
+            hit = pipe._datapath.ensure(
+                processor, key=datapath_key, store=self.store
+            )
+        else:
+            hit = pipe._datapath.ensure(processor)
+        events.append(
+            StageEvent(
+                "datapath",
+                self.plan["datapath"],
+                "hit" if hit else "computed",
+                time.perf_counter() - t0,
+            )
+        )
+
+        # --- dta: control + window artifacts ----------------------------- #
+        cache_hit = False
+        windows_preloaded = None
+        artifacts = None
+        control_key = windows_key = None
+        t0 = time.perf_counter()
+        if use_store:
+            control_ir = ControlInputIR.build(
+                program, self.config, spec,
+                clock_period=processor.clock_period,
+            )
+            control_key = self.store.compose_key(
+                "dta", dta_info.cache_id, control_ir.content_hash
+            )
+            doc = self.store.get_entry("control", control_key)
+            if doc is not None:
+                artifacts = pipe.artifacts_from_doc(program, doc)
+                cache_hit = True
+            # Period-independent window artifacts: preload even on a
+            # control hit (on-demand characterization during estimation
+            # still benefits), and fill the characterization at a *new*
+            # clock period entirely from cached activity traces.
+            windows_key = self.store.compose_key(
+                "dta",
+                dta_info.cache_id,
+                control_ir.period_independent().content_hash,
+            )
+            windows_doc = self.store.get_entry("windows", windows_key)
+            if windows_doc is not None:
+                windows_preloaded = pipe.preload_windows(windows_doc)
+                events.append(
+                    StageEvent(
+                        "windows", self.plan["dta"], "hit",
+                        time.perf_counter() - t0,
+                    )
+                )
+        if artifacts is None:
+            artifacts = pipe.train(
+                program,
+                setup=train_setup,
+                max_instructions=train_instructions,
+            )
+            if use_store:
+                self.store.put_entry(
+                    "control", control_key, artifacts.to_doc()
+                )
+        train_seconds = time.perf_counter() - t0
+        events.append(
+            StageEvent(
+                "dta",
+                self.plan["dta"],
+                "hit" if cache_hit else "computed",
+                train_seconds,
+            )
+        )
+
+        # --- errormodel + estimate ---------------------------------------- #
+        _, eval_setup, eval_budget = workload.run_spec(
+            request.eval_scale, seed=request.eval_seed
+        )
+        seed = request.resolved_seed()
+        t1 = time.perf_counter()
+        report = pipe.estimate(
+            program,
+            artifacts,
+            setup=eval_setup,
+            max_instructions=request.max_instructions or eval_budget,
+            reservoir_size=request.reservoir_size,
+            seed=seed,
+        )
+        estimate_seconds = time.perf_counter() - t1
+        events.append(
+            StageEvent(
+                "estimate", self.plan["estimate"], "computed",
+                estimate_seconds,
+            )
+        )
+        if use_store and pipe.activity_cache.dirty:
+            self.store.put_entry("windows", windows_key, pipe.window_doc())
+            events.append(StageEvent("windows", self.plan["dta"], "computed"))
+        return PipelineResult(
+            report=report,
+            events=events,
+            cache_hit=cache_hit,
+            windows_preloaded=windows_preloaded,
+            seed=seed,
+            train_seconds=train_seconds,
+            estimate_seconds=estimate_seconds,
+            processor=processor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Validation + diagnostics
+    # ------------------------------------------------------------------ #
+
+    def validator(self, **kwargs):
+        """The ground-truth validator for this pipeline's processor.
+
+        Shares the activity cache with the estimation flow unless an
+        explicit one is passed.
+        """
+        kwargs.setdefault("activity_cache", self.activity_cache)
+        backend = REGISTRY.create("validate", self.plan["validate"])
+        return backend.validator(self.processor, **kwargs)
+
+    def instruction_breakdown(
+        self,
+        program,
+        artifacts: TrainingArtifacts,
+        setup=None,
+        max_instructions: int = 1_000_000,
+        seed: int = 0,
+    ) -> list[dict]:
+        """Per-static-instruction contribution to the expected error count.
+
+        Returns one row per executed instruction, sorted by decreasing
+        contribution to lambda: ``{"block", "position", "index",
+        "instruction", "executions", "mean_probability",
+        "expected_errors", "share"}`` — the view an architect uses to
+        locate *where* a kernel is vulnerable.
+        """
+        from repro.cfg.marginal import MarginalSolver
+
+        with use_backends(**self.plan):
+            with self._dta.activation():
+                cfg = artifacts.cfg
+                simulator = FunctionalSimulator(program)
+                state = MachineState()
+                if setup is not None:
+                    setup(state)
+                collector = SimulationCollector(cfg)
+                simulator.run(
+                    state, max_instructions=max_instructions,
+                    listener=collector.listener,
+                )
+                profile = collector.profile()
+                samples = collector.samples()
+                self._dta.characterize_missing(artifacts, samples)
+                conditionals = self._errormodel.conditionals(
+                    self.processor,
+                    program,
+                    cfg,
+                    artifacts.control_model,
+                    samples,
+                    None,
+                    n_data_samples=self.n_data_samples,
+                    seed=seed,
+                )
+                marginals, _ = MarginalSolver(cfg, profile).solve(conditionals)
+        rows: list[dict] = []
+        lam_total = 0.0
+        for bid, probs in marginals.items():
+            executions = int(profile.block_counts[bid])
+            block = cfg.block(bid)
+            for k in range(probs.shape[0]):
+                p_mean = float(probs[k].mean())
+                contribution = executions * p_mean
+                lam_total += contribution
+                rows.append(
+                    {
+                        "block": bid,
+                        "position": k,
+                        "index": block.start + k,
+                        "instruction": str(program[block.start + k]),
+                        "executions": executions,
+                        "mean_probability": p_mean,
+                        "expected_errors": contribution,
+                    }
+                )
+        for row in rows:
+            row["share"] = (
+                row["expected_errors"] / lam_total if lam_total > 0 else 0.0
+            )
+        rows.sort(key=lambda r: -r["expected_errors"])
+        return rows
+
+    def describe(self) -> dict:
+        """The resolved stage graph + store state (``pipeline inspect``)."""
+        return {
+            "schema": "repro.pipeline/1",
+            "plan": dict(self.plan),
+            "stages": REGISTRY.describe(),
+            "store": self.store.describe() if self.store is not None else None,
+        }

@@ -1,0 +1,185 @@
+"""One content-addressed artifact store for every pipeline stage.
+
+Before this module existed the repository had three caching mechanisms,
+each with its own keying and persistence: the runner's ``ArtifactCache``
+(control / datapath / windows JSON documents on disk), the
+``ActivityCache``'s ``to_doc``/``preload`` round-trip, and the stage
+analyzer's path-moment ``registry_doc``.  The :class:`ArtifactStore`
+collapses their *persistence* behind one contract:
+
+* every entry is addressed by ``(stage name, backend cache id, input IR
+  content hash)``, digested into a single SHA-256 key;
+* entries are JSON documents living at
+  ``<root>/<stage>/<key[:2]>/<key>.json`` (or in memory when no root is
+  given, which is what gives every pipeline memoization for free);
+* writes are atomic (temp file + rename) so concurrent pool workers can
+  share a directory without locking;
+* a corrupt or truncated entry is a *miss*: it is deleted and the stage
+  recomputes, instead of poisoning the run with a parse error.
+
+Period-independent stages (datapath training, window artifacts) simply
+omit the clock period from their input IR, so one entry serves every
+operating point of a frequency sweep — the same hierarchical-reuse
+structure FATE uses between its gate-level and high-level models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["ArtifactStore", "stable_digest"]
+
+
+def stable_digest(doc) -> str:
+    """SHA-256 hex digest of a canonical JSON rendering of ``doc``."""
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ArtifactStore:
+    """Content-addressed JSON artifact documents, one namespace per stage.
+
+    Args:
+        root: Directory for the on-disk store, or ``None`` for a
+            process-local in-memory store (same contract, no
+            persistence) — the default every
+            :class:`~repro.pipeline.pipeline.EstimationPipeline` gets so
+            stages are memoized even without a cache directory.
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._memory: dict[tuple[str, str], dict] = {}
+        #: Per-stage telemetry: ``{stage: {"hits": n, "misses": n,
+        #: "puts": n, "corrupt": n}}`` accumulated over this store's
+        #: lifetime (the ``pipeline inspect`` / warm-run evidence).
+        self.stats: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Keying
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def compose_key(stage: str, backend: str, input_hash: str) -> str:
+        """The store key for one (stage, backend, input IR hash) triple."""
+        return stable_digest(
+            {"stage": stage, "backend": backend, "input": input_hash}
+        )
+
+    # ------------------------------------------------------------------ #
+    # Stage-level API
+    # ------------------------------------------------------------------ #
+
+    def get(self, stage: str, backend: str, input_hash: str) -> dict | None:
+        """The stored stage output document, or ``None`` on a miss."""
+        return self.get_entry(stage, self.compose_key(stage, backend, input_hash))
+
+    def put(self, stage: str, backend: str, input_hash: str, doc: dict):
+        """Store one stage output document (atomic on disk)."""
+        return self.put_entry(stage, self.compose_key(stage, backend, input_hash), doc)
+
+    # ------------------------------------------------------------------ #
+    # Raw entry API (shared with the legacy ArtifactCache surface)
+    # ------------------------------------------------------------------ #
+
+    def path_for(self, namespace: str, key: str) -> Path:
+        if self.root is None:
+            raise ValueError("in-memory ArtifactStore has no paths")
+        return self.root / namespace / key[:2] / f"{key}.json"
+
+    def get_entry(self, namespace: str, key: str) -> dict | None:
+        """Fetch by explicit key; corrupt entries are deleted and miss."""
+        counters = self._counters(namespace)
+        if self.root is None:
+            doc = self._memory.get((namespace, key))
+            counters["hits" if doc is not None else "misses"] += 1
+            return doc
+        path = self.path_for(namespace, key)
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+        except OSError:
+            counters["misses"] += 1
+            return None
+        except ValueError:
+            # Truncated write or garbage: treat as a miss and remove the
+            # entry so the recompute's put() repopulates it cleanly.
+            counters["misses"] += 1
+            counters["corrupt"] += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        counters["hits"] += 1
+        return doc
+
+    def put_entry(self, namespace: str, key: str, doc: dict):
+        """Store by explicit key; concurrent writers are safe."""
+        self._counters(namespace)["puts"] += 1
+        if self.root is None:
+            self._memory[(namespace, key)] = doc
+            return None
+        path = self.path_for(namespace, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, namespace_key: tuple[str, str]) -> bool:
+        namespace, key = namespace_key
+        if self.root is None:
+            return (namespace, key) in self._memory
+        return self.path_for(namespace, key).exists()
+
+    # ------------------------------------------------------------------ #
+    # Inspection
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> list:
+        """All stored artifacts (paths on disk, (namespace, key) in memory)."""
+        if self.root is None:
+            return sorted(self._memory)
+        if not self.root.exists():
+            return []
+        return sorted(self.root.glob("*/??/*.json"))
+
+    def entry_counts(self) -> dict[str, int]:
+        """Stored entries per namespace (for ``pipeline inspect``)."""
+        counts: dict[str, int] = {}
+        if self.root is None:
+            for namespace, _key in self._memory:
+                counts[namespace] = counts.get(namespace, 0) + 1
+            return counts
+        for path in self.entries():
+            namespace = path.parent.parent.name
+            counts[namespace] = counts.get(namespace, 0) + 1
+        return counts
+
+    def describe(self) -> dict:
+        """Location + per-stage entry counts and hit/miss telemetry."""
+        return {
+            "location": str(self.root) if self.root is not None else "memory",
+            "entries": self.entry_counts(),
+            "stats": {k: dict(v) for k, v in sorted(self.stats.items())},
+        }
+
+    def _counters(self, namespace: str) -> dict[str, int]:
+        return self.stats.setdefault(
+            namespace, {"hits": 0, "misses": 0, "puts": 0, "corrupt": 0}
+        )

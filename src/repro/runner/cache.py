@@ -20,23 +20,28 @@ framework:
   period changed (a frequency sweep), the re-characterization preloads
   this entry and runs zero logic simulations.
 
-Keys are SHA-256 digests of a canonical JSON document of the inputs;
-entries live at ``<root>/<kind>/<key[:2]>/<key>.json`` and are written
-atomically (temp file + rename) so concurrent pool workers can share one
-cache directory without locking: double writes are idempotent, torn
-reads impossible.
+The keying and persistence now live in the unified pipeline layers —
+:mod:`repro.pipeline.ir` (input IRs and their content hashes) and
+:mod:`repro.pipeline.store` (the content-addressed
+:class:`~repro.pipeline.store.ArtifactStore`).  This module re-exports
+the key functions and keeps :class:`ArtifactCache` as the raw-key view
+of a store: entries live at ``<root>/<kind>/<key[:2]>/<key>.json``,
+writes are atomic (temp file + rename) so concurrent pool workers can
+share one cache directory without locking, and a corrupt or truncated
+entry is deleted and treated as a miss.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import hashlib
-import json
-import os
-import tempfile
 from pathlib import Path
 
-from repro.cpu.program import Program
+from repro.pipeline.ir import (
+    control_cache_key,
+    datapath_cache_key,
+    program_fingerprint,
+    window_cache_key,
+)
+from repro.pipeline.store import ArtifactStore, stable_digest
 
 __all__ = [
     "ArtifactCache",
@@ -48,150 +53,37 @@ __all__ = [
 ]
 
 
-def stable_digest(doc: dict) -> str:
-    """SHA-256 hex digest of a canonical JSON rendering of ``doc``."""
-    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
-def program_fingerprint(program: Program) -> str:
-    """Content hash of a program: its name plus full disassembly.
-
-    The listing covers every instruction field and label, so two
-    programs with the same fingerprint characterize identically.
-    """
-    blob = f"{program.name}\n{program.listing()}"
-    return hashlib.sha256(blob.encode()).hexdigest()
-
-
-def _config_doc(config) -> dict:
-    """A dataclass config as a plain sortable dict."""
-    return dataclasses.asdict(config)
-
-
-def control_cache_key(
-    program: Program,
-    *,
-    pipeline_config,
-    variation_config,
-    scheme_name: str,
-    clock_period: float,
-    paths_per_endpoint: int,
-    train_scale: str,
-    train_seed: int | None,
-    train_instructions: int,
-) -> str:
-    """Cache key for a characterized control timing model."""
-    return stable_digest(
-        {
-            "kind": "control/1",
-            "program": program_fingerprint(program),
-            "pipeline": _config_doc(pipeline_config),
-            "variation": _config_doc(variation_config),
-            "scheme": scheme_name,
-            # repr() keeps full float precision; a different period is a
-            # different (and incompatible) characterization.
-            "clock_period": repr(float(clock_period)),
-            "paths_per_endpoint": paths_per_endpoint,
-            "train_scale": train_scale,
-            "train_seed": train_seed,
-            "train_instructions": train_instructions,
-        }
-    )
-
-
-def window_cache_key(
-    program: Program,
-    *,
-    pipeline_config,
-    variation_config,
-    scheme_name: str,
-    paths_per_endpoint: int,
-    train_scale: str,
-    train_seed: int | None,
-    train_instructions: int,
-) -> str:
-    """Cache key for period-independent window artifacts.
-
-    Everything in the control key *except* the clock period: activity
-    traces and path moments do not depend on it, so one entry serves
-    every operating point of a frequency sweep.
-    """
-    return stable_digest(
-        {
-            "kind": "windows/1",
-            "program": program_fingerprint(program),
-            "pipeline": _config_doc(pipeline_config),
-            "variation": _config_doc(variation_config),
-            "scheme": scheme_name,
-            "paths_per_endpoint": paths_per_endpoint,
-            "train_scale": train_scale,
-            "train_seed": train_seed,
-            "train_instructions": train_instructions,
-        }
-    )
-
-
-def datapath_cache_key(
-    *,
-    pipeline_config,
-    variation_config,
-    paths_per_endpoint: int,
-) -> str:
-    """Cache key for the (period-independent) datapath timing model."""
-    return stable_digest(
-        {
-            "kind": "datapath/1",
-            "pipeline": _config_doc(pipeline_config),
-            "variation": _config_doc(variation_config),
-            "paths_per_endpoint": paths_per_endpoint,
-        }
-    )
-
-
 class ArtifactCache:
-    """A directory of content-addressed JSON artifact documents."""
+    """A directory of content-addressed JSON artifact documents.
+
+    A thin raw-key facade over :class:`~repro.pipeline.store.ArtifactStore`
+    for callers that compute their own keys (the legacy engine surface
+    and the key-function tests); the staged pipeline composes its keys
+    with the stage name and backend identity instead.
+    """
 
     def __init__(self, root) -> None:
         self.root = Path(root)
+        self._store = ArtifactStore(root)
 
     def path_for(self, kind: str, key: str) -> Path:
-        return self.root / kind / key[:2] / f"{key}.json"
+        return self._store.path_for(kind, key)
 
     def get(self, kind: str, key: str) -> dict | None:
-        """The stored document, or ``None`` on miss or corrupt entry."""
-        path = self.path_for(kind, key)
-        try:
-            with open(path) as handle:
-                return json.load(handle)
-        except (OSError, ValueError):
-            return None
+        """The stored document, or ``None`` on a miss.
+
+        A corrupt or truncated entry is deleted and reported as a miss,
+        so the caller's recompute-and-put repopulates it cleanly.
+        """
+        return self._store.get_entry(kind, key)
 
     def put(self, kind: str, key: str, doc: dict) -> Path:
         """Atomically store ``doc``; concurrent writers are safe."""
-        path = self.path_for(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(doc, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-        return path
+        return self._store.put_entry(kind, key, doc)
 
     def __contains__(self, kind_key: tuple[str, str]) -> bool:
-        kind, key = kind_key
-        return self.path_for(kind, key).exists()
+        return kind_key in self._store
 
     def entries(self) -> list[Path]:
         """All cached artifact files (for inspection and tests)."""
-        if not self.root.exists():
-            return []
-        return sorted(self.root.glob("*/??/*.json"))
+        return self._store.entries()

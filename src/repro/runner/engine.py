@@ -2,13 +2,15 @@
 
 An :class:`EstimationEngine` executes a batch of
 :class:`~repro.core.request.EstimationRequest` jobs — (workload ×
-operating point) pairs — on a ``concurrent.futures`` process pool,
-backed by the content-addressed :class:`ArtifactCache`.  The per-job
-work (train + estimate) is embarrassingly parallel; everything shared is
-either derived once in the parent before forking (the base processor,
-its SSTA baseline period, the period-independent datapath model — all
-inherited by the workers through fork's copy-on-write memory) or read
-from the cache.
+operating point) pairs — on a ``concurrent.futures`` process pool.
+Per-job work runs through the staged
+:class:`~repro.pipeline.pipeline.EstimationPipeline` backed by the
+content-addressed :class:`~repro.pipeline.store.ArtifactStore`; the
+engine's job is batching, process fan-out, and telemetry aggregation.
+Everything shared is either derived once in the parent before forking
+(the base processor, its SSTA baseline period, the period-independent
+datapath model — all inherited by the workers through fork's
+copy-on-write memory) or read from the store.
 
 Design points:
 
@@ -21,8 +23,8 @@ Design points:
   the pool falls back to in-process execution when ``max_workers <= 1``,
   when there is a single job, or when the platform cannot fork.
 * **Telemetry** — each result records train/estimate wall time, the
-  simulated instruction count, cache hit/miss, and the worker PID;
-  :class:`RunSummary` aggregates them.
+  simulated instruction count, cache hit/miss, per-stage events, and the
+  worker PID; :class:`RunSummary` aggregates them.
 """
 
 from __future__ import annotations
@@ -32,95 +34,28 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.processor import ProcessorModel
 from repro.core.request import EstimationRequest
 from repro.core.results import ErrorRateReport
 from repro.kernels import KernelStats
-from repro.cpu.correction import (
-    CorrectionScheme,
-    NoCorrection,
-    PipelineFlush,
-    ReplayHalfFrequency,
+from repro.pipeline.ir import (
+    CORRECTION_SCHEMES,
+    DatapathInputIR,
+    ProcessorConfig,
 )
-from repro.netlist.generator import PipelineConfig
-from repro.runner.cache import (
-    ArtifactCache,
-    control_cache_key,
-    datapath_cache_key,
-    stable_digest,
-    window_cache_key,
-)
-from repro.variation.process import VariationConfig
+from repro.pipeline.registry import REGISTRY
+from repro.pipeline.store import ArtifactStore
+from repro.pipeline.stages import base_processor as _base_processor
 
 __all__ = [
     "ProcessorConfig",
+    "CORRECTION_SCHEMES",
     "JobResult",
     "RunSummary",
     "EstimationEngine",
 ]
-
-#: Correction schemes constructible by name (for picklable configs).
-CORRECTION_SCHEMES: dict[str, type[CorrectionScheme]] = {
-    ReplayHalfFrequency.name: ReplayHalfFrequency,
-    PipelineFlush.name: PipelineFlush,
-    NoCorrection.name: NoCorrection,
-}
-
-
-@dataclass(frozen=True)
-class ProcessorConfig:
-    """A picklable recipe for building a :class:`ProcessorModel`.
-
-    The engine ships this (not the multi-megabyte processor object) to
-    pool workers, which rebuild — or, under fork, inherit — the
-    processor.  The same fields feed the artifact-cache keys.
-    """
-
-    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
-    variation: VariationConfig = field(default_factory=VariationConfig)
-    scheme: str = ReplayHalfFrequency.name
-    speculation: float = 1.15
-    yield_quantile: float = 0.9987
-    droop_guardband: float = 1.04
-    paths_per_endpoint: int = 12
-
-    def __post_init__(self) -> None:
-        if self.scheme not in CORRECTION_SCHEMES:
-            raise ValueError(
-                f"unknown correction scheme {self.scheme!r}; "
-                f"known: {sorted(CORRECTION_SCHEMES)}"
-            )
-
-    def build(self) -> ProcessorModel:
-        from repro.netlist.generator import generate_pipeline
-
-        return ProcessorModel(
-            pipeline=generate_pipeline(self.pipeline),
-            variation_config=self.variation,
-            scheme=CORRECTION_SCHEMES[self.scheme](),
-            speculation=self.speculation,
-            yield_quantile=self.yield_quantile,
-            droop_guardband=self.droop_guardband,
-            paths_per_endpoint=self.paths_per_endpoint,
-        )
-
-    def digest(self) -> str:
-        """Identity of this configuration (worker-side registry key)."""
-        import dataclasses
-
-        return stable_digest(
-            {
-                "pipeline": dataclasses.asdict(self.pipeline),
-                "variation": dataclasses.asdict(self.variation),
-                "scheme": self.scheme,
-                "speculation": repr(self.speculation),
-                "yield_quantile": repr(self.yield_quantile),
-                "droop_guardband": repr(self.droop_guardband),
-                "paths_per_endpoint": self.paths_per_endpoint,
-            }
-        )
 
 
 @dataclass(slots=True)
@@ -142,6 +77,8 @@ class JobResult:
     net_performance_percent: float | None = None
     #: Kernel-layer counters for this job (see :class:`KernelStats`).
     kernel_stats: dict | None = None
+    #: Per-stage pipeline events (``StageEvent.to_json`` documents).
+    stages: list[dict] | None = None
 
     @property
     def ok(self) -> bool:
@@ -162,6 +99,8 @@ class JobResult:
             "net_performance_percent": self.net_performance_percent,
             "kernel_stats": self.kernel_stats,
         }
+        if self.stages is not None:
+            doc["stages"] = self.stages
         if self.report is not None:
             doc["report"] = self.report.to_json()
         if self.error is not None:
@@ -254,58 +193,22 @@ class RunSummary:
 # Worker-side execution
 # --------------------------------------------------------------------- #
 
-#: Per-process registry of built processors.  Under the fork start
-#: method the parent's warmed entries (base processor, SSTA baseline,
-#: datapath model) are inherited by every worker for free.
-_PROCESSORS: dict[str, ProcessorModel] = {}
-_DERIVED: dict[tuple[str, float], ProcessorModel] = {}
 
+def _job_pipeline(config: ProcessorConfig, payload: dict):
+    """The per-job staged pipeline for one picklable payload."""
+    from repro.pipeline.pipeline import EstimationPipeline
 
-def _base_processor(config: ProcessorConfig) -> ProcessorModel:
-    key = config.digest()
-    if key not in _PROCESSORS:
-        _PROCESSORS[key] = config.build()
-    return _PROCESSORS[key]
-
-
-def _processor_for(
-    config: ProcessorConfig, speculation: float | None
-) -> ProcessorModel:
-    base = _base_processor(config)
-    if speculation is None or speculation == base.speculation:
-        return base
-    key = (config.digest(), speculation)
-    if key not in _DERIVED:
-        _DERIVED[key] = base.derive(speculation=speculation)
-    return _DERIVED[key]
-
-
-def _attach_datapath(
-    processor: ProcessorModel, config: ProcessorConfig, cache: ArtifactCache
-) -> bool:
-    """Load or train+store the shared datapath model; True on cache hit."""
-    from repro.dta.datapath import DatapathTimingModel
-
-    key = datapath_cache_key(
-        pipeline_config=config.pipeline,
-        variation_config=config.variation,
-        paths_per_endpoint=config.paths_per_endpoint,
-    )
-    doc = cache.get("datapath", key)
-    if doc is not None:
-        processor.datapath_model = DatapathTimingModel.from_json(
-            doc["model"]
-        )
-        return True
-    cache.put(
-        "datapath",
-        key,
-        {
-            "schema": "repro.datapath-model/1",
-            "model": processor.datapath_model.to_json(),
+    window_workers = payload.get("window_workers", 1)
+    cache_dir = payload.get("cache_dir")
+    return EstimationPipeline(
+        config,
+        backends={
+            "dta": "windowpool" if window_workers > 1 else "kernels"
         },
+        store=ArtifactStore(cache_dir) if cache_dir else None,
+        n_data_samples=payload["n_data_samples"],
+        window_workers=window_workers,
     )
-    return False
 
 
 def _execute_payload(payload: dict) -> dict:
@@ -322,96 +225,20 @@ def _execute_payload(payload: dict) -> dict:
         "cache_hit": False,
     }
     try:
-        from repro.core.framework import ErrorRateEstimator
-
-        cache = (
-            ArtifactCache(payload["cache_dir"])
-            if payload["cache_dir"]
-            else None
-        )
-        processor = _processor_for(config, request.speculation)
-        if cache is not None:
-            _attach_datapath(processor, config, cache)
-        estimator = ErrorRateEstimator(
-            processor,
-            n_data_samples=payload["n_data_samples"],
-            window_workers=payload.get("window_workers", 1),
-        )
-        workload = request.resolve_workload()
-        program, train_setup, train_budget = workload.run_spec(
-            request.train_scale, seed=request.train_seed
-        )
-        train_instructions = request.train_instructions or train_budget
-
-        t0 = time.perf_counter()
-        artifacts = None
-        key = None
-        windows_key = None
-        if cache is not None:
-            key = control_cache_key(
-                program,
-                pipeline_config=config.pipeline,
-                variation_config=config.variation,
-                scheme_name=config.scheme,
-                clock_period=processor.clock_period,
-                paths_per_endpoint=config.paths_per_endpoint,
-                train_scale=request.train_scale,
-                train_seed=request.train_seed,
-                train_instructions=train_instructions,
-            )
-            doc = cache.get("control", key)
-            if doc is not None:
-                artifacts = estimator.artifacts_from_doc(program, doc)
-                out["cache_hit"] = True
-            # Period-independent window artifacts: preload even on a
-            # control hit (on-demand characterization during estimation
-            # still benefits), and fill the characterization at a *new*
-            # clock period entirely from cached activity traces.
-            windows_key = window_cache_key(
-                program,
-                pipeline_config=config.pipeline,
-                variation_config=config.variation,
-                scheme_name=config.scheme,
-                paths_per_endpoint=config.paths_per_endpoint,
-                train_scale=request.train_scale,
-                train_seed=request.train_seed,
-                train_instructions=train_instructions,
-            )
-            windows_doc = cache.get("windows", windows_key)
-            if windows_doc is not None:
-                out["windows_preloaded"] = estimator.preload_windows(
-                    windows_doc
-                )
-        if artifacts is None:
-            artifacts = estimator.train(
-                program,
-                setup=train_setup,
-                max_instructions=train_instructions,
-            )
-            if cache is not None:
-                cache.put("control", key, artifacts.to_doc())
-        out["train_seconds"] = time.perf_counter() - t0
-
-        _, eval_setup, eval_budget = workload.run_spec(
-            request.eval_scale, seed=request.eval_seed
-        )
-        seed = request.resolved_seed()
-        t1 = time.perf_counter()
-        report = estimator.estimate(
-            program,
-            artifacts,
-            setup=eval_setup,
-            max_instructions=request.max_instructions or eval_budget,
-            reservoir_size=request.reservoir_size,
-            seed=seed,
-        )
-        out["estimate_seconds"] = time.perf_counter() - t1
-        if cache is not None and estimator.activity_cache.dirty:
-            cache.put("windows", windows_key, estimator.window_doc())
+        pipeline = _job_pipeline(config, payload)
+        result = pipeline.execute(request)
+        processor = result.processor
+        report = result.report
+        out["cache_hit"] = result.cache_hit
+        if result.windows_preloaded is not None:
+            out["windows_preloaded"] = result.windows_preloaded
+        out["train_seconds"] = result.train_seconds
+        out["estimate_seconds"] = result.estimate_seconds
+        out["stages"] = [event.to_json() for event in result.events]
         out["report"] = report.to_json()
         out["instructions"] = report.total_instructions
         out["kernel_stats"] = report.kernel_stats
-        out["seed"] = seed
+        out["seed"] = result.seed
         out["speculation"] = processor.speculation
         out["working_frequency_mhz"] = processor.working_frequency_mhz
         out["net_performance_percent"] = (
@@ -437,7 +264,7 @@ class EstimationEngine:
         config: Processor recipe shared by every job (default: the
             paper's Section 6.1 configuration).
         max_workers: Process-pool width; ``1`` executes in-process.
-        cache_dir: Artifact-cache directory, or ``None`` to disable
+        cache_dir: Artifact-store directory, or ``None`` to disable
             caching.
         n_data_samples: Data-variation sample count per estimator.
         window_workers: Intra-job :class:`WindowAnalysisPool` width for
@@ -482,20 +309,26 @@ class EstimationEngine:
         """Warm parent-side shared state before any fork.
 
         Builds the base processor, its baseline period (the SSTA solve),
-        and the datapath model — loading the latter from the cache when
+        and the datapath model — loading the latter from the store when
         possible — so pool workers inherit them copy-on-write instead of
-        re-deriving them per process.  Returns the datapath cache-hit
+        re-deriving them per process.  Returns the datapath store-hit
         flag (``None`` when caching is off).
         """
         base = self.base_processor
         _ = base.clock_period  # triggers the SSTA baseline solve
         _ = base.control_analyzer
+        trainer = REGISTRY.create("datapath")
         if self.cache_dir is None:
-            _ = base.datapath_model  # train once here, not per worker
-            return None
-        return _attach_datapath(
-            base, self.config, ArtifactCache(self.cache_dir)
+            return trainer.ensure(base)
+        store = ArtifactStore(self.cache_dir)
+        # The same composed key the per-job pipeline uses, so the warm
+        # parent-side load serves every worker.
+        key = store.compose_key(
+            "datapath",
+            REGISTRY.get("datapath").cache_id,
+            DatapathInputIR.build(self.config).content_hash,
         )
+        return trainer.ensure(base, key=key, store=store)
 
     def run(self, requests) -> RunSummary:
         """Execute all requests; results come back in request order."""
@@ -562,4 +395,5 @@ class EstimationEngine:
             working_frequency_mhz=doc.get("working_frequency_mhz"),
             net_performance_percent=doc.get("net_performance_percent"),
             kernel_stats=doc.get("kernel_stats"),
+            stages=doc.get("stages"),
         )

@@ -16,6 +16,7 @@ from repro.netlist.gates import GateType
 from repro.netlist.library import TimingLibrary
 from repro.netlist.netlist import Netlist
 from repro.netlist.paths import Path, PathEnumerator
+from repro.pipeline.registry import active_backend
 from repro.sta.clark import clark_max_coefficients
 from repro.sta.gaussian import Gaussian
 from repro.variation.process import ProcessVariationModel
@@ -23,6 +24,43 @@ from repro.variation.process import ProcessVariationModel
 __all__ = ["StatisticalTimingAnalysis", "statistical_min", "statistical_max"]
 
 _ORDERINGS = {"criticality", "reverse", "given"}
+_METHODS = {"clark", "montecarlo"}
+
+#: Fixed sample count/seed of the ``statmin.montecarlo`` backend — a
+#: deterministic cross-check of Clark's moment matching, not a speed path.
+_MC_SAMPLES = 20_000
+_MC_SEED = 0x5EED
+
+
+def _montecarlo_reduce(
+    items: list[Gaussian], cov: np.ndarray, minimum: bool
+) -> Gaussian:
+    """Correlated-sampling estimate of min/max over Gaussians.
+
+    Deterministic (fixed generator seed); the covariance matrix is
+    symmetrized, its diagonal pinned to each item's own variance, and
+    projected to the PSD cone (eigenvalue clipping) before sampling.
+    """
+    n = len(items)
+    if n == 0:
+        raise ValueError("cannot reduce an empty set of Gaussians")
+    if n == 1:
+        return items[0]
+    cov = np.asarray(cov, dtype=float)
+    if cov.shape != (n, n):
+        raise ValueError(f"covariance must be ({n}, {n}), got {cov.shape}")
+    means = np.array([g.mean for g in items])
+    sigma = 0.5 * (cov + cov.T)
+    for i in range(n):
+        sigma[i, i] = items[i].var
+    w, v = np.linalg.eigh(sigma)
+    w = np.clip(w, 0.0, None)
+    transform = v * np.sqrt(w)
+    rng = np.random.default_rng(_MC_SEED)
+    normals = rng.standard_normal((_MC_SAMPLES, n))
+    draws = means + normals @ transform.T
+    reduced = draws.min(axis=1) if minimum else draws.max(axis=1)
+    return Gaussian(float(reduced.mean()), float(reduced.var()))
 
 
 def _pairwise_reduce(
@@ -65,7 +103,10 @@ def _pairwise_reduce(
 
 
 def statistical_min(
-    slacks: list[Gaussian], cov: np.ndarray, order: str = "criticality"
+    slacks: list[Gaussian],
+    cov: np.ndarray,
+    order: str = "criticality",
+    method: str | None = None,
 ) -> Gaussian:
     """Gaussian approximation of ``min`` over correlated Gaussians.
 
@@ -73,15 +114,30 @@ def statistical_min(
     (the diagonal is ignored in favour of each Gaussian's own variance).
     ``order`` selects the greedy pairwise combination order ([21]):
     ``'criticality'`` (default — most critical first), ``'reverse'``, or
-    ``'given'``.
+    ``'given'``.  ``method`` picks the reduction backend — ``"clark"``
+    (pairwise moment matching) or ``"montecarlo"`` (fixed-seed correlated
+    sampling); ``None`` consults the active ``statmin`` pipeline backend.
     """
+    if method is None:
+        method = active_backend("statmin", "clark")
+    check_in("method", method, _METHODS)
+    if method == "montecarlo":
+        return _montecarlo_reduce(list(slacks), cov, minimum=True)
     return _pairwise_reduce(list(slacks), cov, order, minimum=True)
 
 
 def statistical_max(
-    values: list[Gaussian], cov: np.ndarray, order: str = "criticality"
+    values: list[Gaussian],
+    cov: np.ndarray,
+    order: str = "criticality",
+    method: str | None = None,
 ) -> Gaussian:
     """Gaussian approximation of ``max`` over correlated Gaussians."""
+    if method is None:
+        method = active_backend("statmin", "clark")
+    check_in("method", method, _METHODS)
+    if method == "montecarlo":
+        return _montecarlo_reduce(list(values), cov, minimum=False)
     return _pairwise_reduce(list(values), cov, order, minimum=False)
 
 

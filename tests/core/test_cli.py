@@ -65,6 +65,65 @@ class TestLightCommands:
         assert "penalty_cycles" in text
 
 
+class TestPipelineInspect:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["pipeline"])
+
+    def test_table_lists_stages_and_marks_plan(self):
+        code, text = _run(["pipeline", "inspect"])
+        assert code == 0
+        for stage in ("netlist", "datapath", "dta", "statmin", "estimate"):
+            assert stage in text
+        # Defaults are marked selected; alternates are listed unmarked.
+        assert "*kernels" in text
+        assert "*clark" in text
+        assert "windowpool" in text
+        assert "reference" in text
+        assert "montecarlo" in text
+        assert "store: (none" in text
+
+    def test_backend_override_moves_the_marker(self):
+        code, text = _run(["pipeline", "inspect", "--backend", "dta=reference"])
+        assert code == 0
+        assert "*reference" in text
+        assert "*kernels" not in text
+
+    def test_unknown_backend_is_exit_2(self):
+        code, text = _run(["pipeline", "inspect", "--backend", "dta=nope"])
+        assert code == 2
+        assert "error:" in text
+        code, text = _run(["pipeline", "inspect", "--backend", "garbage"])
+        assert code == 2
+        assert "STAGE=NAME" in text
+
+    def test_json_document(self, tmp_path):
+        code, text = _run(
+            ["pipeline", "inspect", "--json", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        doc = json.loads(text)
+        assert doc["schema"] == "repro.pipeline/1"
+        assert len(doc["stages"]) >= 5
+        multi = [s for s in doc["stages"] if len(s["backends"]) >= 2]
+        assert len(multi) >= 2
+        assert doc["plan"]["dta"] == "kernels"
+        assert doc["store"]["location"] == str(tmp_path)
+
+    def test_reports_store_entry_counts(self, tmp_path):
+        from repro.pipeline.store import ArtifactStore
+
+        ArtifactStore(tmp_path).put_entry(
+            "control", "ab" + "0" * 62, {"x": 1}
+        )
+        code, text = _run(
+            ["pipeline", "inspect", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert f"store: {tmp_path}" in text
+        assert "control" in text and "1 entries" in text
+
+
 @pytest.mark.slow
 class TestEstimate:
     def test_estimate_json(self):

@@ -5,6 +5,8 @@ flow runs in seconds, then checks the statistical invariants the paper's
 construction guarantees.
 """
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -177,6 +179,47 @@ class TestOnDemandCharacterization:
         assert sorted(set(preds))[0] == preds[0]
         unseen = max(preds) + 1_000
         assert model.get(bid, unseen, 0) == model.get(bid, preds[0], 0)
+
+
+class TestDeprecationShim:
+    """ErrorRateEstimator is a thin shim over EstimationPipeline."""
+
+    def test_plain_constructor_is_silent(self, estimator):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ErrorRateEstimator(estimator.processor, n_data_samples=8)
+
+    def test_window_workers_kwarg_warns(self, estimator):
+        with pytest.warns(DeprecationWarning, match="window_workers"):
+            shim = ErrorRateEstimator(
+                estimator.processor, n_data_samples=8, window_workers=2
+            )
+        assert shim.window_workers == 2
+
+    def test_activity_cache_kwarg_warns(self, estimator):
+        from repro.dta.windowpool import ActivityCache
+
+        cache = ActivityCache()
+        with pytest.warns(DeprecationWarning, match="activity_cache"):
+            shim = ErrorRateEstimator(
+                estimator.processor, n_data_samples=8, activity_cache=cache
+            )
+        assert shim.activity_cache is cache
+
+    def test_shim_delegates_to_staged_pipeline(self, estimator):
+        from repro.pipeline.pipeline import EstimationPipeline
+
+        assert isinstance(estimator._pipeline, EstimationPipeline)
+        assert estimator.processor is estimator._pipeline.processor
+        assert estimator.n_data_samples == 64
+        assert estimator._pipeline.store is None
+
+    def test_shim_keeps_validations(self, estimator):
+        with pytest.raises(ValueError):
+            ErrorRateEstimator(estimator.processor, n_data_samples=1)
+        with pytest.raises(ValueError), warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            ErrorRateEstimator(estimator.processor, window_workers=0)
 
 
 class TestFrequencySensitivity:

@@ -121,6 +121,33 @@ class TestJsonRoundTrip:
             json.loads(blob)
         ).error_rate_mean == pytest.approx(report.error_rate_mean)
 
+    def test_kernel_counters_roundtrip(self, report):
+        import dataclasses
+
+        kernels = {
+            "sim_calls": 42, "activity_cache_hits": 9, "windows_reused": 7,
+        }
+        training = {"sim_calls": 0, "windows_reused": 7}
+        stamped = dataclasses.replace(
+            report, kernel_stats=kernels, training_kernel_stats=training
+        )
+        doc = stamped.to_json()
+        assert doc["timing"]["kernels"] == kernels
+        assert doc["timing"]["kernels_training"] == training
+        again = ErrorRateReport.from_json(doc)
+        assert again.kernel_stats == kernels
+        assert again.training_kernel_stats == training
+        # A second round trip is byte-stable.
+        assert again.to_json() == doc
+
+    def test_absent_kernel_counters_stay_absent(self, report):
+        doc = report.to_json()
+        assert "kernels" not in doc["timing"]
+        assert "kernels_training" not in doc["timing"]
+        again = ErrorRateReport.from_json(doc)
+        assert again.kernel_stats is None
+        assert again.training_kernel_stats is None
+
     def test_timing_section_is_optional(self, report):
         doc = report.to_json(include_timing=False)
         assert "timing" not in doc

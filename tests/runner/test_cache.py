@@ -124,6 +124,21 @@ class TestArtifactCache:
         path = cache.put("control", key, {"ok": True})
         path.write_text("{not json")
         assert cache.get("control", key) is None
+        # A corrupt (truncated / garbage) entry is evicted on read, so
+        # the recompute-and-put path finds a clean slot.
+        assert not path.exists()
+        cache.put("control", key, {"ok": True})
+        assert cache.get("control", key) == {"ok": True}
+
+    def test_truncated_entry_is_evicted(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = "ab" + "4" * 62
+        path = cache.put("windows", key, {"windows": {"a": [1, 2, 3]}})
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # torn write
+        assert cache.get("windows", key) is None
+        assert not path.exists()
+        assert cache.entries() == []
 
     def test_double_put_is_idempotent(self, tmp_path):
         cache = ArtifactCache(tmp_path)
