@@ -1,0 +1,140 @@
+"""Experiment ``service`` — the estimation job server.
+
+Measures what the serving layer adds on top of the staged pipeline and
+writes the numbers to ``BENCH_service.json`` at the repository root:
+
+* **Cold vs. warm latency**: end-to-end (submit → result over a real
+  socket) wall time for the first job of a workload vs. an identical
+  resubmission served from the shared artifact store.  The warm path
+  must re-train with zero logic simulations — that reuse is the whole
+  reason a multi-tenant server beats per-tenant processes.
+* **Warm throughput**: jobs/sec over a batch of store-hit jobs, the
+  steady-state rate a warmed server sustains for one tenant mix.
+* **HTTP overhead**: mean status-poll round-trip, bounding what the
+  wire layer costs relative to the estimation itself.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_service.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import tempfile
+import time
+
+from conftest import print_table
+from repro import api
+from repro.netlist import PipelineConfig
+from repro.pipeline.ir import ProcessorConfig
+from repro.service import EstimationService, ServiceClient
+
+#: Single canonical output location — CI uploads the repo-root file.
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+SMALL = ProcessorConfig(
+    pipeline=PipelineConfig(
+        data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+        cloud_gates=60, seed=7,
+    )
+)
+WORKLOAD = "bitcount"
+WARM_JOBS = 8
+
+
+def _request(seed=0):
+    return api.build_request(
+        workload=WORKLOAD,
+        train_instructions=4_000,
+        max_instructions=6_000,
+        seed=seed,
+    )
+
+
+def _timed_job(client, request):
+    start = time.perf_counter()
+    status = client.submit(request)
+    result = client.wait(status.id, timeout=300, poll=0.02)
+    return time.perf_counter() - start, result
+
+
+def test_service_benchmark():
+    state_dir = tempfile.mkdtemp(prefix="repro-bench-service-")
+    service = EstimationService(
+        state_dir, config=SMALL, port=0, workers=1, n_data_samples=32
+    )
+    with service.start_in_thread():
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+
+        cold_s, cold = _timed_job(client, _request())
+        warm_s, warm = _timed_job(client, _request())
+
+        # Steady-state throughput: submit a warm batch, drain it.
+        batch_start = time.perf_counter()
+        jobs = [client.submit(_request()) for _ in range(WARM_JOBS)]
+        results = [
+            client.wait(job.id, timeout=300, poll=0.02) for job in jobs
+        ]
+        batch_s = time.perf_counter() - batch_start
+        jobs_per_s = WARM_JOBS / batch_s
+
+        # Pure wire overhead: status polls of a finished job.
+        polls = []
+        for _ in range(20):
+            t0 = time.perf_counter()
+            client.status(jobs[-1].id)
+            polls.append(time.perf_counter() - t0)
+        poll_ms = 1000.0 * statistics.mean(polls)
+
+        stats = client.store_stats()
+
+    doc = {
+        "schema": "repro.bench-service/1",
+        "workload": WORKLOAD,
+        "config": "reduced (engine test-suite shape)",
+        "cold_latency_s": round(cold_s, 3),
+        "warm_latency_s": round(warm_s, 3),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "warm_jobs": WARM_JOBS,
+        "warm_batch_s": round(batch_s, 3),
+        "warm_jobs_per_s": round(jobs_per_s, 2),
+        "status_poll_ms": round(poll_ms, 2),
+        "cold_training_sims": cold.training_sims,
+        "warm_training_sims": warm.training_sims,
+        "store": {
+            "entries": stats["entries"],
+            "bytes": stats["bytes"],
+            "hits": {
+                ns: counters["hits"]
+                for ns, counters in stats["stats"].items()
+            },
+        },
+    }
+    (REPO_ROOT / "BENCH_service.json").write_text(
+        json.dumps(doc, indent=2)
+    )
+
+    print_table(
+        ["metric", "cold", "warm", "gain"],
+        [
+            ["job latency (s)", round(cold_s, 3), round(warm_s, 3),
+             f"{cold_s / warm_s:.2f}x"],
+            ["training sims", cold.training_sims, warm.training_sims,
+             f"-{cold.training_sims - warm.training_sims}"],
+            ["warm throughput", "-", f"{jobs_per_s:.2f} jobs/s",
+             f"{WARM_JOBS} jobs in {batch_s:.2f}s"],
+            ["status poll (ms)", "-", round(poll_ms, 2), "-"],
+        ],
+        "Estimation service (BENCH_service.json)",
+    )
+
+    # The serving layer must preserve the store's reuse contract ...
+    assert not cold.cache_hit
+    assert warm.cache_hit
+    assert warm.training_sims == 0
+    assert all(r.cache_hit for r in results)
+    # ... deliver a real warm speedup over the cold path ...
+    assert warm_s < cold_s
+    # ... and keep HTTP + queue overhead far below one warm job.
+    assert jobs_per_s >= 1.0

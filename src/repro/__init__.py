@@ -24,10 +24,23 @@ Quickstart::
         setup=workload.setup(workload.dataset("large")),
     )
     print(report.error_rate_mean, report.error_rate_sd)
+
+Or as a service (``python -m repro serve`` / ``submit`` on the CLI)::
+
+    from repro import api
+    from repro.service import EstimationService, ServiceClient
+
+    service = EstimationService(".repro-service", port=0)
+    with service.start_in_thread():
+        client = ServiceClient(f"http://127.0.0.1:{service.port}")
+        job = client.submit(api.build_request(workload="bitcount", seed=0))
+        print(client.wait(job.id).report.error_rate_mean)
 """
 
 __version__ = "1.0.0"
 
+from repro import api
+from repro.api import ApiError, JobResult, JobStatus
 from repro.core.processor import ProcessorModel, default_processor
 from repro.core.framework import ErrorRateEstimator, TrainingArtifacts
 from repro.core.request import EstimationRequest
@@ -46,6 +59,10 @@ from repro.pipeline.store import ArtifactStore
 
 __all__ = [
     "__version__",
+    "api",
+    "ApiError",
+    "JobResult",
+    "JobStatus",
     "ProcessorModel",
     "default_processor",
     "ErrorRateEstimator",

@@ -1,0 +1,369 @@
+"""The canonical public API surface: versioned request/response schema.
+
+Every frontend of the estimator — the CLI subcommands, the Python entry
+point (``repro.EstimationPipeline`` / ``repro.runner``), and the HTTP
+job server (:mod:`repro.service`) — exchanges the *same* JSON documents,
+defined here and nowhere else.  A request built by ``repro submit``,
+POSTed to ``/v1/jobs``, stored in the service queue, and replayed after
+a crash is byte-for-byte the document this module produces.
+
+Schema versioning
+-----------------
+
+Documents carry ``"schema": 2`` (an integer) and a ``"kind"`` tag naming
+the document type.  Version 2 is strict: an unknown field is rejected
+with an error that names it and lists the valid fields, so a typo in a
+client payload fails loudly at the boundary instead of silently running
+the wrong job.  Version-1 documents — the ad-hoc shapes earlier PRs
+emitted (``EstimationRequest.identity_doc`` dicts, string-tagged
+``repro.error-rate-report/1`` reports) — are still *readable*:
+:func:`request_from_json` and :func:`report_from_json` accept them and
+normalize on the way in.
+
+Document kinds
+--------------
+
+===================== =====================================================
+kind                  produced / consumed by
+===================== =====================================================
+``estimation-request``  :func:`request_to_json` / :func:`request_from_json`
+``job-status``          :class:`JobStatus` (queue + ``GET /v1/jobs/{id}``)
+``job-result``          :class:`JobResult` (``GET /v1/jobs/{id}/result``)
+``error-rate-report``   :func:`report_to_json` / :func:`report_from_json`
+===================== =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.request import EstimationRequest
+from repro.core.results import ErrorRateReport
+
+__all__ = [
+    "SCHEMA",
+    "JOB_STATES",
+    "ApiError",
+    "EstimationRequest",
+    "ErrorRateReport",
+    "JobStatus",
+    "JobResult",
+    "build_request",
+    "request_to_json",
+    "request_from_json",
+    "report_to_json",
+    "report_from_json",
+]
+
+#: Current wire-schema version; bump on incompatible change.
+SCHEMA = 2
+
+#: Lifecycle states a service job moves through (in order; the last two
+#: are terminal).
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+class ApiError(ValueError):
+    """A document failed schema validation at the API boundary."""
+
+
+# --------------------------------------------------------------------- #
+# EstimationRequest codec
+# --------------------------------------------------------------------- #
+
+#: ``field name -> (accepted types, allows None)`` for the request kind.
+_REQUEST_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
+    "workload": ((str,), False),
+    "train_scale": ((str,), False),
+    "eval_scale": ((str,), False),
+    "train_seed": ((int,), True),
+    "eval_seed": ((int,), True),
+    "speculation": ((int, float), True),
+    "max_instructions": ((int,), True),
+    "train_instructions": ((int,), True),
+    "seed": ((int,), True),
+    "reservoir_size": ((int,), False),
+}
+
+#: Field spellings older documents used, mapped to the canonical name.
+_V1_ALIASES = {"benchmark": "workload"}
+
+_META_KEYS = frozenset({"schema", "kind"})
+
+
+def _reject_unknown(doc: dict, known: frozenset, kind: str) -> None:
+    unknown = sorted(set(doc) - known - _META_KEYS)
+    if unknown:
+        raise ApiError(
+            f"unknown field(s) {', '.join(map(repr, unknown))} in "
+            f"{kind} document (schema {SCHEMA}); valid fields: "
+            f"{', '.join(sorted(known))}"
+        )
+
+
+def _check_schema(doc, kind: str) -> int:
+    """The document's schema version (1 for untagged legacy docs)."""
+    if not isinstance(doc, dict):
+        raise ApiError(f"{kind} document must be a JSON object, got "
+                       f"{type(doc).__name__}")
+    version = doc.get("schema", 1)
+    if version not in (1, SCHEMA):
+        raise ApiError(
+            f"unsupported {kind} schema {version!r}; this build reads "
+            f"schema {SCHEMA} (and legacy schema-1 documents)"
+        )
+    declared = doc.get("kind")
+    if declared is not None and declared != kind:
+        raise ApiError(f"expected a {kind!r} document, got {declared!r}")
+    return version
+
+
+def build_request(**fields) -> EstimationRequest:
+    """Construct a validated :class:`EstimationRequest` from keywords.
+
+    The one constructor frontends should use: it applies the same
+    field-name and type validation as :func:`request_from_json`, so a
+    CLI flag, a Python call, and a wire payload all fail identically on
+    the same bad input.
+    """
+    doc = {"schema": SCHEMA, "kind": "estimation-request"}
+    doc.update({k: v for k, v in fields.items() if v is not None})
+    return request_from_json(doc)
+
+
+def request_to_json(request: EstimationRequest) -> dict:
+    """The request as a canonical schema-2 wire document."""
+    doc: dict = {"schema": SCHEMA, "kind": "estimation-request"}
+    if not isinstance(request.workload, str):
+        raise ApiError(
+            "only named workloads serialize; a bring-your-own Workload "
+            "object has no wire form"
+        )
+    doc["workload"] = request.workload
+    for name in _REQUEST_FIELDS:
+        if name == "workload":
+            continue
+        doc[name] = getattr(request, name)
+    return doc
+
+
+def request_from_json(doc: dict) -> EstimationRequest:
+    """Parse a request document (schema 2 strict, schema 1 tolerated)."""
+    version = _check_schema(doc, "estimation-request")
+    body = {k: v for k, v in doc.items() if k not in _META_KEYS}
+    if version == 1:
+        body = {_V1_ALIASES.get(k, k): v for k, v in body.items()}
+    _reject_unknown(body, frozenset(_REQUEST_FIELDS), "estimation-request")
+    if "workload" not in body:
+        raise ApiError("estimation-request document is missing 'workload'")
+    kwargs = {}
+    for name, value in body.items():
+        types, nullable = _REQUEST_FIELDS[name]
+        if value is None:
+            if not nullable:
+                raise ApiError(f"field {name!r} must not be null")
+            continue
+        if isinstance(value, bool) or not isinstance(value, types):
+            expected = "/".join(t.__name__ for t in types)
+            raise ApiError(
+                f"field {name!r} must be {expected}, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+        kwargs[name] = value
+    try:
+        return EstimationRequest(**kwargs)
+    except ValueError as exc:
+        raise ApiError(f"invalid estimation-request: {exc}") from None
+
+
+# --------------------------------------------------------------------- #
+# ErrorRateReport codec
+# --------------------------------------------------------------------- #
+
+def report_to_json(
+    report: ErrorRateReport, include_timing: bool = True
+) -> dict:
+    """The report as a schema-2 wire document.
+
+    Identical to :meth:`ErrorRateReport.to_json` except the legacy
+    string tag is replaced by the integer schema plus a ``kind``.
+    """
+    doc = report.to_json(include_timing=include_timing)
+    doc["schema"] = SCHEMA
+    doc["kind"] = "error-rate-report"
+    return doc
+
+
+def report_from_json(doc: dict) -> ErrorRateReport:
+    """Parse a report document (schema 2, or the v1 string tag)."""
+    if isinstance(doc, dict) and doc.get("schema") == ErrorRateReport.SCHEMA:
+        return ErrorRateReport.from_json(doc)
+    _check_schema(doc, "error-rate-report")
+    body = dict(doc)
+    body["schema"] = ErrorRateReport.SCHEMA
+    body.pop("kind", None)
+    try:
+        return ErrorRateReport.from_json(body)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ApiError(f"invalid error-rate-report: {exc}") from None
+
+
+# --------------------------------------------------------------------- #
+# Job lifecycle documents
+# --------------------------------------------------------------------- #
+
+_JOB_STATUS_FIELDS = frozenset({
+    "id", "state", "submitted_at", "started_at", "finished_at",
+    "attempts", "worker", "error", "stages", "request",
+})
+
+
+@dataclass(frozen=True)
+class JobStatus:
+    """One job's lifecycle snapshot (queue row / ``GET /v1/jobs/{id}``).
+
+    Attributes:
+        id: Server-assigned job identifier.
+        state: One of :data:`JOB_STATES`.
+        submitted_at: POSIX timestamp of submission.
+        started_at: POSIX timestamp execution began (``None`` if queued).
+        finished_at: POSIX timestamp of the terminal transition.
+        attempts: Execution attempts (> 1 after a crash-recovery requeue).
+        worker: Identifier of the worker that ran (or is running) the
+            job.
+        error: Failure traceback for ``failed`` jobs.
+        stages: Per-stage :class:`~repro.pipeline.pipeline.StageEvent`
+            documents recorded by the run (``None`` until finished).
+        request: The normalized schema-2 request document.
+    """
+
+    id: str
+    state: str
+    submitted_at: float
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    worker: str | None = None
+    error: str | None = None
+    stages: list | None = None
+    request: dict | None = None
+
+    def __post_init__(self) -> None:
+        if self.state not in JOB_STATES:
+            raise ApiError(
+                f"unknown job state {self.state!r}; expected one of "
+                f"{', '.join(JOB_STATES)}"
+            )
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "kind": "job-status",
+            "id": self.id,
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "stages": self.stages,
+            "request": self.request,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "JobStatus":
+        _check_schema(doc, "job-status")
+        body = {k: v for k, v in doc.items() if k not in _META_KEYS}
+        _reject_unknown(body, _JOB_STATUS_FIELDS, "job-status")
+        try:
+            return cls(**body)
+        except TypeError as exc:
+            raise ApiError(f"invalid job-status: {exc}") from None
+
+
+_JOB_RESULT_FIELDS = frozenset({
+    "job", "report", "cache_hit", "seed", "training_sims",
+    "windows_preloaded", "train_seconds", "estimate_seconds", "stages",
+})
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """One finished job's payload (``GET /v1/jobs/{id}/result``).
+
+    Attributes:
+        job: The job identifier.
+        report_doc: The :func:`report_to_json` document.
+        cache_hit: Whether the control model came warm from the store.
+        seed: The resolved data-variation seed the job ran with.
+        training_sims: Logic-simulator calls spent in training — ``0``
+            for a fully warm job (the multi-tenant reuse evidence).
+        windows_preloaded: Window artifacts preloaded from the store.
+        train_seconds: Wall-clock training time.
+        estimate_seconds: Wall-clock simulation + estimation time.
+        stages: Per-stage event documents.
+    """
+
+    job: str
+    report_doc: dict
+    cache_hit: bool = False
+    seed: int = 0
+    training_sims: int = 0
+    windows_preloaded: int | None = None
+    train_seconds: float = 0.0
+    estimate_seconds: float = 0.0
+    stages: list = field(default_factory=list)
+
+    @property
+    def report(self) -> ErrorRateReport:
+        """The decoded :class:`ErrorRateReport`."""
+        return report_from_json(self.report_doc)
+
+    @classmethod
+    def from_pipeline(cls, job_id: str, result) -> "JobResult":
+        """Build from an :class:`EstimationPipeline.execute` result."""
+        training = result.report.training_kernel_stats or {}
+        return cls(
+            job=job_id,
+            report_doc=report_to_json(result.report),
+            cache_hit=result.cache_hit,
+            seed=result.seed,
+            training_sims=int(training.get("sim_calls", 0)),
+            windows_preloaded=result.windows_preloaded,
+            train_seconds=result.train_seconds,
+            estimate_seconds=result.estimate_seconds,
+            stages=[event.to_json() for event in result.events],
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA,
+            "kind": "job-result",
+            "job": self.job,
+            "report": self.report_doc,
+            "cache_hit": self.cache_hit,
+            "seed": self.seed,
+            "training_sims": self.training_sims,
+            "windows_preloaded": self.windows_preloaded,
+            "train_seconds": round(self.train_seconds, 3),
+            "estimate_seconds": round(self.estimate_seconds, 3),
+            "stages": self.stages,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "JobResult":
+        _check_schema(doc, "job-result")
+        body = {k: v for k, v in doc.items() if k not in _META_KEYS}
+        _reject_unknown(body, _JOB_RESULT_FIELDS, "job-result")
+        body["report_doc"] = body.pop("report", None)
+        if not isinstance(body["report_doc"], dict):
+            raise ApiError("job-result document is missing 'report'")
+        try:
+            return cls(**body)
+        except TypeError as exc:
+            raise ApiError(f"invalid job-result: {exc}") from None

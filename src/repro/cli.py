@@ -10,6 +10,8 @@ Usage (after ``pip install -e .``)::
     python -m repro batch bitcount dijkstra --workers 2 --cache-dir .cache
     python -m repro pipeline inspect [--backend dta=reference] [--cache-dir D]
     python -m repro montecarlo bitcount --chips 16 --window-workers 4
+    python -m repro serve --port 8731 --state-dir .repro-service
+    python -m repro submit bitcount --speculation 1.15 --json
 
 ``info`` prints the processor operating point, ``estimate`` runs the full
 train+estimate flow for one benchmark, ``table2`` regenerates the paper's
@@ -24,6 +26,11 @@ a process pool, ``--window-workers N`` fans the per-window analysis
 when the engine itself runs parallel), and ``--cache-dir`` (or the
 ``REPRO_CACHE_DIR`` environment variable) enables the content-addressed
 artifact cache so warm re-runs skip every training phase.
+
+``serve`` runs the estimation job server (:mod:`repro.service`) and
+``submit`` posts one job to it over HTTP; both speak the versioned
+:mod:`repro.api` request/response schema, which is also the only way
+this module constructs estimation requests.
 """
 
 from __future__ import annotations
@@ -33,11 +40,8 @@ import json
 import os
 import sys
 
-from repro.core import (
-    ErrorRateEstimator,
-    EstimationRequest,
-    ProcessorModel,
-)
+from repro import api
+from repro.core import ProcessorModel
 from repro.runner import EstimationEngine, ProcessorConfig
 from repro.workloads import list_workloads, load_workload
 
@@ -188,6 +192,54 @@ def build_parser() -> argparse.ArgumentParser:
     mc.add_argument("--max-instructions", type=int, default=100_000)
     mc.add_argument("--seed", type=int, default=0)
     mc.add_argument("--json", action="store_true")
+
+    srv = sub.add_parser(
+        "serve", help="run the HTTP/JSON estimation job server"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8731)
+    srv.add_argument(
+        "--state-dir", default=None,
+        help=(
+            "service state directory holding the job queue and the "
+            "shared artifact store (default: $REPRO_SERVICE_DIR when "
+            "set, else .repro-service)"
+        ),
+    )
+    srv.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="concurrent job-executor threads",
+    )
+    srv.add_argument(
+        "--window-workers", type=_positive_int, default=1,
+        help="intra-job window-pool width per executor",
+    )
+    srv.add_argument(
+        "--store-budget", type=int, default=None,
+        help="LRU byte budget for the shared artifact store",
+    )
+
+    sm = sub.add_parser(
+        "submit", help="submit one job to a running estimation server"
+    )
+    sm.add_argument("benchmark", choices=list_workloads())
+    sm.add_argument(
+        "--url", default=None,
+        help=(
+            "service URL (default: $REPRO_SERVICE_URL when set, else "
+            "http://127.0.0.1:8731)"
+        ),
+    )
+    sm.add_argument("--speculation", type=float, default=None)
+    sm.add_argument("--max-instructions", type=int, default=None)
+    sm.add_argument("--train-instructions", type=int, default=None)
+    sm.add_argument("--seed", type=int, default=None)
+    sm.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without polling for the result",
+    )
+    sm.add_argument("--timeout", type=float, default=600.0)
+    sm.add_argument("--json", action="store_true")
     return parser
 
 
@@ -225,20 +277,21 @@ def _cmd_list(args, out) -> int:
 
 
 def _cmd_estimate(args, out) -> int:
-    processor = ProcessorModel(speculation=args.speculation)
-    estimator = ErrorRateEstimator(processor)
-    report = estimator.run(
-        EstimationRequest(
-            workload=args.benchmark,
-            max_instructions=args.max_instructions,
-            seed=0,
-        )
+    from repro.pipeline.pipeline import EstimationPipeline
+
+    request = api.build_request(
+        workload=args.benchmark,
+        speculation=args.speculation,
+        max_instructions=args.max_instructions,
+        seed=0,
     )
+    result = EstimationPipeline(ProcessorConfig()).execute(request)
+    report = result.report
     if args.json:
-        out.write(json.dumps(report.to_json(), indent=2) + "\n")
+        out.write(json.dumps(api.report_to_json(report), indent=2) + "\n")
     else:
         out.write(str(report) + "\n")
-        perf = processor.performance.improvement_percent(
+        perf = result.processor.performance.improvement_percent(
             report.error_rate_mean / 100.0
         )
         out.write(f"net performance vs baseline: {perf:+.2f}%\n")
@@ -248,7 +301,7 @@ def _cmd_estimate(args, out) -> int:
 def _cmd_table2(args, out) -> int:
     engine = _engine_from_args(args)
     requests = [
-        EstimationRequest(
+        api.build_request(
             workload=name, max_instructions=args.max_instructions, seed=0
         )
         for name in list_workloads()
@@ -256,7 +309,7 @@ def _cmd_table2(args, out) -> int:
     summary = engine.run(requests)
     if args.json:
         rows = [
-            r.report.to_json(include_timing=False)
+            api.report_to_json(r.report, include_timing=False)
             for r in summary.succeeded
         ]
         out.write(json.dumps(rows, indent=2) + "\n")
@@ -277,7 +330,7 @@ def _cmd_sweep(args, out) -> int:
         return 2
     engine = _engine_from_args(args)
     requests = [
-        EstimationRequest(
+        api.build_request(
             workload=args.benchmark,
             speculation=speculation,
             max_instructions=args.max_instructions,
@@ -312,7 +365,7 @@ def _cmd_batch(args, out) -> int:
     points = args.speculation or [None]
     engine = _engine_from_args(args)
     requests = [
-        EstimationRequest(
+        api.build_request(
             workload=name,
             speculation=speculation,
             max_instructions=args.max_instructions,
@@ -366,20 +419,7 @@ def _cmd_montecarlo(args, out) -> int:
     )
     if args.json:
         out.write(
-            json.dumps(
-                {
-                    "benchmark": args.benchmark,
-                    "chips": args.chips,
-                    "mean_percent": result.mean_percent,
-                    "sd_percent": result.sd_percent,
-                    "chip_error_rates_percent": [
-                        100.0 * float(x) for x in result.chip_error_rates
-                    ],
-                    "total_instructions": result.total_instructions,
-                    "windows_analyzed": result.windows_analyzed,
-                },
-                indent=2,
-            )
+            json.dumps(result.to_json(benchmark=args.benchmark), indent=2)
             + "\n"
         )
     else:
@@ -448,6 +488,86 @@ def _cmd_pipeline(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+
+    from repro.service import EstimationService
+
+    state_dir = args.state_dir or os.environ.get(
+        "REPRO_SERVICE_DIR", ".repro-service"
+    )
+    service = EstimationService(
+        state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        window_workers=args.window_workers,
+        store_budget=args.store_budget,
+    )
+
+    async def _main() -> None:
+        await service.start()
+        queued = service.queue.counts()["queued"]
+        out.write(
+            f"serving on http://{service.host}:{service.port} "
+            f"(state: {state_dir}, workers: {service.workers})\n"
+        )
+        if queued:
+            out.write(f"resuming {queued} queued job(s)\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        await service._server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        out.write("shutting down\n")
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    url = args.url or os.environ.get(
+        "REPRO_SERVICE_URL", "http://127.0.0.1:8731"
+    )
+    try:
+        request = api.build_request(
+            workload=args.benchmark,
+            speculation=args.speculation,
+            max_instructions=args.max_instructions,
+            train_instructions=args.train_instructions,
+            seed=args.seed,
+        )
+    except api.ApiError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    client = ServiceClient(url)
+    try:
+        status = client.submit(request)
+        if args.no_wait:
+            if args.json:
+                out.write(json.dumps(status.to_json(), indent=2) + "\n")
+            else:
+                out.write(f"submitted {status.id} ({status.state})\n")
+            return 0
+        result = client.wait(status.id, timeout=args.timeout)
+    except (ServiceError, TimeoutError, OSError) as exc:
+        out.write(f"error: {exc}\n")
+        return 1
+    if args.json:
+        out.write(json.dumps(result.to_json(), indent=2) + "\n")
+    else:
+        out.write(str(result.report) + "\n")
+        out.write(
+            f"job {result.job}: "
+            f"{'warm' if result.cache_hit else 'cold'}, "
+            f"training sims {result.training_sims}, "
+            f"{result.train_seconds + result.estimate_seconds:.1f}s\n"
+        )
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "list": _cmd_list,
@@ -457,6 +577,8 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "pipeline": _cmd_pipeline,
     "montecarlo": _cmd_montecarlo,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

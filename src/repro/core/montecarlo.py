@@ -59,6 +59,25 @@ class MonteCarloResult:
     def sd_percent(self) -> float:
         return 100.0 * float(self.chip_error_rates.std())
 
+    def to_json(self, benchmark: str | None = None) -> dict:
+        """Versioned JSON document (the ``montecarlo --json`` payload)."""
+        doc: dict = {"schema": "repro.montecarlo-result/1"}
+        if benchmark is not None:
+            doc["benchmark"] = benchmark
+        doc.update(
+            {
+                "chips": int(self.chip_error_rates.shape[0]),
+                "mean_percent": self.mean_percent,
+                "sd_percent": self.sd_percent,
+                "chip_error_rates_percent": [
+                    100.0 * float(x) for x in self.chip_error_rates
+                ],
+                "total_instructions": self.total_instructions,
+                "windows_analyzed": self.windows_analyzed,
+            }
+        )
+        return doc
+
 
 class MonteCarloValidator:
     """Brute-force per-chip error-rate measurement.

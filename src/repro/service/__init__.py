@@ -1,0 +1,24 @@
+"""Estimation-as-a-service: an async HTTP/JSON job server.
+
+The serving layer over the staged
+:class:`~repro.pipeline.pipeline.EstimationPipeline`: clients POST
+schema-versioned :class:`~repro.api.EstimationRequest` documents to
+``/v1/jobs``, the server enqueues them on a persistent SQLite-backed
+:class:`JobQueue`, executes them through pipelines sharing one warm
+:class:`~repro.pipeline.store.ArtifactStore`, and serves status, stage
+telemetry, and results back over the same wire schema (:mod:`repro.api`).
+
+See ``docs/SERVICE.md`` for the endpoint contract and queue resume
+semantics.
+"""
+
+from repro.service.queue import JobQueue
+from repro.service.server import EstimationService
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = [
+    "JobQueue",
+    "EstimationService",
+    "ServiceClient",
+    "ServiceError",
+]

@@ -1,0 +1,127 @@
+"""Stdlib HTTP client for the estimation service.
+
+Speaks the exact :mod:`repro.api` wire schema — ``repro submit`` and
+the end-to-end tests both drive the server through this class, so the
+CLI, the Python entry point, and the HTTP surface can never drift
+apart.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from urllib.parse import urlsplit
+
+from repro import api
+
+__all__ = ["ServiceClient", "ServiceError", "JobFailed"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class JobFailed(ServiceError):
+    """A job finished in the ``failed`` state."""
+
+
+class ServiceClient:
+    """Minimal blocking client (one request per connection).
+
+    Args:
+        url: Service base URL, e.g. ``http://127.0.0.1:8731``.
+        timeout: Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, url: str, timeout: float = 30.0) -> None:
+        split = urlsplit(url if "//" in url else f"http://{url}")
+        if split.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        self.host = split.hostname or "127.0.0.1"
+        self.port = split.port or 8731
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+
+    def _call(self, method: str, path: str, doc: dict | None = None,
+              ok=(200, 202)) -> tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(doc).encode() if doc is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            payload = response.read().decode() or "{}"
+            try:
+                parsed = json.loads(payload)
+            except ValueError:
+                parsed = {"error": payload}
+            if response.status not in ok:
+                raise ServiceError(
+                    response.status,
+                    parsed.get("error", payload) if isinstance(parsed, dict)
+                    else payload,
+                )
+            return response.status, parsed
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    # The /v1 surface
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request) -> api.JobStatus:
+        """POST one request (object or document); returns its status."""
+        if isinstance(request, api.EstimationRequest):
+            request = api.request_to_json(request)
+        _, doc = self._call("POST", "/v1/jobs", request, ok=(202,))
+        return api.JobStatus.from_json(doc)
+
+    def status(self, job_id: str) -> api.JobStatus:
+        _, doc = self._call("GET", f"/v1/jobs/{job_id}")
+        return api.JobStatus.from_json(doc)
+
+    def jobs(self) -> list[api.JobStatus]:
+        _, doc = self._call("GET", "/v1/jobs")
+        return [api.JobStatus.from_json(item) for item in doc["jobs"]]
+
+    def result(self, job_id: str) -> api.JobResult:
+        """The finished job's result (raises unless ``done``)."""
+        try:
+            _, doc = self._call("GET", f"/v1/jobs/{job_id}/result")
+        except ServiceError as exc:
+            if exc.status == 500:
+                raise JobFailed(exc.status, str(exc)) from None
+            raise
+        return api.JobResult.from_json(doc)
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.1) -> api.JobResult:
+        """Poll until the job finishes; returns (or raises) its result."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.state == "done":
+                return self.result(job_id)
+            if status.state == "failed":
+                raise JobFailed(500, status.error or "job failed")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state} after {timeout}s"
+                )
+            time.sleep(poll)
+
+    def store_stats(self) -> dict:
+        _, doc = self._call("GET", "/v1/store/stats")
+        return doc["store"]
+
+    def health(self) -> dict:
+        _, doc = self._call("GET", "/v1/healthz")
+        return doc

@@ -1,0 +1,407 @@
+"""The asyncio HTTP/JSON estimation job server.
+
+:class:`EstimationService` binds the three moving parts together:
+
+* an :mod:`asyncio` socket server speaking a minimal HTTP/1.1 subset
+  (stdlib only — ``asyncio.start_server`` plus a hand-rolled
+  request parser; one request per connection);
+* the persistent :class:`~repro.service.queue.JobQueue` (survives
+  ``SIGKILL``: running jobs are requeued on startup, finished jobs keep
+  their results);
+* a pool of worker threads, each owning one
+  :class:`~repro.pipeline.pipeline.EstimationPipeline`, all sharing one
+  on-disk :class:`~repro.pipeline.store.ArtifactStore` — the warm store
+  is the multiplexing medium: a second tenant submitting an overlapping
+  operating point trains with zero logic simulations.
+
+Endpoints (all JSON, schema :data:`repro.api.SCHEMA`):
+
+=========================== =========================================
+``POST /v1/jobs``           submit an ``estimation-request``; 202 +
+                            ``job-status``
+``GET /v1/jobs``            recent ``job-status`` documents
+``GET /v1/jobs/{id}``       one ``job-status`` (with stage telemetry)
+``GET /v1/jobs/{id}/result`` the ``job-result`` (409 until finished)
+``GET /v1/store/stats``     shared-store entry counts / bytes / telemetry
+``GET /v1/healthz``         liveness + queue counts
+=========================== =========================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro import api
+from repro.pipeline.store import ArtifactStore
+from repro.service.queue import JobQueue
+
+__all__ = ["EstimationService"]
+
+_MAX_BODY = 1 << 20  # 1 MiB request bodies are plenty for one job doc
+
+_REASONS = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class EstimationService:
+    """Asyncio job server over the shared estimation pipeline.
+
+    Args:
+        state_dir: Directory holding ``queue.db`` and the shared
+            ``store/`` (created on demand).  The service is resumable
+            from this directory alone.
+        config: :class:`~repro.pipeline.ir.ProcessorConfig` every job
+            runs against (default: the paper's configuration).
+        host / port: Bind address; ``port=0`` picks a free port
+            (``self.port`` is updated once bound).
+        workers: Concurrent job-executor threads.  Each owns one
+            pipeline; all share the store, so the warm-reuse contract
+            holds across workers and tenants.
+        window_workers: Intra-job window-pool width handed to each
+            pipeline (keep ``workers * window_workers`` within the host
+            budget).
+        n_data_samples: Data-variation samples per estimator.
+        store_budget: LRU byte budget for the shared store (``None`` =
+            unbounded / ``REPRO_STORE_BUDGET``).
+        backends: Stage->backend overrides for every job pipeline.
+    """
+
+    def __init__(
+        self,
+        state_dir,
+        *,
+        config=None,
+        host: str = "127.0.0.1",
+        port: int = 8731,
+        workers: int = 1,
+        window_workers: int = 1,
+        n_data_samples: int = 128,
+        store_budget: int | None = None,
+        backends: dict | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        from repro.pipeline.ir import ProcessorConfig
+
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.config = config if config is not None else ProcessorConfig()
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.window_workers = window_workers
+        self.n_data_samples = n_data_samples
+        self.backends = backends
+        self.queue = JobQueue(self.state_dir / "queue.db")
+        self.store = ArtifactStore(
+            self.state_dir / "store", max_bytes=store_budget
+        )
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job"
+        )
+        self._local = threading.local()
+        self._server: asyncio.base_events.Server | None = None
+        self._worker_tasks: list[asyncio.Task] = []
+        self._wake: asyncio.Event | None = None
+        self._stopping = False
+        #: Set once the socket is bound (handle for tests/benchmarks).
+        self.ready = threading.Event()
+        self.jobs_done = 0
+        self.jobs_failed = 0
+
+    # ------------------------------------------------------------------ #
+    # Job execution (worker threads)
+    # ------------------------------------------------------------------ #
+
+    def _pipeline(self):
+        """This worker thread's pipeline (shared store, own caches)."""
+        pipe = getattr(self._local, "pipeline", None)
+        if pipe is None:
+            from repro.pipeline.pipeline import EstimationPipeline
+
+            pipe = EstimationPipeline(
+                self.config,
+                backends=self.backends,
+                store=self.store,
+                n_data_samples=self.n_data_samples,
+                window_workers=self.window_workers,
+            )
+            self._local.pipeline = pipe
+        return pipe
+
+    def _run_job(self, job_id: str, request_doc: dict) -> None:
+        """Execute one claimed job; transitions it to done/failed."""
+        try:
+            request = api.request_from_json(request_doc)
+            result = self._pipeline().execute(request)
+            payload = api.JobResult.from_pipeline(job_id, result)
+            self.queue.complete(
+                job_id, payload.to_json(), stages=payload.stages
+            )
+            self.jobs_done += 1
+        except Exception:
+            self.queue.fail(job_id, traceback.format_exc())
+            self.jobs_failed += 1
+
+    async def _worker_loop(self, name: str) -> None:
+        loop = asyncio.get_running_loop()
+        while not self._stopping:
+            claimed = self.queue.claim(name)
+            if claimed is None:
+                # Idle: wait for a submit (or poll — externally enqueued
+                # jobs, e.g. a second service process, have no event).
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.25)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            job_id, request_doc = claimed
+            await loop.run_in_executor(
+                self._executor, self._run_job, job_id, request_doc
+            )
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, doc = await self._respond(reader)
+        except _HttpError as exc:
+            status, doc = exc.status, {"error": str(exc)}
+        except Exception:
+            status, doc = 500, {"error": traceback.format_exc()}
+        body = json.dumps(doc, indent=2).encode() + b"\n"
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader):
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise _HttpError(400, "empty request")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise _HttpError(400, f"malformed request line {request_line!r}")
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad Content-Length")
+        if content_length > _MAX_BODY:
+            raise _HttpError(400, f"body exceeds {_MAX_BODY} bytes")
+        raw = (
+            await reader.readexactly(content_length)
+            if content_length else b""
+        )
+        return self._route(method.upper(), target.split("?", 1)[0], raw)
+
+    def _route(self, method: str, path: str, raw: bytes):
+        parts = [p for p in path.split("/") if p]
+        if parts[:1] != ["v1"]:
+            raise _HttpError(404, f"no such path {path!r}")
+        rest = parts[1:]
+        if rest == ["jobs"]:
+            if method == "POST":
+                return self._post_job(raw)
+            if method == "GET":
+                return 200, {
+                    "schema": api.SCHEMA,
+                    "jobs": [s.to_json() for s in self.queue.list()],
+                }
+            raise _HttpError(405, f"{method} not allowed on {path}")
+        if len(rest) == 2 and rest[0] == "jobs" and method == "GET":
+            return 200, self._status_of(rest[1]).to_json()
+        if (len(rest) == 3 and rest[0] == "jobs" and rest[2] == "result"
+                and method == "GET"):
+            return self._get_result(rest[1])
+        if rest == ["store", "stats"] and method == "GET":
+            return 200, {"schema": api.SCHEMA, "store": self.store.describe()}
+        if rest == ["healthz"] and method == "GET":
+            return 200, {
+                "schema": api.SCHEMA,
+                "ok": True,
+                "jobs": self.queue.counts(),
+                "workers": self.workers,
+            }
+        raise _HttpError(404, f"no such path {path!r}")
+
+    def _post_job(self, raw: bytes):
+        try:
+            doc = json.loads(raw.decode() or "null")
+        except ValueError:
+            raise _HttpError(400, "request body is not valid JSON")
+        try:
+            request = api.request_from_json(doc)
+        except api.ApiError as exc:
+            raise _HttpError(400, str(exc))
+        job_id = self.queue.submit(api.request_to_json(request))
+        if self._wake is not None:
+            self._wake.set()
+        return 202, self._status_of(job_id).to_json()
+
+    def _status_of(self, job_id: str) -> api.JobStatus:
+        status = self.queue.get(job_id)
+        if status is None:
+            raise _HttpError(404, f"unknown job {job_id!r}")
+        return status
+
+    def _get_result(self, job_id: str):
+        status = self._status_of(job_id)
+        if status.state == "done":
+            return 200, self.queue.result_doc(job_id)
+        if status.state == "failed":
+            return 500, {
+                "error": status.error or "job failed",
+                "job": job_id,
+                "state": status.state,
+            }
+        raise _HttpError(
+            409, f"job {job_id!r} is {status.state}, not finished"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> None:
+        """Bind the socket, recover the queue, start the workers."""
+        self._wake = asyncio.Event()
+        recovered = self.queue.recover()
+        if recovered:
+            self._wake.set()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker_loop(f"worker-{i}"))
+            for i in range(self.workers)
+        ]
+        self.ready.set()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel idle workers, close the queue."""
+        self._stopping = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._worker_tasks:
+            task.cancel()
+        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+        self.queue.close()
+        self.store.close()
+
+    async def run_forever(self) -> None:
+        """Start and serve until cancelled (the ``repro serve`` body)."""
+        await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Embedding helper (tests, benchmarks, notebooks)
+    # ------------------------------------------------------------------ #
+
+    def start_in_thread(self, timeout: float = 10.0) -> "ServiceThread":
+        """Run this service on a daemon thread; returns a stop handle."""
+        handle = ServiceThread(self)
+        handle.start(timeout=timeout)
+        return handle
+
+
+class ServiceThread:
+    """A service running on its own event-loop thread (test harness)."""
+
+    def __init__(self, service: EstimationService) -> None:
+        self.service = service
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self, timeout: float = 10.0) -> None:
+        started = threading.Event()
+
+        def _run() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+
+            async def _main() -> None:
+                await self.service.start()
+                started.set()
+                await self.service._server.wait_closed()
+
+            try:
+                loop.run_until_complete(_main())
+            finally:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=_run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.stop(), self._loop
+        )
+        try:
+            future.result(timeout=timeout)
+        except Exception:
+            pass
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,189 @@
+"""Concurrency, durability, and eviction tests for the ArtifactStore."""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.pipeline.store import ArtifactStore
+
+KEY = "ab" + "0" * 62
+
+
+def _hammer_writes(root, key, worker, n_rounds):
+    """Worker body: repeatedly write (and read back) the same key."""
+    store = ArtifactStore(root)
+    for i in range(n_rounds):
+        store.put_entry("control", key, {"worker": worker, "round": i})
+        doc = store.get_entry("control", key)
+        # Whatever we read must be one writer's *complete* document.
+        assert doc is not None
+        assert set(doc) == {"worker", "round"}
+
+
+class TestConcurrentWriters:
+    def test_two_processes_writing_same_key(self, tmp_path):
+        """Two processes hammering one key never corrupt the entry."""
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        procs = [
+            ctx.Process(
+                target=_hammer_writes, args=(str(tmp_path), KEY, w, 40)
+            )
+            for w in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        # The surviving entry is a complete document from one writer.
+        doc = ArtifactStore(tmp_path).get_entry("control", KEY)
+        assert doc is not None
+        assert doc["worker"] in (0, 1)
+        assert doc["round"] == 39
+
+    def test_threaded_writers_distinct_keys(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        keys = [f"{i:02x}" + "1" * 62 for i in range(8)]
+
+        def _write(key):
+            for i in range(10):
+                store.put_entry("windows", key, {"k": key, "i": i})
+
+        threads = [
+            threading.Thread(target=_write, args=(k,)) for k in keys
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for key in keys:
+            assert store.get_entry("windows", key) == {"k": key, "i": 9}
+
+
+class TestDurableWrites:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        for i in range(5):
+            store.put_entry("control", f"{i:02d}" + "2" * 62, {"i": i})
+        leftovers = list(tmp_path.rglob(".tmp-*"))
+        assert leftovers == []
+
+    def test_write_is_atomic_under_failure(self, tmp_path, monkeypatch):
+        """A crash mid-write must not clobber the existing entry."""
+        store = ArtifactStore(tmp_path)
+        store.put_entry("control", KEY, {"version": "old"})
+
+        real_replace = os.replace
+
+        def exploding_replace(src, dst):
+            raise RuntimeError("killed mid-write")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(RuntimeError):
+            store.put_entry("control", KEY, {"version": "new"})
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert store.get_entry("control", KEY) == {"version": "old"}
+        assert list(tmp_path.rglob(".tmp-*")) == []
+
+    def test_truncated_entry_is_evicted_on_read(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.put_entry("control", KEY, {"ok": True})
+        path.write_text('{"ok": tru')  # simulate a torn write
+        assert store.get_entry("control", KEY) is None
+        assert not path.exists()
+        assert store.stats["control"]["corrupt"] == 1
+
+
+class TestLruEviction:
+    def _doc(self, i):
+        return {"payload": "x" * 200, "i": i}
+
+    def _size(self, i):
+        return len(json.dumps(self._doc(i)))
+
+    def test_disk_eviction_under_budget(self, tmp_path):
+        budget = int(self._size(0) * 2.5)  # room for two entries
+        store = ArtifactStore(tmp_path, max_bytes=budget)
+        keys = [f"{i:02d}" + "3" * 62 for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put_entry("control", key, self._doc(i))
+        assert store.total_bytes() <= budget
+        assert store.evicted_entries == 2
+        # Oldest two evicted, newest two retained (LRU order).
+        assert store.get_entry("control", keys[0]) is None
+        assert store.get_entry("control", keys[1]) is None
+        assert store.get_entry("control", keys[2]) == self._doc(2)
+        assert store.get_entry("control", keys[3]) == self._doc(3)
+
+    def test_get_refreshes_recency(self, tmp_path):
+        budget = int(self._size(0) * 2.5)
+        store = ArtifactStore(tmp_path, max_bytes=budget)
+        keys = [f"{i:02d}" + "4" * 62 for i in range(3)]
+        store.put_entry("control", keys[0], self._doc(0))
+        store.put_entry("control", keys[1], self._doc(1))
+        assert store.get_entry("control", keys[0]) is not None  # touch
+        store.put_entry("control", keys[2], self._doc(2))
+        # keys[1] was least recently used, so it is the victim.
+        assert store.get_entry("control", keys[1]) is None
+        assert store.get_entry("control", keys[0]) == self._doc(0)
+        assert store.get_entry("control", keys[2]) == self._doc(2)
+
+    def test_oversized_entry_still_lands(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=10)
+        store.put_entry("control", KEY, self._doc(0))
+        assert store.get_entry("control", KEY) == self._doc(0)
+
+    def test_memory_backing_evicts_too(self):
+        store = ArtifactStore(max_bytes=int(self._size(0) * 2.5))
+        keys = [f"{i:02d}" + "5" * 62 for i in range(4)]
+        for i, key in enumerate(keys):
+            store.put_entry("control", key, self._doc(i))
+        assert store.evicted_entries == 2
+        assert store.get_entry("control", keys[0]) is None
+        assert store.get_entry("control", keys[3]) == self._doc(3)
+        assert store.total_bytes() <= store.max_bytes
+
+    def test_budget_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactStore(tmp_path, max_bytes=0)
+
+    def test_env_budget_applies(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_BUDGET", "4096")
+        assert ArtifactStore(tmp_path).max_bytes == 4096
+        monkeypatch.delenv("REPRO_STORE_BUDGET")
+        assert ArtifactStore(tmp_path).max_bytes is None
+
+    def test_describe_reports_budget_and_evictions(self, tmp_path):
+        store = ArtifactStore(tmp_path, max_bytes=int(self._size(0) * 1.5))
+        store.put_entry("control", "aa" + "6" * 62, self._doc(0))
+        store.put_entry("control", "bb" + "6" * 62, self._doc(1))
+        info = store.describe()
+        assert info["budget_bytes"] == store.max_bytes
+        assert info["evicted_entries"] == 1
+        assert info["evicted_bytes"] > 0
+        assert info["bytes"] <= store.max_bytes
+
+
+class TestIndexReconciliation:
+    def test_pre_index_files_are_adopted(self, tmp_path):
+        """Entries written by an older build (no index) still count."""
+        writer = ArtifactStore(tmp_path)
+        writer.put_entry("control", KEY, {"legacy": True})
+        os.unlink(tmp_path / "index.db")  # pretend the index never existed
+        reader = ArtifactStore(tmp_path)
+        assert reader.get_entry("control", KEY) == {"legacy": True}
+        assert reader.total_bytes() > 0
+
+    def test_external_delete_reconciles_on_miss(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        path = store.put_entry("control", KEY, {"x": 1})
+        assert store.total_bytes() > 0
+        os.unlink(path)
+        assert store.get_entry("control", KEY) is None
+        assert store.total_bytes() == 0
