@@ -87,6 +87,19 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
             "--workers already runs the jobs in parallel)"
         ),
     )
+    _add_executor_argument(parser)
+
+
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.dta.executor import available_executors
+
+    parser.add_argument(
+        "--executor", choices=available_executors(), default="auto",
+        help=(
+            "window-analysis executor: 'auto' picks fork or serial from "
+            "the cost model, 'local-serial' and 'local-fork' force one"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,6 +201,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-workers", type=_positive_int, default=1,
         help="window-analysis pool width for the per-window DTA",
     )
+    _add_executor_argument(mc)
     mc.add_argument("--speculation", type=float, default=1.15)
     mc.add_argument("--max-instructions", type=int, default=100_000)
     mc.add_argument("--seed", type=int, default=0)
@@ -212,8 +226,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--window-workers", type=_positive_int, default=1,
-        help="intra-job window-pool width per executor",
+        help="intra-job window-pool width per job thread",
     )
+    _add_executor_argument(srv)
     srv.add_argument(
         "--store-budget", type=int, default=None,
         help="LRU byte budget for the shared artifact store",
@@ -252,6 +267,7 @@ def _engine_from_args(args) -> EstimationEngine:
         max_workers=args.workers,
         cache_dir=cache_dir,
         window_workers=args.window_workers,
+        executor=args.executor,
     )
 
 
@@ -407,6 +423,7 @@ def _cmd_montecarlo(args, out) -> int:
         n_chips=args.chips,
         windows_per_block=args.windows_per_block,
         window_workers=args.window_workers,
+        executor=args.executor,
     )
     program, setup, budget = load_workload(args.benchmark).run_spec(
         "large", seed=args.seed
@@ -502,6 +519,7 @@ def _cmd_serve(args, out) -> int:
         port=args.port,
         workers=args.workers,
         window_workers=args.window_workers,
+        executor=args.executor,
         store_budget=args.store_budget,
     )
 

@@ -92,6 +92,8 @@ class MonteCarloValidator:
         window_workers: Fork-pool width for fanning the per-window DTA
             out through :class:`WindowAnalysisPool`; ``1`` runs
             serially.  Parallel results equal serial exactly.
+        executor: Window-analysis executor name (``"auto"``,
+            ``"local-serial"``, ``"local-fork"``).
         activity_cache: Content-addressed activity cache; pass the
             estimator's cache to share logic simulations with the
             framework run being validated (a fresh one is built when
@@ -104,6 +106,7 @@ class MonteCarloValidator:
         n_chips: int = 16,
         windows_per_block: int = 6,
         window_workers: int = 1,
+        executor: str = "auto",
         activity_cache: ActivityCache | None = None,
     ) -> None:
         if n_chips < 2:
@@ -114,6 +117,7 @@ class MonteCarloValidator:
         self.n_chips = n_chips
         self.windows_per_block = windows_per_block
         self.window_workers = window_workers
+        self.executor = executor
         self.activity_cache = (
             activity_cache if activity_cache is not None else ActivityCache()
         )
@@ -184,7 +188,9 @@ class MonteCarloValidator:
             for pi, (_, _, chosen) in enumerate(plan)
             for wi in range(len(chosen))
         ]
-        pool = WindowAnalysisPool(self.window_workers)
+        pool = WindowAnalysisPool(
+            self.window_workers, executor=self.executor
+        )
         errors = pool.map(
             _mc_window_task, (self, runtime, plan, tasks), len(tasks)
         )

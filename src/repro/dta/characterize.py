@@ -218,8 +218,11 @@ class ControlCharacterizer:
         activity_cache: Content-addressed activity cache shared by every
             window analysis of this characterizer (a fresh one is built
             when omitted).
-        window_workers: Fork-pool width for fanning (block, edge) tasks
+        window_workers: Worker budget for fanning (block, edge) tasks
             out through :class:`WindowAnalysisPool`; ``1`` runs serially.
+        executor: Named window executor running the fan-out
+            (:mod:`repro.dta.executor`): ``"auto"`` (adaptive default),
+            ``"local-serial"``, or ``"local-fork"``.
     """
 
     def __init__(
@@ -231,6 +234,7 @@ class ControlCharacterizer:
         clock_period: float,
         activity_cache: ActivityCache | None = None,
         window_workers: int = 1,
+        executor: str = "auto",
     ) -> None:
         self.pipeline = pipeline
         self.analyzer = analyzer
@@ -241,6 +245,7 @@ class ControlCharacterizer:
             activity_cache if activity_cache is not None else ActivityCache()
         )
         self.window_workers = window_workers
+        self.executor = executor
         self.scheduler = PipelineScheduler(
             program, num_stages=pipeline.num_stages
         )
@@ -323,10 +328,10 @@ class ControlCharacterizer:
         adopted into the parent cache so downstream consumers (missing-
         edge characterization, breakdowns, persistence) still hit.
         """
-        pool = WindowAnalysisPool(self.window_workers)
+        pool = WindowAnalysisPool(self.window_workers, executor=self.executor)
         results = pool.map(_characterize_task, (self, tasks), len(tasks))
         for rows, entries in results:
-            self.activity_cache.adopt_packed(entries)
+            self.activity_cache.adopt_shared(entries)
             for key, normal, corrected in rows:
                 model.record(key, normal, corrected)
 
@@ -351,4 +356,4 @@ def _characterize_task(context, index: int):
     rows = characterizer.characterize_edge_values(
         bid, pred, tail, block_records
     )
-    return rows, characterizer.activity_cache.export_packed_since(before)
+    return rows, characterizer.activity_cache.export_shared_since(before)

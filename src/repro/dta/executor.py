@@ -1,0 +1,472 @@
+"""Adaptive window-analysis executors: registry, cost model, fork safety.
+
+The window-analysis fan-out (:class:`~repro.dta.windowpool.WindowAnalysisPool`)
+used to be a fixed fork pool: ``workers > 1`` meant fork, full stop.  That
+loses on two host shapes the serving layer actually runs on — a 1-CPU
+container, where fork + pickling overhead swamps the win (0.62x wall vs
+serial in ``BENCH_window_pool.json``), and a multi-threaded service
+process, where forking is outright unsafe.  This module replaces the
+fixed policy with named *executors* selected through a registry:
+
+``local-serial``
+    Always runs tasks in-process.  No shared state, safe from any thread.
+``local-fork``
+    The fork pool, taken on request — but it still refuses to fork when
+    the platform has no fork start method or when other live non-daemon
+    threads exist (forking a multi-threaded process duplicates held
+    locks into the child), degrading to the serial path instead.
+``auto`` (the default)
+    A cost model decides.  Fan-out must *pay*: it needs >= 2 usable
+    CPUs, enough tasks, fork safety, and — when a measured per-task
+    cost is available from the process-wide ``pool_task_ms`` counter —
+    a predicted parallel time beating serial by a real margin.
+
+Every ``map`` resolves to an :class:`ExecutionPlan` first (which
+executor actually runs, how many workers, the chunk size, and the
+degrade reason if any); the most recent plan is kept per-thread for
+telemetry (:func:`last_execution_plan`) and the benchmark's
+``executor`` section.
+
+Thread safety: the fork hand-off global is written only under
+:data:`_FORK_LOCK`, held for the whole pooled map, so two concurrent
+``map`` calls (e.g. from two service worker threads) can never swap
+each other's ``(func, context)``; the serial path does not touch the
+global at all.  New executors (multi-host, queue-backed) plug in with
+:func:`register_executor` instead of a rewrite.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.kernels import kernel_stats
+
+__all__ = [
+    "ExecutionPlan",
+    "WindowExecutor",
+    "SerialWindowExecutor",
+    "ForkWindowExecutor",
+    "AutoWindowExecutor",
+    "register_executor",
+    "get_executor",
+    "available_executors",
+    "effective_cpus",
+    "fork_available",
+    "fork_safe",
+    "last_execution_plan",
+]
+
+# ---------------------------------------------------------------------- #
+# Cost-model constants (milliseconds)
+# ---------------------------------------------------------------------- #
+
+#: One-off cost of standing a fork pool up (pool plumbing + first fork).
+POOL_STARTUP_MS = 25.0
+#: Marginal cost per forked worker (fork + warm-up + teardown).
+WORKER_SPAWN_MS = 20.0
+#: Fewer tasks than this never fork: even free workers cannot amortize.
+MIN_TASKS_TO_FORK = 4
+#: Predicted serial/parallel ratio required before ``auto`` forks.
+MIN_SPEEDUP_MARGIN = 1.2
+#: Small tasks are batched until a chunk is worth one pipe round-trip.
+TARGET_CHUNK_MS = 25.0
+
+
+def effective_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """Whether the platform offers the fork start method at all."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def fork_safe() -> bool:
+    """Whether forking right now is safe: no *other* live non-daemon thread.
+
+    Forking a multi-threaded process copies only the calling thread; any
+    lock another thread holds at fork time stays locked forever in the
+    child.  The service's job-executor threads are exactly this shape,
+    so a map running on one must never fork — it routes to the serial
+    path instead (see :meth:`ForkWindowExecutor.plan`).
+    """
+    current = threading.current_thread()
+    return not any(
+        t.is_alive() and not t.daemon and t is not current
+        for t in threading.enumerate()
+    )
+
+
+def observed_task_ms() -> float | None:
+    """Measured mean per-task cost from the process-wide pool counters."""
+    stats = kernel_stats()
+    if stats.pool_tasks <= 0:
+        return None
+    return stats.pool_task_ms / stats.pool_tasks
+
+
+# ---------------------------------------------------------------------- #
+# The plan
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """How one ``map`` call will actually run.
+
+    Attributes:
+        requested: Executor name the caller asked for.
+        executor: Executor that will actually run (``local-serial`` or
+            ``local-fork``) — differs from ``requested`` when the request
+            was degraded or ``auto`` resolved it.
+        workers: Resolved worker count (1 on the serial path).
+        chunk_size: Task indices dispatched per pool submission.
+        n_tasks: Total task count of the map.
+        reason: Why a parallel-capable request ended serial (cost model,
+            CPU budget, fork safety); empty when the plan forked or the
+            caller asked for serial.
+    """
+
+    requested: str
+    executor: str
+    workers: int
+    chunk_size: int
+    n_tasks: int
+    reason: str = ""
+
+    @property
+    def parallel(self) -> bool:
+        return self.executor == "local-fork" and self.workers > 1
+
+    def to_json(self) -> dict:
+        return {
+            "requested": self.requested,
+            "executor": self.executor,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "n_tasks": self.n_tasks,
+            "reason": self.reason,
+        }
+
+
+_TLS = threading.local()
+
+
+def last_execution_plan() -> ExecutionPlan | None:
+    """The most recent :class:`ExecutionPlan` resolved on this thread."""
+    return getattr(_TLS, "plan", None)
+
+
+def _serial_plan(requested: str, n_tasks: int, reason: str = "") -> ExecutionPlan:
+    return ExecutionPlan(
+        requested=requested,
+        executor="local-serial",
+        workers=1,
+        chunk_size=1,
+        n_tasks=n_tasks,
+        reason=reason,
+    )
+
+
+def _chunk_size(n_tasks: int, workers: int, task_ms: float | None) -> int:
+    """Tasks per pool submission: balanced, but worth a pipe round-trip.
+
+    Four chunks per worker keeps the LPT-style balance of the dynamic
+    pool assignment; very small tasks are batched further until a chunk
+    is expected to run ~:data:`TARGET_CHUNK_MS`.
+    """
+    per_worker = math.ceil(n_tasks / workers)
+    chunk = max(1, math.ceil(n_tasks / (workers * 4)))
+    if task_ms is not None and task_ms > 0:
+        chunk = max(chunk, math.ceil(TARGET_CHUNK_MS / task_ms))
+    return max(1, min(chunk, per_worker))
+
+
+# ---------------------------------------------------------------------- #
+# Fork hand-off (module state: written only under the lock)
+# ---------------------------------------------------------------------- #
+
+#: Serializes pooled maps process-wide: the hand-off global below is set
+#: and the workers are forked while this lock is held, so concurrent
+#: maps from different threads can never observe each other's state.
+_FORK_LOCK = threading.Lock()
+
+#: (task function, shared context) inherited by forked workers through
+#: fork's copy-on-write memory — which is what lets ``context`` hold
+#: arbitrarily heavy analyzer state without pickling it.
+_WORKER_STATE: tuple | None = None
+
+
+def in_pool_worker() -> bool:
+    """True inside a forked pool worker (the hand-off state is set).
+
+    Used by :meth:`ActivityCache.export_shared_since` to decide whether
+    a shared-memory hand-off to the parent is worth anything.
+    """
+    return _WORKER_STATE is not None
+
+
+def _run_chunk(indices: tuple[int, ...]):
+    """Worker-side chunk runner: results + kernel-stats delta + task ms."""
+    func, context = _WORKER_STATE
+    before = kernel_stats().snapshot()
+    results = []
+    task_ms = []
+    for index in indices:
+        start = time.perf_counter()
+        results.append(func(context, index))
+        task_ms.append(int(1000 * (time.perf_counter() - start)))
+    return results, kernel_stats().delta(before).to_json(), task_ms
+
+
+def _execute_serial(plan: ExecutionPlan, func, context) -> list:
+    """Run the plan in-process.  Touches no shared module state."""
+    stats = kernel_stats()
+    stats.pool_maps_serial += 1
+    if plan.requested != "local-serial" and plan.reason:
+        stats.pool_maps_degraded += 1
+    results = []
+    for index in range(plan.n_tasks):
+        start = time.perf_counter()
+        results.append(func(context, index))
+        stats.pool_tasks += 1
+        stats.pool_task_ms += int(1000 * (time.perf_counter() - start))
+    return results
+
+
+def _execute_fork(plan: ExecutionPlan, func, context) -> list:
+    """Run the plan on a fork pool, chunked, results in task order."""
+    global _WORKER_STATE
+    chunks = [
+        tuple(range(lo, min(lo + plan.chunk_size, plan.n_tasks)))
+        for lo in range(0, plan.n_tasks, plan.chunk_size)
+    ]
+    with _FORK_LOCK:
+        # The workers inherit the hand-off state at fork; the tracker
+        # must already be running in the parent so worker-created
+        # shared-memory segments outlive the workers (the parent adopts
+        # and unlinks them after the pool is gone).
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:
+            pass
+        _WORKER_STATE = (func, context)
+        try:
+            mp_context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(plan.workers, len(chunks)),
+                mp_context=mp_context,
+            ) as pool:
+                raw = list(pool.map(_run_chunk, chunks))
+        finally:
+            _WORKER_STATE = None
+    stats = kernel_stats()
+    stats.pool_maps_forked += 1
+    stats.pool_chunks += len(chunks)
+    results = []
+    for chunk_results, delta, task_ms in raw:
+        stats.merge(delta)
+        stats.pool_tasks += len(chunk_results)
+        stats.pool_task_ms += sum(task_ms)
+        results.extend(chunk_results)
+    return results
+
+
+def execute_plan(plan: ExecutionPlan, func, context) -> list:
+    """Evaluate ``func(context, i)`` for ``i in range(n_tasks)`` per plan.
+
+    Results come back in task order on either path, which is the
+    contract callers rely on for byte-identical parallel output.
+    """
+    _TLS.plan = plan
+    if plan.parallel:
+        return _execute_fork(plan, func, context)
+    return _execute_serial(plan, func, context)
+
+
+# ---------------------------------------------------------------------- #
+# Executors
+# ---------------------------------------------------------------------- #
+
+
+class WindowExecutor:
+    """One named way of running a window-analysis map."""
+
+    name: str = ""
+
+    def plan(
+        self, n_tasks: int, workers: int, task_ms: float | None = None
+    ) -> ExecutionPlan:
+        raise NotImplementedError
+
+    def map(self, func, context, n_tasks: int, workers: int) -> list:
+        return execute_plan(self.plan(n_tasks, workers), func, context)
+
+
+class SerialWindowExecutor(WindowExecutor):
+    """Always in-process; safe from any thread, no shared state."""
+
+    name = "local-serial"
+
+    def plan(
+        self, n_tasks: int, workers: int, task_ms: float | None = None
+    ) -> ExecutionPlan:
+        return _serial_plan(self.name, n_tasks)
+
+
+class ForkWindowExecutor(WindowExecutor):
+    """Fork on request — degrading to serial only when fork is unsafe.
+
+    An explicit ``local-fork`` request trusts the caller's worker count
+    (no CPU-budget or cost-model second-guessing: determinism tests use
+    it to exercise the real fork path on any host), but it never forks
+    a process it would corrupt.
+    """
+
+    name = "local-fork"
+
+    def plan(
+        self, n_tasks: int, workers: int, task_ms: float | None = None
+    ) -> ExecutionPlan:
+        if workers <= 1 or n_tasks <= 1:
+            # Not a degrade: the request was never parallel-capable.
+            return _serial_plan(self.name, n_tasks)
+        if not fork_available():
+            return _serial_plan(
+                self.name, n_tasks, "platform has no fork start method"
+            )
+        if not fork_safe():
+            return _serial_plan(
+                self.name, n_tasks,
+                "live non-daemon threads make forking unsafe",
+            )
+        workers = min(workers, n_tasks)
+        if task_ms is None:
+            task_ms = observed_task_ms()
+        return ExecutionPlan(
+            requested=self.name,
+            executor="local-fork",
+            workers=workers,
+            chunk_size=_chunk_size(n_tasks, workers, task_ms),
+            n_tasks=n_tasks,
+        )
+
+
+class AutoWindowExecutor(WindowExecutor):
+    """Cost-model arbitration between the serial and fork executors.
+
+    Fan-out happens only when it is predicted to pay: a usable CPU per
+    extra worker, enough tasks to amortize the fork, fork safety, and —
+    when a measured per-task cost exists — a modelled parallel time
+    beating serial by :data:`MIN_SPEEDUP_MARGIN`.  Everything else runs
+    in-process, so the pool can never lose to serial by construction.
+    """
+
+    name = "auto"
+
+    def plan(
+        self, n_tasks: int, workers: int, task_ms: float | None = None
+    ) -> ExecutionPlan:
+        if workers <= 1 or n_tasks <= 1:
+            # Not a degrade: the request was never parallel-capable.
+            return _serial_plan(self.name, n_tasks)
+        if not fork_available():
+            return _serial_plan(
+                self.name, n_tasks, "platform has no fork start method"
+            )
+        if not fork_safe():
+            return _serial_plan(
+                self.name, n_tasks,
+                "live non-daemon threads make forking unsafe",
+            )
+        cpus = effective_cpus()
+        if cpus < 2:
+            return _serial_plan(
+                self.name, n_tasks, f"only {cpus} usable CPU"
+            )
+        if n_tasks < MIN_TASKS_TO_FORK:
+            return _serial_plan(
+                self.name, n_tasks,
+                f"{n_tasks} tasks cannot amortize a fork",
+            )
+        workers = min(workers, n_tasks, cpus)
+        if workers < 2:
+            return _serial_plan(
+                self.name, n_tasks, "CPU budget leaves a single worker"
+            )
+        if task_ms is None:
+            task_ms = observed_task_ms()
+        if task_ms is not None:
+            serial_ms = task_ms * n_tasks
+            parallel_ms = (
+                POOL_STARTUP_MS
+                + WORKER_SPAWN_MS * workers
+                + serial_ms / workers
+            )
+            if serial_ms < parallel_ms * MIN_SPEEDUP_MARGIN:
+                return _serial_plan(
+                    self.name,
+                    n_tasks,
+                    f"predicted fan-out cannot pay "
+                    f"({serial_ms:.0f}ms serial vs {parallel_ms:.0f}ms "
+                    f"forked x{workers})",
+                )
+        return ExecutionPlan(
+            requested=self.name,
+            executor="local-fork",
+            workers=workers,
+            chunk_size=_chunk_size(n_tasks, workers, task_ms),
+            n_tasks=n_tasks,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+_EXECUTORS: dict[str, WindowExecutor] = {}
+
+
+def register_executor(executor: WindowExecutor) -> WindowExecutor:
+    """Register an executor under its ``name`` (future multi-host hook)."""
+    if not executor.name:
+        raise ValueError("executor must carry a non-empty name")
+    if executor.name in _EXECUTORS:
+        raise ValueError(
+            f"executor {executor.name!r} is already registered"
+        )
+    _EXECUTORS[executor.name] = executor
+    return executor
+
+
+def get_executor(name: str) -> WindowExecutor:
+    """The registered executor called ``name``."""
+    try:
+        return _EXECUTORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor {name!r}; "
+            f"available: {', '.join(_EXECUTORS)}"
+        ) from None
+
+
+def available_executors() -> list[str]:
+    """Registered executor names, in registration order."""
+    return list(_EXECUTORS)
+
+
+register_executor(SerialWindowExecutor())
+register_executor(ForkWindowExecutor())
+register_executor(AutoWindowExecutor())

@@ -20,12 +20,18 @@ structural optimizations out of the call sites:
   digest and the trace are independent of the clock period, so a
   re-characterization of the same program at a new period can preload
   the persisted entries and run zero logic simulations.
-* :class:`WindowAnalysisPool` — a fork-based process pool for
-  per-window / per-(block, edge) analysis tasks.  Tasks are dispatched
-  in sorted key order and results are merged back in that same order,
-  so a parallel run is byte-identical to a serial one; worker-side
+* :class:`WindowAnalysisPool` — fan-out for per-window /
+  per-(block, edge) analysis tasks, executed by a named *executor*
+  (:mod:`repro.dta.executor`: ``local-serial``, ``local-fork``, or the
+  adaptive ``auto`` default, which forks only when its cost model says
+  the fan-out pays on this host).  Tasks are dispatched in sorted key
+  order and results are merged back in that same order, so a parallel
+  run is byte-identical to a serial one; worker-side
   :class:`~repro.kernels.KernelStats` deltas are merged into the
-  parent's counters so telemetry survives the fan-out.
+  parent's counters so telemetry survives the fan-out, and large
+  worker-side activity-trace deltas cross back through one
+  ``multiprocessing.shared_memory`` block instead of per-entry pipe
+  pickling.
 
 Both honor the process-wide kernel switches: ``activity_cache=False``
 (or ``reference=True``) in :func:`~repro.kernels.configure_kernels`
@@ -36,16 +42,25 @@ from __future__ import annotations
 
 import base64
 import hashlib
-import multiprocessing
-import time
-from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro.dta.executor import (
+    ExecutionPlan,
+    fork_available as _fork_available,
+    get_executor,
+    in_pool_worker,
+)
 from repro.kernels import kernel_config, kernel_stats
 from repro.logicsim.activity import ActivityTrace
 
-__all__ = ["ActivityCache", "WindowAnalysisPool"]
+__all__ = ["ActivityCache", "WindowAnalysisPool", "SHM_MIN_BYTES"]
+
+#: Worker->parent payloads smaller than this stay on the result pipe;
+#: pickling a few KiB is cheaper than standing a shared-memory segment
+#: up.  Above it, the packed traces cross through one
+#: ``multiprocessing.shared_memory`` block instead.
+SHM_MIN_BYTES = 1 << 16
 
 
 def _encode_bits(array: np.ndarray) -> dict:
@@ -189,6 +204,77 @@ class ActivityCache:
                 )
                 self._dirty = True
 
+    def export_shared_since(
+        self, keys: set[str], min_bytes: int | None = None
+    ) -> dict:
+        """Worker->parent hand-off payload, via shared memory when large.
+
+        Small deltas travel inline (the pipe pickling is cheaper than a
+        segment); large ones are written once into a
+        ``multiprocessing.shared_memory`` block and only the block name
+        plus an index of offsets crosses the pipe.  The parent adopts
+        with :meth:`adopt_shared`, which unlinks the block.  Only worth
+        anything inside a fork-pool worker; elsewhere (and on any
+        shared-memory failure) the payload stays inline.
+        """
+        entries = self.export_packed_since(keys)
+        if min_bytes is None:
+            min_bytes = SHM_MIN_BYTES
+        total = sum(
+            len(activated) + len(values)
+            for _shape, activated, values in entries.values()
+        )
+        if total < min_bytes or total == 0 or not in_pool_worker():
+            return {"kind": "inline", "entries": entries}
+        try:
+            from multiprocessing import shared_memory
+
+            block = shared_memory.SharedMemory(create=True, size=total)
+        except Exception:
+            return {"kind": "inline", "entries": entries}
+        index: dict[str, tuple] = {}
+        offset = 0
+        for digest, (shape, activated, values) in entries.items():
+            block.buf[offset : offset + len(activated)] = activated
+            block.buf[
+                offset + len(activated) : offset + len(activated) + len(values)
+            ] = values
+            index[digest] = (
+                tuple(shape), offset, len(activated), len(values)
+            )
+            offset += len(activated) + len(values)
+        block.close()
+        return {"kind": "shm", "name": block.name, "index": index,
+                "bytes": total}
+
+    def adopt_shared(self, payload: dict) -> None:
+        """Exact inverse of :meth:`export_shared_since` (only-missing).
+
+        Shared-memory payloads are consumed: the segment is unlinked
+        after its entries are adopted, whether or not any were new.
+        """
+        if payload["kind"] == "inline":
+            self.adopt_packed(payload["entries"])
+            return
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(name=payload["name"])
+        try:
+            entries = {
+                digest: (
+                    shape,
+                    bytes(block.buf[a_off : a_off + a_len]),
+                    bytes(block.buf[a_off + a_len : a_off + a_len + v_len]),
+                )
+                for digest, (shape, a_off, a_len, v_len)
+                in payload["index"].items()
+            }
+            self.adopt_packed(entries)
+        finally:
+            block.close()
+            block.unlink()
+        kernel_stats().pool_shm_bytes += int(payload["bytes"])
+
     # ------------------------------------------------------------------ #
     # Persistence (period-sweep reuse)
     # ------------------------------------------------------------------ #
@@ -242,80 +328,45 @@ class ActivityCache:
 # The pool
 # --------------------------------------------------------------------- #
 
-#: (task function, shared context) inherited by forked workers.  Set
-#: immediately before the fork and cleared after; fork's copy-on-write
-#: semantics hand each worker the parent's warmed analyzers for free,
-#: which is why the pool refuses to run without the fork start method.
-_WORKER_STATE: tuple | None = None
-
-
-def _run_pool_task(index: int):
-    """Worker-side task wrapper: run, and return the kernel-stats delta."""
-    func, context = _WORKER_STATE
-    before = kernel_stats().snapshot()
-    start = time.perf_counter()
-    result = func(context, index)
-    elapsed_ms = int(1000 * (time.perf_counter() - start))
-    return result, kernel_stats().delta(before).to_json(), elapsed_ms
-
 
 class WindowAnalysisPool:
-    """Deterministic fork-based fan-out for window-analysis tasks.
+    """Deterministic fan-out for window-analysis tasks, via an executor.
 
     ``map(func, context, n_tasks)`` evaluates ``func(context, i)`` for
     ``i in range(n_tasks)`` and returns the results *in task order* —
     the contract callers rely on to merge results in the same sorted
     key order as a serial run, making parallel output byte-identical.
-    ``context`` is shared with workers through fork inheritance (not
-    pickling), so it may hold arbitrarily heavy analyzer state; task
-    *results* must be picklable.
+    ``context`` is shared with fork workers through fork inheritance
+    (not pickling), so it may hold arbitrarily heavy analyzer state;
+    task *results* must be picklable.
 
-    With ``workers == 1``, a single task, or no fork support, the tasks
-    run in-process through the same wrapper, so counters and results are
-    shaped identically either way.
+    *How* the map runs is decided by the named executor
+    (:mod:`repro.dta.executor`): ``local-serial`` stays in-process,
+    ``local-fork`` forks on request (degrading only when forking is
+    unsafe), and ``auto`` — the default — forks exactly when the cost
+    model says the fan-out pays on this host.  Counters and results are
+    shaped identically on every path, and concurrent ``map`` calls from
+    different threads are safe: the serial path holds no shared state
+    and the fork hand-off is serialized under a process-wide lock.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, executor: str = "auto") -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.executor_name = executor
+        self._executor = get_executor(executor)
 
     @staticmethod
     def fork_available() -> bool:
-        return "fork" in multiprocessing.get_all_start_methods()
+        return _fork_available()
+
+    def plan(self, n_tasks: int) -> "ExecutionPlan":
+        """The :class:`ExecutionPlan` a map of ``n_tasks`` would run."""
+        return self._executor.plan(n_tasks, self.workers)
 
     def should_parallelize(self, n_tasks: int) -> bool:
-        return self.workers > 1 and n_tasks > 1 and self.fork_available()
+        return self.plan(n_tasks).parallel
 
     def map(self, func, context, n_tasks: int) -> list:
-        global _WORKER_STATE
-        stats = kernel_stats()
-        if not self.should_parallelize(n_tasks):
-            results = []
-            _WORKER_STATE = (func, context)
-            try:
-                for index in range(n_tasks):
-                    result, _delta, elapsed_ms = _run_pool_task(index)
-                    stats.pool_tasks += 1
-                    stats.pool_task_ms += elapsed_ms
-                    results.append(result)
-            finally:
-                _WORKER_STATE = None
-            return results
-        _WORKER_STATE = (func, context)
-        try:
-            mp_context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(self.workers, n_tasks),
-                mp_context=mp_context,
-            ) as pool:
-                raw = list(pool.map(_run_pool_task, range(n_tasks)))
-        finally:
-            _WORKER_STATE = None
-        results = []
-        for result, delta, elapsed_ms in raw:
-            stats.merge(delta)
-            stats.pool_tasks += 1
-            stats.pool_task_ms += elapsed_ms
-            results.append(result)
-        return results
+        return self._executor.map(func, context, n_tasks, self.workers)

@@ -162,6 +162,17 @@ class KernelStats:
             parallel).
         pool_task_ms: Total task wall time in milliseconds, summed over
             pool tasks (an integer so worker-side snapshots merge).
+            ``pool_task_ms / pool_tasks`` is the measured per-task cost
+            the adaptive executor's cost model feeds on.
+        pool_maps_serial: ``map`` calls that ran in-process.
+        pool_maps_forked: ``map`` calls that ran on the fork pool.
+        pool_maps_degraded: Of the serial maps, how many were a
+            parallel-capable request degraded by the executor (CPU
+            budget, cost model, or fork safety).
+        pool_chunks: Chunked task batches dispatched to fork workers.
+        pool_shm_bytes: Worker->parent activity-trace bytes handed off
+            through ``multiprocessing.shared_memory`` instead of the
+            result pipe.
     """
 
     sim_calls: int = 0
@@ -177,6 +188,11 @@ class KernelStats:
     windows_reused: int = 0
     pool_tasks: int = 0
     pool_task_ms: int = 0
+    pool_maps_serial: int = 0
+    pool_maps_forked: int = 0
+    pool_maps_degraded: int = 0
+    pool_chunks: int = 0
+    pool_shm_bytes: int = 0
 
     def snapshot(self) -> "KernelStats":
         """An independent copy of the current counter values."""

@@ -112,6 +112,10 @@ class EstimationPipeline:
             the probability random variables.
         window_workers: Fork-pool width for the intra-job window
             fan-out; only honored by the ``dta.windowpool`` backend.
+        executor: Window-analysis executor name (``"auto"``,
+            ``"local-serial"``, ``"local-fork"``; see
+            :mod:`repro.dta.executor`).  Serial-pinned ``dta`` backends
+            ignore it.
         activity_cache: Content-addressed window activity cache shared
             by training, on-demand characterization, and breakdowns (a
             fresh one is built when omitted).
@@ -125,12 +129,16 @@ class EstimationPipeline:
         store=_UNSET,
         n_data_samples: int = 128,
         window_workers: int = 1,
+        executor: str = "auto",
         activity_cache: ActivityCache | None = None,
     ) -> None:
+        from repro.dta.executor import get_executor
+
         if n_data_samples < 2:
             raise ValueError("n_data_samples must be >= 2")
         if window_workers < 1:
             raise ValueError("window_workers must be >= 1")
+        get_executor(executor)  # fail fast on unknown names
         if processor is None:
             processor = ProcessorConfig()
         if isinstance(processor, ProcessorConfig):
@@ -144,6 +152,7 @@ class EstimationPipeline:
         self.store: ArtifactStore | None = store
         self.n_data_samples = n_data_samples
         self.window_workers = window_workers
+        self.executor = executor
         self.activity_cache = (
             activity_cache if activity_cache is not None else ActivityCache()
         )
@@ -151,7 +160,10 @@ class EstimationPipeline:
         self._netlist = REGISTRY.create("netlist", self.plan["netlist"])
         self._datapath = REGISTRY.create("datapath", self.plan["datapath"])
         self._dta = REGISTRY.create(
-            "dta", self.plan["dta"], window_workers=window_workers
+            "dta",
+            self.plan["dta"],
+            window_workers=window_workers,
+            executor=executor,
         )
         self._errormodel = REGISTRY.create("errormodel", self.plan["errormodel"])
         self._estimate = REGISTRY.create("estimate", self.plan["estimate"])
@@ -202,6 +214,7 @@ class EstimationPipeline:
                 store=self.store,
                 n_data_samples=self.n_data_samples,
                 window_workers=self.window_workers,
+                executor=self.executor,
                 activity_cache=self.activity_cache,
             )
         return self._derived[speculation]

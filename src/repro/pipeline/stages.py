@@ -157,10 +157,13 @@ class _DTABackendBase:
     """Shared control-characterization flow; subclasses pick the kernel
     configuration (via :meth:`activation`) and pool width."""
 
-    def __init__(self, window_workers: int = 1) -> None:
+    def __init__(
+        self, window_workers: int = 1, executor: str = "auto"
+    ) -> None:
         if window_workers < 1:
             raise ValueError("window_workers must be >= 1")
         self.window_workers = window_workers
+        self.executor = executor
 
     @contextmanager
     def activation(self):
@@ -185,6 +188,7 @@ class _DTABackendBase:
             processor.clock_period,
             activity_cache=activity_cache,
             window_workers=self.window_workers,
+            executor=self.executor,
         )
 
     def train(
@@ -328,8 +332,10 @@ class _DTABackendBase:
     cache_id="kernels",
 )
 class KernelsDTABackend(_DTABackendBase):
-    def __init__(self, window_workers: int = 1) -> None:
-        super().__init__(window_workers=1)
+    def __init__(
+        self, window_workers: int = 1, executor: str = "auto"
+    ) -> None:
+        super().__init__(window_workers=1, executor="local-serial")
 
 
 @REGISTRY.register(
@@ -351,8 +357,10 @@ class WindowPoolDTABackend(_DTABackendBase):
     cache_id="reference",
 )
 class ReferenceDTABackend(_DTABackendBase):
-    def __init__(self, window_workers: int = 1) -> None:
-        super().__init__(window_workers=1)
+    def __init__(
+        self, window_workers: int = 1, executor: str = "auto"
+    ) -> None:
+        super().__init__(window_workers=1, executor="local-serial")
 
     @contextmanager
     def activation(self):

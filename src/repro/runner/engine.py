@@ -120,6 +120,9 @@ class RunSummary:
     #: Intra-job window-analysis pool width the engine was configured
     #: with (pinned to 1 inside jobs when the engine itself ran parallel).
     window_workers: int = 1
+    #: Window-analysis executor the engine was configured with (jobs are
+    #: pinned to ``local-serial`` when the engine itself ran parallel).
+    executor: str = "auto"
     #: ``None`` when caching is disabled; otherwise whether the shared
     #: datapath model came from the cache.
     datapath_cache_hit: bool | None = None
@@ -172,6 +175,7 @@ class RunSummary:
             "max_workers": self.max_workers,
             "parallel": self.parallel,
             "window_workers": self.window_workers,
+            "executor": self.executor,
             "cache_dir": self.cache_dir,
             "kernels": self.kernel_totals(),
             "results": [r.to_json() for r in self.results],
@@ -208,6 +212,7 @@ def _job_pipeline(config: ProcessorConfig, payload: dict):
         store=ArtifactStore(cache_dir) if cache_dir else None,
         n_data_samples=payload["n_data_samples"],
         window_workers=window_workers,
+        executor=payload.get("executor", "auto"),
     )
 
 
@@ -273,6 +278,10 @@ class EstimationEngine:
             runs its jobs in parallel, jobs are pinned to
             ``window_workers=1`` so a batch never oversubscribes to
             ``max_workers x window_workers`` processes.
+        executor: Window-analysis executor for intra-job pools
+            (``"auto"``, ``"local-serial"``, ``"local-fork"``).  Jobs
+            are pinned to ``local-serial`` when the engine itself runs
+            parallel — a pool worker must never fork its own pool.
     """
 
     def __init__(
@@ -283,16 +292,21 @@ class EstimationEngine:
         cache_dir=None,
         n_data_samples: int = 128,
         window_workers: int = 1,
+        executor: str = "auto",
     ) -> None:
+        from repro.dta.executor import get_executor
+
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if window_workers < 1:
             raise ValueError("window_workers must be >= 1")
+        get_executor(executor)  # fail fast on unknown names
         self.config = config or ProcessorConfig()
         self.max_workers = max_workers
         self.cache_dir = str(cache_dir) if cache_dir else None
         self.n_data_samples = n_data_samples
         self.window_workers = window_workers
+        self.executor = executor
 
     # ------------------------------------------------------------------ #
 
@@ -349,6 +363,9 @@ class EstimationEngine:
                 # Shared worker budget: intra-job pools stay serial when
                 # the engine already fans jobs out across processes.
                 "window_workers": 1 if parallel else self.window_workers,
+                "executor": (
+                    "local-serial" if parallel else self.executor
+                ),
             }
             for request in requests
         ]
@@ -372,6 +389,7 @@ class EstimationEngine:
             parallel=parallel,
             cache_dir=self.cache_dir,
             window_workers=self.window_workers,
+            executor=self.executor,
             datapath_cache_hit=datapath_hit,
         )
 

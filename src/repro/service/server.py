@@ -73,6 +73,11 @@ class EstimationService:
         window_workers: Intra-job window-pool width handed to each
             pipeline (keep ``workers * window_workers`` within the host
             budget).
+        executor: Window-analysis executor handed to each pipeline.
+            The default ``"auto"`` degrades to in-process serial inside
+            the service's worker threads — forking a multi-threaded
+            process is unsafe — so ``window_workers > 1`` is honored
+            only when an executor can prove the fan-out safe.
         n_data_samples: Data-variation samples per estimator.
         store_budget: LRU byte budget for the shared store (``None`` =
             unbounded / ``REPRO_STORE_BUDGET``).
@@ -88,6 +93,7 @@ class EstimationService:
         port: int = 8731,
         workers: int = 1,
         window_workers: int = 1,
+        executor: str = "auto",
         n_data_samples: int = 128,
         store_budget: int | None = None,
         backends: dict | None = None,
@@ -103,6 +109,7 @@ class EstimationService:
         self.port = port
         self.workers = workers
         self.window_workers = window_workers
+        self.executor = executor
         self.n_data_samples = n_data_samples
         self.backends = backends
         self.queue = JobQueue(self.state_dir / "queue.db")
@@ -132,12 +139,19 @@ class EstimationService:
         if pipe is None:
             from repro.pipeline.pipeline import EstimationPipeline
 
+            backends = self.backends
+            if backends is None and self.window_workers > 1:
+                # Same selection the engine makes: a requested window
+                # fan-out needs the (byte-identical) windowpool backend;
+                # whether it actually forks is the executor's call.
+                backends = {"dta": "windowpool"}
             pipe = EstimationPipeline(
                 self.config,
-                backends=self.backends,
+                backends=backends,
                 store=self.store,
                 n_data_samples=self.n_data_samples,
                 window_workers=self.window_workers,
+                executor=self.executor,
             )
             self._local.pipeline = pipe
         return pipe

@@ -1,0 +1,160 @@
+"""Executor-selection determinism: every executor, one answer.
+
+The contract the adaptive executor must never break: the characterized
+:class:`ControlTimingModel` is byte-identical whichever executor runs
+the window fan-out — ``local-serial``, a real ``local-fork`` pool, or
+``auto`` (including when it degrades to serial) — and worker-side
+:class:`KernelStats` deltas survive the fork merge.
+"""
+
+import pytest
+
+from repro.cfg import build_cfg
+from repro.cpu import (
+    FunctionalSimulator,
+    MachineState,
+    ReplayHalfFrequency,
+    assemble,
+)
+from repro.dta import executor as executor_mod
+from repro.dta.characterize import (
+    ControlCharacterizer,
+    ControlSampleCollector,
+)
+from repro.dta.executor import fork_available, last_execution_plan
+from repro.kernels import kernel_stats
+
+EXECUTORS = ["local-serial", "local-fork", "auto"]
+
+
+@pytest.fixture(scope="module")
+def redirect_program():
+    return assemble(
+        """
+        li r1, 40
+        li r2, 1
+    loop:
+        ld r3, [r2+255]
+        add r4, r4, r4
+        ld r5, [r2+255]
+        subcc r1, r1, 1
+        bne loop
+        halt
+    """,
+        name="redirect",
+    )
+
+
+@pytest.fixture(scope="module")
+def samples(redirect_program):
+    cfg = build_cfg(redirect_program)
+    collector = ControlSampleCollector(cfg)
+    FunctionalSimulator(redirect_program).run(
+        MachineState(), listener=collector.listener
+    )
+    return collector.samples
+
+
+@pytest.fixture(scope="module")
+def clock_period(small_pipeline, library):
+    from repro.sta import StaticTimingAnalysis
+
+    sta = StaticTimingAnalysis(small_pipeline.netlist, library)
+    redirect = small_pipeline.netlist.gate_by_name("if/redirect_ff")
+    return sta.endpoint_arrival(redirect.gid) + library.setup_time
+
+
+def _characterizer(
+    small_pipeline, library, program, clock_period,
+    workers: int, executor: str,
+) -> ControlCharacterizer:
+    from repro.dta import InstructionDTSAnalyzer, StageDTSAnalyzer
+    from repro.netlist import EndpointKind
+    from repro.variation import ProcessVariationModel
+
+    analyzer = InstructionDTSAnalyzer(
+        StageDTSAnalyzer(
+            small_pipeline.netlist,
+            library,
+            ProcessVariationModel(small_pipeline.netlist, library),
+            endpoint_kind=EndpointKind.CONTROL,
+        )
+    )
+    return ControlCharacterizer(
+        small_pipeline,
+        analyzer,
+        program,
+        ReplayHalfFrequency(),
+        clock_period=clock_period,
+        window_workers=workers,
+        executor=executor,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_model_json(
+    small_pipeline, library, redirect_program, clock_period, samples
+):
+    characterizer = _characterizer(
+        small_pipeline, library, redirect_program, clock_period,
+        workers=1, executor="local-serial",
+    )
+    return characterizer.characterize(samples).to_json()
+
+
+@pytest.mark.parametrize("executor", EXECUTORS)
+def test_model_byte_identical_across_executors(
+    small_pipeline, library, redirect_program, clock_period, samples,
+    serial_model_json, executor,
+):
+    if executor == "local-fork" and not fork_available():
+        pytest.skip("needs fork")
+    characterizer = _characterizer(
+        small_pipeline, library, redirect_program, clock_period,
+        workers=2, executor=executor,
+    )
+    model = characterizer.characterize(samples)
+    assert model.to_json() == serial_model_json
+
+
+def test_degraded_auto_is_byte_identical(
+    small_pipeline, library, redirect_program, clock_period, samples,
+    serial_model_json, monkeypatch,
+):
+    """``auto`` forced serial by the CPU budget changes nothing."""
+    monkeypatch.setattr(executor_mod, "effective_cpus", lambda: 1)
+    characterizer = _characterizer(
+        small_pipeline, library, redirect_program, clock_period,
+        workers=4, executor="auto",
+    )
+    before = kernel_stats().snapshot()
+    model = characterizer.characterize(samples)
+    assert model.to_json() == serial_model_json
+    delta = kernel_stats().delta(before)
+    assert delta.pool_maps_forked == 0
+    assert delta.pool_maps_degraded >= 1
+    plan = last_execution_plan()
+    assert plan is not None and plan.requested == "auto"
+    assert not plan.parallel and "CPU" in plan.reason
+
+
+@pytest.mark.skipif(not fork_available(), reason="needs fork")
+def test_forked_worker_stats_merge_into_parent(
+    small_pipeline, library, redirect_program, clock_period, samples,
+):
+    """The parent's counters see the work the forked workers did."""
+    characterizer = _characterizer(
+        small_pipeline, library, redirect_program, clock_period,
+        workers=2, executor="local-fork",
+    )
+    before = kernel_stats().snapshot()
+    characterizer.characterize(samples)
+    delta = kernel_stats().delta(before)
+    assert delta.pool_maps_forked >= 1
+    assert delta.pool_tasks == len(samples)
+    assert delta.pool_chunks >= 2
+    # The logic simulation ran inside workers; its counters merged back.
+    assert delta.sim_calls > 0
+    assert delta.activity_cache_misses > 0
+    # The workers' fresh traces were adopted into the parent cache.
+    assert len(characterizer.activity_cache) > 0

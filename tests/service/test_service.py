@@ -182,6 +182,49 @@ class TestEndToEnd:
 
 
 @pytest.mark.slow
+class TestConcurrentWindowWorkers:
+    def test_threaded_jobs_with_window_workers_match_serial(
+        self, tmp_path
+    ):
+        """Two jobs on two worker threads with ``window_workers=2``:
+        the auto executor must refuse to fork inside the multi-threaded
+        service, and the reports must stay byte-identical to plain
+        serial pipeline runs."""
+        from repro.kernels import kernel_stats
+        from repro.pipeline.pipeline import EstimationPipeline
+
+        requests = [_request("bitcount"), _request("stringsearch")]
+        serial = {}
+        for request in requests:
+            pipe = EstimationPipeline(
+                SMALL, store=None, n_data_samples=32
+            )
+            serial[request.workload_name] = pipe.run(request).to_json(
+                include_timing=False
+            )
+
+        service = EstimationService(
+            tmp_path / "svc",
+            config=SMALL, port=0, workers=2, window_workers=2,
+            n_data_samples=32,
+        )
+        before = kernel_stats().snapshot()
+        with service.start_in_thread():
+            client = ServiceClient(f"http://127.0.0.1:{service.port}")
+            jobs = [client.submit(request) for request in requests]
+            done = [client.wait(job.id, timeout=300) for job in jobs]
+        delta = kernel_stats().delta(before)
+        # Every window map inside the service's job threads degraded to
+        # the in-process serial path — forking there is unsafe.
+        assert delta.pool_maps_forked == 0
+        assert delta.pool_maps_degraded >= 1
+        for request, result in zip(requests, done):
+            assert result.report.to_json(include_timing=False) == (
+                serial[request.workload_name]
+            )
+
+
+@pytest.mark.slow
 class TestCrashResume:
     def test_sigkilled_server_resumes_its_queue(self, tmp_path):
         """A server killed mid-job requeues it on restart; nothing is
