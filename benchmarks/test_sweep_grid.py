@@ -1,0 +1,172 @@
+"""Experiment ``sweep_grid`` — batched operating-point evaluation.
+
+Times a 16-point frequency sweep two ways on identically warmed
+stores and writes the numbers to ``BENCH_sweep.json`` at the
+repository root:
+
+* **per-point**: the scalar :meth:`EstimationPipeline.execute` loop —
+  one training pass, one evaluation functional simulation, and one
+  estimate per operating point;
+* **grid**: one :meth:`EstimationPipeline.execute_grid` pass — the
+  period-independent work (functional simulations, window logic
+  simulation, activation bookkeeping) runs once and only the
+  period-dependent tail fans out, batched along the period axis down
+  to the Clark reductions.
+
+Both sides start from a store holding the same warm, period-independent
+windows artifact (the realistic sweep shape: windows survive across
+operating points, control artifacts do not), so the grid's advantage is
+pure shared-work elimination — it holds on a 1-CPU host, no
+parallelism involved.  The gate is *never lose*: ``wall_speedup >=
+1.0``; byte-identical reports across the two sides are asserted
+outright and recorded.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_sweep_grid.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import print_table
+from repro.core import EstimationRequest
+from repro.kernels import kernel_stats
+from repro.netlist import PipelineConfig
+from repro.pipeline.pipeline import EstimationPipeline
+from repro.pipeline.store import ArtifactStore
+from repro.runner import ProcessorConfig
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+SMALL = ProcessorConfig(
+    pipeline=PipelineConfig(
+        data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+        cloud_gates=60, seed=7,
+    )
+)
+WORKLOAD = "bitcount"
+TRAIN_INSTRUCTIONS = 20_000
+MAX_INSTRUCTIONS = 30_000
+N_POINTS = 16
+WARM_SPEC = 1.00  # warms the period-independent windows artifact only
+
+
+def _sweep_points(n=N_POINTS, start=1.02, stop=1.32):
+    step = (stop - start) / (n - 1)
+    return [round(start + i * step, 10) for i in range(n)]
+
+
+def _requests():
+    return [
+        EstimationRequest(
+            workload=WORKLOAD, speculation=spec,
+            train_instructions=TRAIN_INSTRUCTIONS,
+            max_instructions=MAX_INSTRUCTIONS, seed=0,
+        )
+        for spec in _sweep_points()
+    ]
+
+
+def _warm_pipeline(root):
+    """A pipeline over a store holding warm windows for the workload."""
+    pipeline = EstimationPipeline(
+        SMALL, store=ArtifactStore(root), n_data_samples=32
+    )
+    warm = EstimationRequest(
+        workload=WORKLOAD, speculation=WARM_SPEC,
+        train_instructions=TRAIN_INSTRUCTIONS,
+        max_instructions=MAX_INSTRUCTIONS, seed=0,
+    )
+    pipeline.execute(warm)  # untimed: stores windows + one control point
+    return pipeline
+
+
+def _row(result):
+    return json.dumps(
+        result.report.to_json(include_timing=False), sort_keys=True
+    )
+
+
+def test_sweep_grid_benchmark(tmp_path):
+    requests = _requests()
+
+    # -- per-point reference loop --------------------------------------- #
+    scalar_pipe = _warm_pipeline(tmp_path / "per-point")
+    t0 = time.perf_counter()
+    scalar_results = [scalar_pipe.execute(r) for r in requests]
+    per_point_s = time.perf_counter() - t0
+
+    # -- one batched grid pass ------------------------------------------ #
+    grid_pipe = _warm_pipeline(tmp_path / "grid")
+    before = kernel_stats().snapshot()
+    t0 = time.perf_counter()
+    grid = grid_pipe.execute_grid(requests)
+    grid_s = time.perf_counter() - t0
+    kernel_delta = kernel_stats().delta(before).to_json()
+
+    # Byte-identical reports are the correctness contract of the grid.
+    parity = [
+        _row(a) == _row(b) for a, b in zip(scalar_results, grid.results)
+    ]
+    assert all(parity), (
+        f"grid diverged from per-point at indices "
+        f"{[i for i, ok in enumerate(parity) if not ok]}"
+    )
+
+    wall_speedup = per_point_s / grid_s
+    telemetry = grid.telemetry()
+
+    doc = {
+        "schema": "repro.bench-sweep/1",
+        "workload": WORKLOAD,
+        "points": N_POINTS,
+        "speculations": _sweep_points(),
+        "train_instructions": TRAIN_INSTRUCTIONS,
+        "max_instructions": MAX_INSTRUCTIONS,
+        "cpu_count": os.cpu_count(),
+        "per_point": {
+            "wall_s": round(per_point_s, 3),
+            "points_per_s": round(N_POINTS / per_point_s, 3),
+        },
+        "grid": {
+            "wall_s": round(grid_s, 3),
+            "points_per_s": round(N_POINTS / grid_s, 3),
+            "train_sims_skipped": telemetry["train_sims_skipped"],
+            "eval_sims_skipped": telemetry["eval_sims_skipped"],
+            "control_cache_hits": telemetry["control_cache_hits"],
+            "grid_points": telemetry["grid_points"],
+            "grid_clark_reductions": telemetry["grid_clark_reductions"],
+            "grid_reuse_hits": telemetry["grid_reuse_hits"],
+        },
+        "wall_speedup": round(wall_speedup, 2),
+        "reports_byte_identical": all(parity),
+        "kernel_stats_grid": kernel_delta,
+    }
+    (REPO_ROOT / "BENCH_sweep.json").write_text(json.dumps(doc, indent=2))
+
+    print_table(
+        ["metric", "per-point", "grid", "gain"],
+        [
+            ["wall (s)", round(per_point_s, 3), round(grid_s, 3),
+             f"{wall_speedup:.2f}x"],
+            ["points/s", round(N_POINTS / per_point_s, 2),
+             round(N_POINTS / grid_s, 2), ""],
+            ["eval sims", N_POINTS,
+             N_POINTS - telemetry["eval_sims_skipped"],
+             f"-{telemetry['eval_sims_skipped']}"],
+            ["train sims", N_POINTS,
+             N_POINTS - telemetry["train_sims_skipped"],
+             f"-{telemetry['train_sims_skipped']}"],
+            ["byte-identical", "-", "-",
+             str(all(parity))],
+        ],
+        "Operating-point grid (BENCH_sweep.json)",
+    )
+
+    # The batched pass covered every point and never loses to the loop.
+    assert telemetry["grid_points"] == N_POINTS
+    assert telemetry["eval_sims_skipped"] == N_POINTS - 1
+    assert wall_speedup >= 1.0

@@ -185,6 +185,9 @@ def test_window_pool_benchmark(tmp_path):
         SMALL, max_workers=1, cache_dir=tmp_path, n_data_samples=32,
         window_workers=POOL_WORKERS,
     )
+    # grid=False: this section measures the *per-point* windows-reuse
+    # path; the batched grid variant has its own benchmark
+    # (benchmarks/test_sweep_grid.py).
     summary = engine.run(
         [
             EstimationRequest(
@@ -193,7 +196,8 @@ def test_window_pool_benchmark(tmp_path):
                 max_instructions=60_000, seed=0,
             )
             for spec in (1.15, 1.25)
-        ]
+        ],
+        grid=False,
     )
     assert not summary.failed, summary.failed[0].error
     sweep_rows = [

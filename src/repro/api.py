@@ -10,15 +10,20 @@ a crash is byte-for-byte the document this module produces.
 Schema versioning
 -----------------
 
-Documents carry ``"schema": 2`` (an integer) and a ``"kind"`` tag naming
-the document type.  Version 2 is strict: an unknown field is rejected
-with an error that names it and lists the valid fields, so a typo in a
-client payload fails loudly at the boundary instead of silently running
-the wrong job.  Version-1 documents — the ad-hoc shapes earlier PRs
-emitted (``EstimationRequest.identity_doc`` dicts, string-tagged
-``repro.error-rate-report/1`` reports) — are still *readable*:
-:func:`request_from_json` and :func:`report_from_json` accept them and
-normalize on the way in.
+Documents carry ``"schema": 3`` (an integer) and a ``"kind"`` tag naming
+the document type.  Versions 2 and 3 are strict: an unknown field is
+rejected with an error that names it and lists the valid fields, so a
+typo in a client payload fails loudly at the boundary instead of
+silently running the wrong job.  Version 3 adds the multi-point
+``speculations`` axis to ``estimation-request`` (one document, many
+operating points — expanded by :func:`requests_from_json` and answered
+with a ``reports`` list on the ``job-result``).  Older documents stay
+*readable*: schema-2 documents parse unchanged, and version-1 documents
+— the ad-hoc shapes earlier PRs emitted
+(``EstimationRequest.identity_doc`` dicts, string-tagged
+``repro.error-rate-report/1`` reports) — are accepted by
+:func:`request_from_json` and :func:`report_from_json` and normalized
+on the way in.
 
 Document kinds
 --------------
@@ -51,12 +56,17 @@ __all__ = [
     "build_request",
     "request_to_json",
     "request_from_json",
+    "requests_from_json",
+    "grid_request_to_json",
     "report_to_json",
     "report_from_json",
 ]
 
 #: Current wire-schema version; bump on incompatible change.
-SCHEMA = 2
+SCHEMA = 3
+
+#: Versions this build still reads (normalized on the way in).
+_READABLE_SCHEMAS = (1, 2, SCHEMA)
 
 #: Lifecycle states a service job moves through (in order; the last two
 #: are terminal).
@@ -107,10 +117,10 @@ def _check_schema(doc, kind: str) -> int:
         raise ApiError(f"{kind} document must be a JSON object, got "
                        f"{type(doc).__name__}")
     version = doc.get("schema", 1)
-    if version not in (1, SCHEMA):
+    if version not in _READABLE_SCHEMAS:
         raise ApiError(
             f"unsupported {kind} schema {version!r}; this build reads "
-            f"schema {SCHEMA} (and legacy schema-1 documents)"
+            f"schema {SCHEMA} (and legacy schema 1/2 documents)"
         )
     declared = doc.get("kind")
     if declared is not None and declared != kind:
@@ -148,11 +158,17 @@ def request_to_json(request: EstimationRequest) -> dict:
 
 
 def request_from_json(doc: dict) -> EstimationRequest:
-    """Parse a request document (schema 2 strict, schema 1 tolerated)."""
+    """Parse a single-point request document (strict; schema 1 tolerated)."""
     version = _check_schema(doc, "estimation-request")
     body = {k: v for k, v in doc.items() if k not in _META_KEYS}
     if version == 1:
         body = {_V1_ALIASES.get(k, k): v for k, v in body.items()}
+    if body.get("speculations") is not None:
+        raise ApiError(
+            "'speculations' marks a multi-point estimation-request; "
+            "expand it with requests_from_json()"
+        )
+    body.pop("speculations", None)
     _reject_unknown(body, frozenset(_REQUEST_FIELDS), "estimation-request")
     if "workload" not in body:
         raise ApiError("estimation-request document is missing 'workload'")
@@ -174,6 +190,71 @@ def request_from_json(doc: dict) -> EstimationRequest:
         return EstimationRequest(**kwargs)
     except ValueError as exc:
         raise ApiError(f"invalid estimation-request: {exc}") from None
+
+
+def requests_from_json(doc: dict) -> list[EstimationRequest]:
+    """Parse a request document, expanding a multi-point one.
+
+    A schema-3 ``estimation-request`` may carry ``speculations`` — an
+    array of operating points sharing every other field — instead of the
+    scalar ``speculation``.  Returns one :class:`EstimationRequest` per
+    point (a single-element list for ordinary documents), in array
+    order.
+    """
+    _check_schema(doc, "estimation-request")
+    speculations = doc.get("speculations") if isinstance(doc, dict) else None
+    if speculations is None:
+        return [request_from_json(doc)]
+    if not isinstance(speculations, list) or not speculations:
+        raise ApiError(
+            "'speculations' must be a non-empty array of numbers"
+        )
+    for value in speculations:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ApiError(
+                f"'speculations' entries must be numbers, got "
+                f"{type(value).__name__} ({value!r})"
+            )
+    if doc.get("speculation") is not None:
+        raise ApiError(
+            "give either 'speculation' or 'speculations', not both"
+        )
+    base = {
+        k: v for k, v in doc.items()
+        if k not in ("speculations", "speculation")
+    }
+    return [
+        request_from_json({**base, "speculation": float(value)})
+        for value in speculations
+    ]
+
+
+def grid_request_to_json(requests) -> dict:
+    """Serialize a homogeneous request batch as one multi-point document.
+
+    The inverse of :func:`requests_from_json` for grids: the requests
+    must be identical up to ``speculation`` and every point needs an
+    explicit operating point (``speculations`` entries are numbers).
+    """
+    requests = list(requests)
+    if not requests:
+        raise ApiError("a grid request needs at least one point")
+    docs = [request_to_json(request) for request in requests]
+    if len(docs) == 1:
+        return docs[0]
+    base = {k: v for k, v in docs[0].items() if k != "speculation"}
+    for other in docs[1:]:
+        if {k: v for k, v in other.items() if k != "speculation"} != base:
+            raise ApiError(
+                "grid requests must be identical up to 'speculation'"
+            )
+    if any(doc["speculation"] is None for doc in docs):
+        raise ApiError(
+            "every grid point needs an explicit 'speculation'"
+        )
+    merged = dict(base)
+    merged["speculations"] = [doc["speculation"] for doc in docs]
+    return merged
 
 
 # --------------------------------------------------------------------- #
@@ -287,7 +368,7 @@ class JobStatus:
 
 
 _JOB_RESULT_FIELDS = frozenset({
-    "job", "report", "cache_hit", "seed", "training_sims",
+    "job", "report", "reports", "cache_hit", "seed", "training_sims",
     "windows_preloaded", "train_seconds", "estimate_seconds", "stages",
 })
 
@@ -298,8 +379,13 @@ class JobResult:
 
     Attributes:
         job: The job identifier.
-        report_doc: The :func:`report_to_json` document.
-        cache_hit: Whether the control model came warm from the store.
+        report_doc: The :func:`report_to_json` document (the first
+            point's, for multi-point jobs).
+        reports: Per-point report documents for a multi-point
+            (``speculations``) job, in request order; ``None`` for
+            ordinary single-point jobs.
+        cache_hit: Whether the control model came warm from the store
+            (every point, for multi-point jobs).
         seed: The resolved data-variation seed the job ran with.
         training_sims: Logic-simulator calls spent in training — ``0``
             for a fully warm job (the multi-tenant reuse evidence).
@@ -311,6 +397,7 @@ class JobResult:
 
     job: str
     report_doc: dict
+    reports: list | None = None
     cache_hit: bool = False
     seed: int = 0
     training_sims: int = 0
@@ -321,8 +408,15 @@ class JobResult:
 
     @property
     def report(self) -> ErrorRateReport:
-        """The decoded :class:`ErrorRateReport`."""
+        """The decoded :class:`ErrorRateReport` (first point)."""
         return report_from_json(self.report_doc)
+
+    @property
+    def all_reports(self) -> list[ErrorRateReport]:
+        """Every point's decoded report (length 1 for single-point jobs)."""
+        if self.reports is None:
+            return [self.report]
+        return [report_from_json(doc) for doc in self.reports]
 
     @classmethod
     def from_pipeline(cls, job_id: str, result) -> "JobResult":
@@ -340,8 +434,27 @@ class JobResult:
             stages=[event.to_json() for event in result.events],
         )
 
+    @classmethod
+    def from_grid(cls, job_id: str, outcome) -> "JobResult":
+        """Build from an ``EstimationPipeline.execute_grid`` outcome."""
+        results = outcome.results
+        first = results[0]
+        training = first.report.training_kernel_stats or {}
+        return cls(
+            job=job_id,
+            report_doc=report_to_json(first.report),
+            reports=[report_to_json(r.report) for r in results],
+            cache_hit=all(r.cache_hit for r in results),
+            seed=first.seed,
+            training_sims=int(training.get("sim_calls", 0)),
+            windows_preloaded=first.windows_preloaded,
+            train_seconds=max(r.train_seconds for r in results),
+            estimate_seconds=sum(r.estimate_seconds for r in results),
+            stages=[event.to_json() for event in first.events],
+        )
+
     def to_json(self) -> dict:
-        return {
+        doc = {
             "schema": SCHEMA,
             "kind": "job-result",
             "job": self.job,
@@ -354,6 +467,9 @@ class JobResult:
             "estimate_seconds": round(self.estimate_seconds, 3),
             "stages": self.stages,
         }
+        if self.reports is not None:
+            doc["reports"] = self.reports
+        return doc
 
     @classmethod
     def from_json(cls, doc: dict) -> "JobResult":

@@ -64,6 +64,27 @@ def _float_list(text: str) -> list[float]:
         ) from None
 
 
+def _grid_spec(text: str) -> list[float]:
+    """Parse ``START:STOP:N`` into N evenly spaced sweep points."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected START:STOP:N, got {text!r}"
+        )
+    try:
+        start, stop, count = float(parts[0]), float(parts[1]), int(parts[2])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected START:STOP:N with numeric bounds, got {text!r}"
+        ) from None
+    if count < 1:
+        raise argparse.ArgumentTypeError("N must be >= 1")
+    if count == 1:
+        return [start]
+    step = (stop - start) / (count - 1)
+    return [round(start + i * step, 10) for i in range(count)]
+
+
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_positive_int, default=1,
@@ -132,6 +153,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--points", type=_float_list,
         default=[1.00, 1.05, 1.10, 1.15, 1.20, 1.25],
         help="comma-separated speculation ratios",
+    )
+    swp.add_argument(
+        "--grid", type=_grid_spec, default=None, metavar="START:STOP:N",
+        help=(
+            "dense sweep: N evenly spaced speculation ratios from START "
+            "to STOP (overrides --points); the engine batch-evaluates "
+            "them in one grid pass"
+        ),
     )
     swp.add_argument("--max-instructions", type=int, default=300_000)
     swp.add_argument(
@@ -271,6 +300,27 @@ def _engine_from_args(args) -> EstimationEngine:
     )
 
 
+def _fan_out_requests(names, points, *, max_instructions=None,
+                      train_instructions=None, seed=0):
+    """Build the benchmark x speculation request cross product.
+
+    Shared by ``sweep`` and ``batch`` so both fan-outs produce
+    identically shaped requests (and therefore hit the same grid
+    batching and artifact-cache keys in the engine).
+    """
+    return [
+        api.build_request(
+            workload=name,
+            speculation=speculation,
+            max_instructions=max_instructions,
+            train_instructions=train_instructions,
+            seed=seed,
+        )
+        for name in names
+        for speculation in points
+    ]
+
+
 def _report_failures(summary, out) -> None:
     for result in summary.failed:
         out.write(
@@ -340,32 +390,34 @@ def _cmd_table2(args, out) -> int:
 
 
 def _cmd_sweep(args, out) -> int:
-    points = args.points
+    points = args.grid if args.grid is not None else args.points
     if not points:
         out.write("no sweep points given\n")
         return 2
     engine = _engine_from_args(args)
-    requests = [
-        api.build_request(
-            workload=args.benchmark,
-            speculation=speculation,
-            max_instructions=args.max_instructions,
-            seed=0,
-        )
-        for speculation in points
-    ]
+    requests = _fan_out_requests(
+        [args.benchmark], points,
+        max_instructions=args.max_instructions, seed=0,
+    )
     summary = engine.run(requests)
     if args.json:
         out.write(json.dumps(summary.to_json(), indent=2) + "\n")
         return 1 if summary.failed else 0
-    out.write(f"{'spec':>6s} {'MHz':>7s} {'ER%':>8s} {'perf%':>8s}\n")
+    out.write(
+        f"{'spec':>6s} {'MHz':>7s} {'ER%':>8s} {'perf%':>8s} "
+        f"{'skipped':>7s} {'cache':>5s}\n"
+    )
     for result in summary.succeeded:
+        skipped = int(result.train_sim_skipped) + int(result.eval_sim_skipped)
         out.write(
             f"{result.speculation:6.2f} "
             f"{result.working_frequency_mhz:7.0f} "
             f"{result.report.error_rate_mean:8.3f} "
-            f"{result.net_performance_percent:+8.2f}\n"
+            f"{result.net_performance_percent:+8.2f} "
+            f"{skipped:7d} "
+            f"{'hit' if result.cache_hit else 'miss':>5s}\n"
         )
+    out.write(f"# {summary.describe()}\n")
     if summary.failed:
         _report_failures(summary, out)
         return 1
@@ -380,17 +432,12 @@ def _cmd_batch(args, out) -> int:
         return 2
     points = args.speculation or [None]
     engine = _engine_from_args(args)
-    requests = [
-        api.build_request(
-            workload=name,
-            speculation=speculation,
-            max_instructions=args.max_instructions,
-            train_instructions=args.train_instructions,
-            seed=args.seed,
-        )
-        for name in names
-        for speculation in points
-    ]
+    requests = _fan_out_requests(
+        names, points,
+        max_instructions=args.max_instructions,
+        train_instructions=args.train_instructions,
+        seed=args.seed,
+    )
     summary = engine.run(requests)
     if args.json:
         out.write(json.dumps(summary.to_json(), indent=2) + "\n")

@@ -30,7 +30,7 @@ from repro.netlist.netlist import Netlist
 from repro.netlist.paths import Path, PathEnumerator
 from repro.pipeline.registry import active_backend
 from repro.sta.gaussian import Gaussian
-from repro.sta.ssta import statistical_min
+from repro.sta.ssta import statistical_min, statistical_min_grid
 from repro.variation.process import ProcessVariationModel
 
 __all__ = ["StageDTSAnalyzer", "StageDTS"]
@@ -462,6 +462,110 @@ class StageDTSAnalyzer:
             )
         return result
 
+    def ap_trace_grid(
+        self,
+        stage: int,
+        activity: ActivityTrace,
+        clock_periods: list[float],
+        mode: str = "statistical",
+        include_safe: bool = False,
+    ) -> list[list[list[Path]]]:
+        """:meth:`ap_trace` batched over a vector of clock periods.
+
+        The expensive parts of AP selection — the gather + segmented
+        activation reduce and the per-ordering rank minima — are
+        period-independent; only the risky-endpoint mask and the final
+        picks assembly depend on the period.  This computes the shared
+        work once and assembles picks once per *distinct* risky mask,
+        returning one per-cycle AP trace per period.  Periods sharing a
+        risky mask share the same trace object (callers only read the
+        traces), which downstream grid consumers use to group periods.
+        """
+        check_in("mode", mode, _MODES)
+        if not kernel_config().batched_ap_select:
+            return [
+                self.ap_trace(stage, activity, cp, mode, include_safe)
+                for cp in clock_periods
+            ]
+        n_cycles = activity.n_cycles
+        plan = self._stage_plans.get(stage)
+        if plan is None:
+            plan = _StagePlan(self._stage_endpoints[stage])
+            self._stage_plans[stage] = plan
+        if plan.n_paths == 0:
+            return [
+                [[] for _ in range(n_cycles)] for _ in clock_periods
+            ]
+        setup = self.library.setup_time
+        masks = []
+        for cp in clock_periods:
+            masks.append(
+                np.ones(len(plan.eps), dtype=bool)
+                if include_safe
+                else plan.risk_metrics > (cp - setup)
+            )
+        order_names = (
+            ("order_nominal",)
+            if mode == "deterministic"
+            else ("order_worst", "order_best")
+        )
+        sentinel = plan.n_paths
+        # Period-independent shared work (identical to ap_trace's body),
+        # computed lazily on the first period with any risky endpoint:
+        # activation flags, and per ordering the endpoint-segmented rank
+        # minima plus the flat pick candidates they select.
+        per_order = None
+        shared: dict[bytes, list[list[Path]]] = {}
+        traces: list[list[list[Path]]] = []
+        empty_trace = None
+        for mask in masks:
+            key = mask.tobytes()
+            trace = shared.get(key)
+            if trace is not None:
+                traces.append(trace)
+                continue
+            if not mask.any():
+                if empty_trace is None:
+                    empty_trace = [[] for _ in range(n_cycles)]
+                shared[key] = empty_trace
+                traces.append(empty_trace)
+                continue
+            if per_order is None:
+                counts = np.add.reduceat(
+                    activity.activated[:, plan.gather].astype(np.int16),
+                    plan.path_segments,
+                    axis=1,
+                )
+                act = counts == plan.path_lengths[None, :]
+                per_order = []
+                for name in order_names:
+                    ranks, order_flat = plan.orders[name]
+                    masked = np.where(act, ranks[None, :], sentinel)
+                    min_rank = np.minimum.reduceat(
+                        masked, plan.ep_offsets, axis=1
+                    )
+                    found0 = min_rank < plan.ep_sizes[None, :]
+                    idx = plan.ep_offsets[None, :] + np.minimum(
+                        min_rank, plan.ep_sizes[None, :] - 1
+                    )
+                    per_order.append((found0, order_flat[idx]))
+            trace = [[] for _ in range(n_cycles)]
+            picks = [
+                np.where(found0 & mask[None, :], candidates, sentinel).T
+                for found0, candidates in per_order
+            ]
+            chosen = np.concatenate(picks, axis=0)
+            chosen.sort(axis=0)
+            keep = chosen < sentinel
+            keep[1:] &= chosen[1:] != chosen[:-1]
+            for t in np.flatnonzero(keep.any(axis=0)):
+                trace[t].extend(
+                    plan.paths_flat[g] for g in chosen[keep[:, t], t]
+                )
+            shared[key] = trace
+            traces.append(trace)
+        return traces
+
     def _ap_trace_reference(
         self,
         stage: int,
@@ -549,6 +653,84 @@ class StageDTSAnalyzer:
         if config.combine_memo:
             self._combine_memo[memo_key] = result
         return result
+
+    def combine_grid(
+        self,
+        paths: list[Path],
+        clock_periods: list[float],
+        mode: str = "statistical",
+    ) -> list[Gaussian | None]:
+        """:meth:`combine` of one AP set over a vector of clock periods.
+
+        Returns one DTS Gaussian per period, each bitwise identical to
+        the scalar :meth:`combine` at that period.  Slack means at
+        period ``T`` are ``T - path_mean - setup`` — a common shift per
+        row — so the whole grid usually shares one greedy order and the
+        Clark chain runs once over a ``(periods, paths)`` matrix
+        (:func:`~repro.sta.ssta.statistical_min_grid`).  The scalar
+        combine memo is consulted and populated per period, so grid and
+        per-point evaluations serve each other's results.
+        """
+        check_in("mode", mode, _MODES)
+        n_periods = len(clock_periods)
+        if not paths:
+            return [None] * n_periods
+        setup = self.library.setup_time
+        if mode == "deterministic":
+            worst = max(p.delay for p in paths)
+            return [
+                Gaussian(cp - worst - setup, 0.0) for cp in clock_periods
+            ]
+        config = kernel_config()
+        stats = kernel_stats()
+        if not config.precomputed_cov:
+            # Reference kernels have no registry to batch over; the
+            # scalar path is the ground truth.
+            return [
+                self.combine(paths, cp, mode) for cp in clock_periods
+            ]
+        stats.combine_calls += n_periods
+        pids = tuple(self._register_path(p) for p in paths)
+        method = active_backend("statmin", "clark")
+        results: list[Gaussian | None] = [None] * n_periods
+        missing: list[int] = []
+        if config.combine_memo:
+            for i, cp in enumerate(clock_periods):
+                hit = self._combine_memo.get((mode, cp, pids, method))
+                if hit is not None:
+                    stats.combine_memo_hits += 1
+                    stats.grid_reuse_hits += 1
+                    results[i] = hit
+                else:
+                    missing.append(i)
+        else:
+            missing = list(range(n_periods))
+        if not missing:
+            return results
+        path_means = np.array([self._path_mean[pid] for pid in pids])
+        path_vars = np.array([self._path_var[pid] for pid in pids])
+        cps = np.array([clock_periods[i] for i in missing])
+        # Same op order as the scalar slack: (T - mean) - setup.
+        means = cps[:, None] - path_means[None, :] - setup
+        if len(pids) == 1:
+            out_mean, out_var = means[:, 0], np.broadcast_to(
+                path_vars[0], (len(missing),)
+            )
+        else:
+            reductions = (len(pids) - 1) * len(missing)
+            stats.clark_reductions += reductions
+            stats.grid_clark_reductions += reductions
+            out_mean, out_var = statistical_min_grid(
+                means, path_vars, self._cov_for(pids), method=method
+            )
+        for row, i in enumerate(missing):
+            result = Gaussian(float(out_mean[row]), float(out_var[row]))
+            results[i] = result
+            if config.combine_memo:
+                self._combine_memo[
+                    (mode, clock_periods[i], pids, method)
+                ] = result
+        return results
 
     def _combine_reference(
         self, paths: list[Path], clock_period: float, setup: float

@@ -119,3 +119,60 @@ class InstructionDTSAnalyzer:
             )
             for t in entry_cycles
         ]
+
+    def window_dts_grid(
+        self,
+        activity: ActivityTrace,
+        entry_cycles: list[int],
+        clock_periods: list[float],
+        mode: str = "statistical",
+        include_safe: bool = False,
+    ) -> list[list[Gaussian | None]]:
+        """:meth:`window_dts` batched over a vector of clock periods.
+
+        Returns one DTS list per period, each bitwise identical to the
+        scalar call at that period.  Stage AP traces come from
+        :meth:`StageDTSAnalyzer.ap_trace_grid` (activation flags and
+        rank minima computed once for the whole grid); periods whose
+        risky-endpoint masks agree share identical AP traces, so their
+        per-instruction AP unions are built once and their statistical
+        minima run as one period-axis-batched Clark chain
+        (:meth:`StageDTSAnalyzer.combine_grid`).
+        """
+        analyzer = self.stage_analyzer
+        traces = [
+            analyzer.ap_trace_grid(
+                s, activity, clock_periods, mode, include_safe
+            )
+            for s in range(self.num_stages)
+        ]
+        n_periods = len(clock_periods)
+        results: list[list[Gaussian | None]] = [
+            [None] * len(entry_cycles) for _ in range(n_periods)
+        ]
+        # ap_trace_grid hands periods with equal risky masks the same
+        # trace object; group on object identity so each distinct AP
+        # structure pays for its unions (and batched combines) once.
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for p in range(n_periods):
+            key = tuple(id(traces[s][p]) for s in range(self.num_stages))
+            groups.setdefault(key, []).append(p)
+        for period_idx in groups.values():
+            p0 = period_idx[0]
+            ap_traces = [traces[s][p0] for s in range(self.num_stages)]
+            group_periods = [clock_periods[p] for p in period_idx]
+            for i, t in enumerate(entry_cycles):
+                union = self.instruction_ap(
+                    activity,
+                    t,
+                    clock_periods[p0],
+                    mode,
+                    ap_traces=ap_traces,
+                    include_safe=include_safe,
+                )
+                combined = analyzer.combine_grid(
+                    union, group_periods, mode
+                )
+                for row, p in enumerate(period_idx):
+                    results[p][i] = combined[row]
+        return results

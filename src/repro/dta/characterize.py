@@ -32,7 +32,7 @@ from repro.logicsim.stimulus import StimulusEncoder
 from repro.sta.gaussian import Gaussian
 
 __all__ = ["ControlKey", "ControlTimingModel", "ControlCharacterizer",
-           "ControlSampleCollector"]
+           "ControlSampleCollector", "characterize_grid"]
 
 #: Key into the control timing model: (block id, predecessor id, instr pos).
 ControlKey = tuple[int, int, int]
@@ -299,6 +299,67 @@ class ControlCharacterizer:
             ((bid, pred, k), dts_c[k], dts_e[k]) for k in range(n)
         ]
 
+    def _window_dts_grid(
+        self,
+        window: InstructionWindow,
+        slot_indices: list[int],
+        clock_periods: list[float],
+    ) -> list[list[Gaussian | None]]:
+        """One window analyzed at many operating points.
+
+        Scheduling, stimulus encoding, and the (cached) logic simulation
+        are period-independent and run once; only the DTS evaluation
+        fans out over the period axis.
+        """
+        schedule = self.scheduler.schedule(window)
+        source_values = self.encoder.encode_schedule(schedule)
+        activity = self.activity_cache.activity(
+            source_values, self.simulator.activity
+        )
+        return self.analyzer.window_dts_grid(
+            activity, slot_indices, clock_periods
+        )
+
+    def characterize_edge_values_grid(
+        self,
+        bid: int,
+        pred: int,
+        tail: list[StepRecord],
+        block_records: list[StepRecord],
+        clock_periods: list[float],
+    ) -> list[list[tuple[ControlKey, Gaussian | None, Gaussian | None]]]:
+        """:meth:`characterize_edge_values` over a vector of periods.
+
+        Returns one row list per period, each bitwise identical to the
+        scalar call on a characterizer built at that period.  Window
+        construction (including the correction-scheme emulation) is
+        period-independent and happens once.
+        """
+        tail_slots: list[StepRecord | None] = list(tail)
+        n = len(block_records)
+        normal_window = InstructionWindow(tail_slots + list(block_records))
+        normal_entries = [len(tail_slots) + k for k in range(n)]
+        dts_c = self._window_dts_grid(
+            normal_window, normal_entries, clock_periods
+        )
+        corrected = InstructionWindow(list(tail_slots))
+        positions = []
+        for rec in block_records:
+            emulated = self.scheme.emulate(
+                InstructionWindow(corrected.slots + [rec]),
+                len(corrected.slots),
+            )
+            corrected = emulated
+            positions.append(len(corrected.slots) - 1)
+        dts_e = self._window_dts_grid(corrected, positions, clock_periods)
+        return [
+            [
+                ((bid, pred, k), dts_c[p][k], dts_e[p][k])
+                for k in range(n)
+            ]
+            for p in range(len(clock_periods))
+        ]
+
     def characterize_edge(
         self,
         bid: int,
@@ -346,6 +407,36 @@ class ControlCharacterizer:
         ]
         self.characterize_many(tasks, model)
         return model
+
+
+def characterize_grid(
+    characterizers: list[ControlCharacterizer],
+    samples: dict[tuple[int, int], tuple[list, list]],
+) -> list[ControlTimingModel]:
+    """Characterize the same samples at many operating points in one pass.
+
+    ``characterizers`` are per-period :class:`ControlCharacterizer`
+    instances for the *same* (pipeline, program, scheme) — typically
+    built from operating points derived off one processor, so they share
+    the analyzer's path registry and one activity cache.  Each window is
+    scheduled, encoded, and simulated once; the DTS evaluation fans out
+    along the period axis.  Returns one :class:`ControlTimingModel` per
+    characterizer, each byte-identical to ``characterizers[p]
+    .characterize(samples)`` run on its own.
+    """
+    if not characterizers:
+        return []
+    base = characterizers[0]
+    clock_periods = [c.clock_period for c in characterizers]
+    models = [ControlTimingModel() for _ in characterizers]
+    for (bid, pred), (tail, block_records) in sorted(samples.items()):
+        rows_per_period = base.characterize_edge_values_grid(
+            bid, pred, tail, block_records, clock_periods
+        )
+        for model, rows in zip(models, rows_per_period):
+            for key, normal, corrected in rows:
+                model.record(key, normal, corrected)
+    return models
 
 
 def _characterize_task(context, index: int):

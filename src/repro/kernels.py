@@ -173,6 +173,16 @@ class KernelStats:
         pool_shm_bytes: Worker->parent activity-trace bytes handed off
             through ``multiprocessing.shared_memory`` instead of the
             result pipe.
+        grid_points: Operating points evaluated through the batched
+            grid path (one per point per grid pass).
+        grid_clark_reductions: Pairwise Clark reductions executed inside
+            period-axis-batched chains.  Each vectorized chain step
+            reduces every period at once but is counted once per period
+            so the counter stays comparable to ``clark_reductions``.
+        grid_reuse_hits: Artifacts the grid pass served from shared
+            state instead of recomputing per point — combine-memo hits
+            inside batched combines plus per-point control artifacts
+            served from the store.
     """
 
     sim_calls: int = 0
@@ -193,6 +203,9 @@ class KernelStats:
     pool_maps_degraded: int = 0
     pool_chunks: int = 0
     pool_shm_bytes: int = 0
+    grid_points: int = 0
+    grid_clark_reductions: int = 0
+    grid_reuse_hits: int = 0
 
     def snapshot(self) -> "KernelStats":
         """An independent copy of the current counter values."""

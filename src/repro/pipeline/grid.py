@@ -1,0 +1,374 @@
+"""Vectorized operating-point grid: batch-evaluate a period sweep.
+
+A frequency sweep asks the same question — "what is this program's
+error-rate distribution?" — at many operating points of one processor
+configuration.  Run point-by-point, almost everything is recomputed N
+times even though only the clock period changed: the training and
+evaluation functional simulations, window scheduling/encoding/logic
+simulation, and the activation bookkeeping of Algorithm 1 are all
+period-independent.  The grid evaluator runs each of those once and
+fans out only the genuinely period-dependent tail:
+
+* one training functional run + one window characterization sweep
+  (:meth:`~repro.pipeline.stages._DTABackendBase.train_grid`), with the
+  DTS evaluation batched along the period axis down to the Clark
+  reductions (:func:`repro.sta.ssta.statistical_min_grid`);
+* one evaluation functional run
+  (:meth:`~repro.pipeline.pipeline.EstimationPipeline.collect_evaluation`)
+  feeding every point's error model;
+* per point: on-demand characterization, the data-variation error
+  model (whose seed folds in the operating point), and the statistical
+  estimate.
+
+Every per-point control artifact is persisted under the *same* store
+key the scalar flow would use, so a later single-point job hits the
+grid's cache — and a grid run over warm points is served from the
+store without retraining.  The resulting reports are byte-identical
+(``to_json(include_timing=False)``) to the per-point loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.kernels import kernel_stats
+from repro.pipeline.ir import ControlInputIR, DatapathInputIR, TrainingSpec
+from repro.pipeline.registry import REGISTRY, use_backends
+from repro.pipeline.stages import AnalyticEstimateBackend
+from repro.pipeline.store import stable_digest
+
+__all__ = [
+    "GridRequest",
+    "GridResult",
+    "GridEstimateBackend",
+    "execute_grid",
+]
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """Typed IR for one batched period sweep.
+
+    The identity splits one list of
+    :class:`~repro.core.request.EstimationRequest` jobs into the shared
+    ``base`` (everything the points have in common: workload, dataset
+    pair, budgets, reservoir) and the ``speculations`` axis.  Requests
+    differing in anything but the operating point are *not* a grid —
+    :meth:`build` rejects them so callers fall back to the scalar flow.
+    """
+
+    SCHEMA = "repro.grid-request/1"
+
+    base: tuple
+    speculations: tuple
+
+    @classmethod
+    def base_identity(cls, request) -> tuple:
+        """The request's identity minus the operating point."""
+        doc = request.identity_doc()
+        doc.pop("speculation", None)
+        return tuple(sorted(doc.items()))
+
+    @classmethod
+    def build(cls, requests) -> "GridRequest":
+        if not requests:
+            raise ValueError("a grid needs at least one request")
+        base = cls.base_identity(requests[0])
+        for request in requests[1:]:
+            if cls.base_identity(request) != base:
+                raise ValueError(
+                    "grid requests must be identical up to speculation; "
+                    f"{request.describe()!r} diverges from "
+                    f"{requests[0].describe()!r}"
+                )
+        return cls(
+            base=base,
+            speculations=tuple(r.speculation for r in requests),
+        )
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "base": {k: v for k, v in self.base},
+            "speculations": list(self.speculations),
+        }
+
+    @property
+    def content_hash(self) -> str:
+        return stable_digest(self.to_doc())
+
+
+@dataclass(slots=True)
+class GridResult:
+    """Outcome of one batched grid pass.
+
+    ``results`` holds one
+    :class:`~repro.pipeline.pipeline.PipelineResult` per request, in
+    request order — each indistinguishable (report-wise) from a scalar
+    :meth:`~repro.pipeline.pipeline.EstimationPipeline.execute` call.
+    The telemetry counts what the batching avoided.
+    """
+
+    SCHEMA = "repro.grid-result/1"
+
+    request: GridRequest
+    results: list = field(default_factory=list)
+    train_sims_skipped: int = 0
+    eval_sims_skipped: int = 0
+    control_cache_hits: int = 0
+    kernel_delta: dict = field(default_factory=dict)
+
+    def to_doc(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "request": self.request.to_doc(),
+            "reports": [r.report.to_json() for r in self.results],
+            "telemetry": self.telemetry(),
+        }
+
+    def telemetry(self) -> dict:
+        return {
+            "points": len(self.results),
+            "train_sims_skipped": self.train_sims_skipped,
+            "eval_sims_skipped": self.eval_sims_skipped,
+            "control_cache_hits": self.control_cache_hits,
+            "grid_points": self.kernel_delta.get("grid_points", 0),
+            "grid_clark_reductions": self.kernel_delta.get(
+                "grid_clark_reductions", 0
+            ),
+            "grid_reuse_hits": self.kernel_delta.get("grid_reuse_hits", 0),
+        }
+
+
+@REGISTRY.register(
+    "estimate",
+    "grid",
+    description="Analytic estimate + batched operating-point grid evaluation",
+    cache_id="analytic",
+)
+class GridEstimateBackend(AnalyticEstimateBackend):
+    """The analytic estimate extended with the grid evaluator.
+
+    Per-point mathematics are inherited unchanged (hence the shared
+    ``analytic`` cache identity); the backend only adds the batched
+    entry point used by
+    :meth:`~repro.pipeline.pipeline.EstimationPipeline.execute_grid`.
+    """
+
+    def execute_grid(self, pipeline, requests) -> GridResult:
+        return execute_grid(pipeline, requests)
+
+
+def execute_grid(pipeline, requests) -> GridResult:
+    """Run a homogeneous request batch through the batched grid flow.
+
+    Args:
+        pipeline: The base
+            :class:`~repro.pipeline.pipeline.EstimationPipeline`; every
+            point runs on a derived sibling sharing its store, activity
+            cache, and analyzer.
+        requests: :class:`~repro.core.request.EstimationRequest` jobs
+            identical up to ``speculation``.
+
+    Returns:
+        A :class:`GridResult` whose per-point reports are
+        byte-identical to scalar ``pipeline.execute`` calls.
+    """
+    from repro.pipeline.pipeline import (
+        EstimationPipeline,
+        PipelineResult,
+        StageEvent,
+    )
+
+    grid_request = GridRequest.build(requests)
+    if pipeline.plan.get("dta") == "reference":
+        # The reference path exists to stay unvectorized; run it scalar.
+        results = [pipeline.execute(r) for r in requests]
+        return GridResult(request=grid_request, results=results)
+
+    stats = kernel_stats()
+    kernels_before = stats.snapshot()
+    workload = requests[0].resolve_workload()
+    program, train_setup, train_budget = workload.run_spec(
+        requests[0].train_scale, seed=requests[0].train_seed
+    )
+    train_instructions = requests[0].train_instructions or train_budget
+    spec = TrainingSpec(
+        scale=requests[0].train_scale,
+        seed=requests[0].train_seed,
+        instructions=train_instructions,
+    )
+    use_store = pipeline.store is not None and pipeline.config is not None
+    dta_info = REGISTRY.get("dta", pipeline.plan["dta"])
+
+    pipes = [pipeline.pipeline_for(r.speculation) for r in requests]
+    events: list[list[StageEvent]] = [[] for _ in requests]
+
+    # --- netlist + datapath (per point; the store key is period- ------ #
+    # independent, so every point past the first is a hit) ------------- #
+    datapath_hits = []
+    for i, pipe in enumerate(pipes):
+        t0 = time.perf_counter()
+        provided = pipe._processor is not None
+        processor = pipe.processor
+        events[i].append(
+            StageEvent(
+                "netlist",
+                pipeline.plan["netlist"],
+                "provided" if provided else "computed",
+                time.perf_counter() - t0,
+            )
+        )
+        t0 = time.perf_counter()
+        if use_store:
+            datapath_key = pipeline.store.compose_key(
+                "datapath",
+                REGISTRY.get("datapath", pipeline.plan["datapath"]).cache_id,
+                DatapathInputIR.build(pipeline.config).content_hash,
+            )
+            hit = pipe._datapath.ensure(
+                processor, key=datapath_key, store=pipeline.store
+            )
+        else:
+            hit = pipe._datapath.ensure(processor)
+        datapath_hits.append(hit)
+        events[i].append(
+            StageEvent(
+                "datapath",
+                pipeline.plan["datapath"],
+                "hit" if hit else "computed",
+                time.perf_counter() - t0,
+            )
+        )
+
+    # --- windows (period-independent: fetch + preload once) ----------- #
+    windows_preloaded = None
+    windows_key = None
+    if use_store:
+        t0 = time.perf_counter()
+        base_ir = ControlInputIR.build(
+            program, pipeline.config, spec,
+            clock_period=pipes[0].processor.clock_period,
+        )
+        windows_key = pipeline.store.compose_key(
+            "dta",
+            dta_info.cache_id,
+            base_ir.period_independent().content_hash,
+        )
+        windows_doc = pipeline.store.get_entry("windows", windows_key)
+        if windows_doc is not None:
+            windows_preloaded = pipes[0].preload_windows(windows_doc)
+            seconds = time.perf_counter() - t0
+            for ev in events:
+                ev.append(
+                    StageEvent(
+                        "windows", pipeline.plan["dta"], "hit", seconds
+                    )
+                )
+
+    # --- control artifacts: store-served points + one batched train --- #
+    artifacts: list = [None] * len(requests)
+    cache_hits = [False] * len(requests)
+    control_keys: list = [None] * len(requests)
+    train_seconds = [0.0] * len(requests)
+    with use_backends(**pipeline.plan):
+        if use_store:
+            for i, (request, pipe) in enumerate(zip(requests, pipes)):
+                t0 = time.perf_counter()
+                control_ir = ControlInputIR.build(
+                    program, pipeline.config, spec,
+                    clock_period=pipe.processor.clock_period,
+                )
+                control_keys[i] = pipeline.store.compose_key(
+                    "dta", dta_info.cache_id, control_ir.content_hash
+                )
+                doc = pipeline.store.get_entry("control", control_keys[i])
+                if doc is not None:
+                    artifacts[i] = pipe.artifacts_from_doc(program, doc)
+                    cache_hits[i] = True
+                    stats.grid_reuse_hits += 1
+                train_seconds[i] = time.perf_counter() - t0
+        cold = [i for i in range(len(requests)) if artifacts[i] is None]
+        if cold:
+            t0 = time.perf_counter()
+            trained = pipeline._dta.train_grid(
+                [pipes[i].processor for i in cold],
+                program,
+                pipeline.activity_cache,
+                setup=train_setup,
+                max_instructions=train_instructions,
+            )
+            batch_seconds = time.perf_counter() - t0
+            for i, artifact in zip(cold, trained):
+                artifacts[i] = artifact
+                train_seconds[i] += batch_seconds
+                if use_store:
+                    pipeline.store.put_entry(
+                        "control", control_keys[i], artifact.to_doc()
+                    )
+    for i in range(len(requests)):
+        events[i].append(
+            StageEvent(
+                "dta",
+                pipeline.plan["dta"],
+                "hit" if cache_hits[i] else "computed",
+                train_seconds[i],
+            )
+        )
+
+    # --- one shared evaluation run ------------------------------------ #
+    _, eval_setup, eval_budget = workload.run_spec(
+        requests[0].eval_scale, seed=requests[0].eval_seed
+    )
+    profile, samples = EstimationPipeline.collect_evaluation(
+        program,
+        artifacts[0].cfg,
+        setup=eval_setup,
+        max_instructions=requests[0].max_instructions or eval_budget,
+        reservoir_size=requests[0].reservoir_size,
+    )
+
+    # --- per-point period-dependent tail ------------------------------ #
+    results: list[PipelineResult] = []
+    for i, (request, pipe) in enumerate(zip(requests, pipes)):
+        seed = request.resolved_seed()
+        t1 = time.perf_counter()
+        report = pipe.estimate_collected(
+            program, artifacts[i], profile, samples, seed=seed
+        )
+        stats.grid_points += 1
+        estimate_seconds = time.perf_counter() - t1
+        events[i].append(
+            StageEvent("estimate", "grid", "computed", estimate_seconds)
+        )
+        results.append(
+            PipelineResult(
+                report=report,
+                events=events[i],
+                cache_hit=cache_hits[i],
+                windows_preloaded=windows_preloaded,
+                seed=seed,
+                train_seconds=train_seconds[i],
+                estimate_seconds=estimate_seconds,
+                processor=pipe.processor,
+            )
+        )
+    if use_store and pipeline.activity_cache.dirty:
+        pipeline.store.put_entry(
+            "windows", windows_key, pipeline.window_doc()
+        )
+        for i in range(len(requests)):
+            results[i].events.append(
+                StageEvent("windows", pipeline.plan["dta"], "computed")
+            )
+
+    n_cold = len([i for i in range(len(requests)) if not cache_hits[i]])
+    return GridResult(
+        request=grid_request,
+        results=results,
+        train_sims_skipped=max(0, n_cold - 1),
+        eval_sims_skipped=len(requests) - 1,
+        control_cache_hits=sum(cache_hits),
+        kernel_delta=stats.delta(kernels_before).to_json(),
+    )

@@ -44,8 +44,9 @@ from repro.pipeline.ir import (
 from repro.pipeline.registry import REGISTRY, use_backends
 from repro.pipeline.store import ArtifactStore
 
-# Importing the stage module is what populates REGISTRY.
+# Importing the stage modules is what populates REGISTRY.
 from repro.pipeline import stages as _stages  # noqa: F401
+from repro.pipeline import grid as _grid  # noqa: F401
 
 __all__ = ["EstimationPipeline", "PipelineResult", "StageEvent"]
 
@@ -311,11 +312,35 @@ class EstimationPipeline:
         reservoir_size: int,
         seed: int,
     ):
-        from repro.core.results import ErrorRateReport
-
         start = time.perf_counter()
         kernels_before = kernel_stats().snapshot()
-        cfg = artifacts.cfg
+        profile, samples = self.collect_evaluation(
+            program,
+            artifacts.cfg,
+            setup=setup,
+            max_instructions=max_instructions,
+            reservoir_size=reservoir_size,
+        )
+        return self._finish_estimate(
+            program, artifacts, profile, samples,
+            seed=seed, start=start, kernels_before=kernels_before,
+        )
+
+    @staticmethod
+    def collect_evaluation(
+        program,
+        cfg,
+        *,
+        setup,
+        max_instructions: int,
+        reservoir_size: int,
+    ):
+        """The evaluation-dataset functional run: profile + samples.
+
+        Period-independent (the interpreter knows nothing about timing)
+        and deterministic (fixed-seed reservoir), so one collection can
+        feed the estimation of every operating point of a grid.
+        """
         simulator = FunctionalSimulator(program)
         state = MachineState()
         if setup is not None:
@@ -325,8 +350,23 @@ class EstimationPipeline:
             state, max_instructions=max_instructions,
             listener=collector.listener,
         )
-        profile = collector.profile()
-        samples = collector.samples()
+        return collector.profile(), collector.samples()
+
+    def _finish_estimate(
+        self,
+        program,
+        artifacts: TrainingArtifacts,
+        profile,
+        samples,
+        *,
+        seed: int,
+        start: float,
+        kernels_before,
+    ):
+        """Estimation downstream of the evaluation run (per point)."""
+        from repro.core.results import ErrorRateReport
+
+        cfg = artifacts.cfg
         self._dta.characterize_missing(artifacts, samples)
         conditionals = self._errormodel.conditionals(
             self.processor,
@@ -363,6 +403,30 @@ class EstimationPipeline:
             kernel_stats=kernels,
             training_kernel_stats=artifacts.kernel_stats,
         )
+
+    def estimate_collected(
+        self,
+        program,
+        artifacts: TrainingArtifacts,
+        profile,
+        samples,
+        seed: int = 0,
+    ):
+        """Estimate from an already-collected evaluation run.
+
+        The grid evaluator's per-point entry: the shared
+        :meth:`collect_evaluation` output feeds every operating point,
+        and each point runs only the period-dependent tail (on-demand
+        characterization, error model, statistical estimate).
+        """
+        with use_backends(**self.plan):
+            with self._dta.activation():
+                return self._finish_estimate(
+                    program, artifacts, profile, samples,
+                    seed=seed,
+                    start=time.perf_counter(),
+                    kernels_before=kernel_stats().snapshot(),
+                )
 
     # ------------------------------------------------------------------ #
     # Request execution (store-aware)
@@ -553,6 +617,20 @@ class EstimationPipeline:
             estimate_seconds=estimate_seconds,
             processor=processor,
         )
+
+    def execute_grid(self, requests) -> "object":
+        """Run a homogeneous request batch through the batched grid flow.
+
+        ``requests`` must be identical up to ``speculation`` (one
+        workload/dataset/budget identity, many operating points); the
+        grid evaluator (:mod:`repro.pipeline.grid`) shares every
+        period-independent computation across them and returns a
+        :class:`~repro.pipeline.grid.GridResult` whose per-point
+        reports are byte-identical to scalar :meth:`execute` calls.
+        """
+        from repro.pipeline.grid import execute_grid
+
+        return execute_grid(self, requests)
 
     # ------------------------------------------------------------------ #
     # Validation + diagnostics

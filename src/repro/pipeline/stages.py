@@ -191,23 +191,22 @@ class _DTABackendBase:
             executor=self.executor,
         )
 
-    def train(
-        self,
-        processor,
-        program,
-        activity_cache,
-        setup=None,
-        max_instructions: int = 2_000_000,
-    ) -> TrainingArtifacts:
-        """Characterize the program's control network on a training run."""
+    @staticmethod
+    def collect_training_samples(
+        program, setup=None, max_instructions: int = 2_000_000
+    ):
+        """The period-independent half of training: one functional run.
+
+        Returns ``(cfg, samples, instructions)`` — the program's CFG,
+        the captured (block, edge) execution windows, and the simulated
+        instruction count.  Shared verbatim by :meth:`train` and the
+        multi-operating-point :meth:`train_grid`.
+        """
         from repro.cfg.cfg import build_cfg
         from repro.cpu.interpreter import FunctionalSimulator
         from repro.cpu.state import MachineState
         from repro.dta.characterize import ControlSampleCollector
-        from repro.kernels import kernel_stats
 
-        start = time.perf_counter()
-        kernels_before = kernel_stats().snapshot()
         cfg = build_cfg(program)
         simulator = FunctionalSimulator(program)
         state = MachineState()
@@ -218,11 +217,29 @@ class _DTABackendBase:
             state, max_instructions=max_instructions,
             listener=collector.listener,
         )
+        return cfg, collector.samples, result.instructions
+
+    def train(
+        self,
+        processor,
+        program,
+        activity_cache,
+        setup=None,
+        max_instructions: int = 2_000_000,
+    ) -> TrainingArtifacts:
+        """Characterize the program's control network on a training run."""
+        from repro.kernels import kernel_stats
+
+        start = time.perf_counter()
+        kernels_before = kernel_stats().snapshot()
+        cfg, samples, instructions = self.collect_training_samples(
+            program, setup, max_instructions
+        )
         with self.activation():
             characterizer = self.build_characterizer(
                 processor, program, activity_cache
             )
-            control_model = characterizer.characterize(collector.samples)
+            control_model = characterizer.characterize(samples)
             # The datapath model is shared across programs; its (cached)
             # construction is charged to the first training phase using it.
             _ = processor.datapath_model
@@ -232,10 +249,64 @@ class _DTABackendBase:
             control_model=control_model,
             characterizer=characterizer,
             training_seconds=elapsed,
-            training_instructions=result.instructions,
+            training_instructions=instructions,
             clock_period=processor.clock_period,
             kernel_stats=kernel_stats().delta(kernels_before).to_json(),
         )
+
+    def train_grid(
+        self,
+        processors,
+        program,
+        activity_cache,
+        setup=None,
+        max_instructions: int = 2_000_000,
+    ) -> list[TrainingArtifacts]:
+        """Train at many operating points from one shared functional run.
+
+        ``processors`` are the same configuration at different
+        speculative clock periods (derived off one base, so they share
+        the control analyzer's path registry).  The training functional
+        simulation runs once and every window is scheduled, encoded, and
+        logic-simulated once; only the DTS evaluation fans out over the
+        period axis (:func:`~repro.dta.characterize.characterize_grid`).
+        Returns per-point :class:`TrainingArtifacts` whose control
+        models are byte-identical to per-point :meth:`train` calls.
+        """
+        from repro.dta.characterize import characterize_grid
+        from repro.kernels import kernel_stats
+
+        start = time.perf_counter()
+        kernels_before = kernel_stats().snapshot()
+        cfg, samples, instructions = self.collect_training_samples(
+            program, setup, max_instructions
+        )
+        with self.activation():
+            characterizers = [
+                self.build_characterizer(p, program, activity_cache)
+                for p in processors
+            ]
+            models = characterize_grid(characterizers, samples)
+            _ = processors[0].datapath_model
+        elapsed = time.perf_counter() - start
+        # The batched pass cannot attribute counters per point; charge
+        # the whole training delta to the first artifact so aggregates
+        # stay truthful (the rest carry none, like store-loaded ones).
+        kernels = kernel_stats().delta(kernels_before).to_json()
+        return [
+            TrainingArtifacts(
+                cfg=cfg,
+                control_model=model,
+                characterizer=characterizer,
+                training_seconds=elapsed,
+                training_instructions=instructions,
+                clock_period=processor.clock_period,
+                kernel_stats=kernels if i == 0 else None,
+            )
+            for i, (processor, characterizer, model) in enumerate(
+                zip(processors, characterizers, models)
+            )
+        ]
 
     def artifacts_from_doc(
         self, processor, program, activity_cache, doc: dict

@@ -79,6 +79,12 @@ class JobResult:
     kernel_stats: dict | None = None
     #: Per-stage pipeline events (``StageEvent.to_json`` documents).
     stages: list[dict] | None = None
+    #: Whether this job ran through the batched operating-point grid.
+    grid: bool = False
+    #: Grid reuse: this point's training / evaluation functional
+    #: simulation was shared with another point instead of re-run.
+    train_sim_skipped: bool = False
+    eval_sim_skipped: bool = False
 
     @property
     def ok(self) -> bool:
@@ -99,6 +105,10 @@ class JobResult:
             "net_performance_percent": self.net_performance_percent,
             "kernel_stats": self.kernel_stats,
         }
+        if self.grid:
+            doc["grid"] = True
+            doc["train_sim_skipped"] = self.train_sim_skipped
+            doc["eval_sim_skipped"] = self.eval_sim_skipped
         if self.stages is not None:
             doc["stages"] = self.stages
         if self.report is not None:
@@ -126,6 +136,9 @@ class RunSummary:
     #: ``None`` when caching is disabled; otherwise whether the shared
     #: datapath model came from the cache.
     datapath_cache_hit: bool | None = None
+    #: Homogeneous request groups evaluated through the batched
+    #: operating-point grid this run.
+    grid_batches: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
@@ -177,16 +190,20 @@ class RunSummary:
             "window_workers": self.window_workers,
             "executor": self.executor,
             "cache_dir": self.cache_dir,
+            "grid_batches": self.grid_batches,
             "kernels": self.kernel_totals(),
             "results": [r.to_json() for r in self.results],
         }
 
     def describe(self) -> str:
         """One-line telemetry summary for CLI output."""
+        grid = (
+            f", {self.grid_batches} grid batches" if self.grid_batches else ""
+        )
         return (
             f"{len(self.results)} jobs, {len(self.succeeded)} ok, "
             f"{len(self.failed)} failed, {self.cache_hits} cache hits, "
-            f"{self.training_runs} training runs, "
+            f"{self.training_runs} training runs{grid}, "
             f"{self.total_instructions:,} instructions, "
             f"{self.wall_seconds:.1f}s wall "
             f"({'parallel x' + str(self.max_workers) if self.parallel else 'in-process'})"
@@ -216,6 +233,34 @@ def _job_pipeline(config: ProcessorConfig, payload: dict):
     )
 
 
+def _doc_from_result(result) -> dict:
+    """The picklable job document for one successful PipelineResult."""
+    processor = result.processor
+    report = result.report
+    out = {
+        "worker": os.getpid(),
+        "status": "ok",
+        "cache_hit": result.cache_hit,
+    }
+    if result.windows_preloaded is not None:
+        out["windows_preloaded"] = result.windows_preloaded
+    out["train_seconds"] = result.train_seconds
+    out["estimate_seconds"] = result.estimate_seconds
+    out["stages"] = [event.to_json() for event in result.events]
+    out["report"] = report.to_json()
+    out["instructions"] = report.total_instructions
+    out["kernel_stats"] = report.kernel_stats
+    out["seed"] = result.seed
+    out["speculation"] = processor.speculation
+    out["working_frequency_mhz"] = processor.working_frequency_mhz
+    out["net_performance_percent"] = (
+        processor.performance.improvement_percent(
+            report.error_rate_mean / 100.0
+        )
+    )
+    return out
+
+
 def _execute_payload(payload: dict) -> dict:
     """Run one job; never raises — failures become error documents.
 
@@ -224,37 +269,16 @@ def _execute_payload(payload: dict) -> dict:
     """
     request: EstimationRequest = payload["request"]
     config: ProcessorConfig = payload["config"]
-    out = {
-        "worker": os.getpid(),
-        "status": "ok",
-        "cache_hit": False,
-    }
     try:
         pipeline = _job_pipeline(config, payload)
-        result = pipeline.execute(request)
-        processor = result.processor
-        report = result.report
-        out["cache_hit"] = result.cache_hit
-        if result.windows_preloaded is not None:
-            out["windows_preloaded"] = result.windows_preloaded
-        out["train_seconds"] = result.train_seconds
-        out["estimate_seconds"] = result.estimate_seconds
-        out["stages"] = [event.to_json() for event in result.events]
-        out["report"] = report.to_json()
-        out["instructions"] = report.total_instructions
-        out["kernel_stats"] = report.kernel_stats
-        out["seed"] = result.seed
-        out["speculation"] = processor.speculation
-        out["working_frequency_mhz"] = processor.working_frequency_mhz
-        out["net_performance_percent"] = (
-            processor.performance.improvement_percent(
-                report.error_rate_mean / 100.0
-            )
-        )
+        return _doc_from_result(pipeline.execute(request))
     except Exception:
-        out["status"] = "error"
-        out["error"] = traceback.format_exc()
-    return out
+        return {
+            "worker": os.getpid(),
+            "status": "error",
+            "cache_hit": False,
+            "error": traceback.format_exc(),
+        }
 
 
 # --------------------------------------------------------------------- #
@@ -344,19 +368,116 @@ class EstimationEngine:
         )
         return trainer.ensure(base, key=key, store=store)
 
-    def run(self, requests) -> RunSummary:
-        """Execute all requests; results come back in request order."""
+    def _plan_grid(self, requests) -> tuple[list[list[int]], list[int]]:
+        """Split a batch into grid-eligible groups and leftover indices.
+
+        A group is grid-eligible when its requests are identical up to
+        ``speculation`` and span at least two distinct operating points
+        — exactly the shape whose period-independent work the batched
+        evaluator can share.  Everything else (mixed workloads, repeated
+        identical jobs, singletons) stays on the scalar path.
+        """
+        from repro.pipeline.grid import GridRequest
+
+        groups: dict[tuple, list[int]] = {}
+        for i, request in enumerate(requests):
+            key = GridRequest.base_identity(request)
+            if not isinstance(request.workload, str):
+                # Bring-your-own workload objects only group with
+                # themselves — same name does not mean same program.
+                key = key + (("workload_object", id(request.workload)),)
+            groups.setdefault(key, []).append(i)
+        grid_groups: list[list[int]] = []
+        remaining: list[int] = []
+        for indices in groups.values():
+            speculations = {requests[i].speculation for i in indices}
+            if len(indices) >= 2 and len(speculations) >= 2:
+                grid_groups.append(indices)
+            else:
+                remaining.extend(indices)
+        grid_groups.sort(key=lambda indices: indices[0])
+        return grid_groups, remaining
+
+    def _grid_pipeline(self):
+        """The in-parent pipeline grid batches run on (built per run)."""
+        from repro.pipeline.pipeline import EstimationPipeline
+
+        return EstimationPipeline(
+            self.config,
+            backends={
+                "dta": (
+                    "windowpool" if self.window_workers > 1 else "kernels"
+                ),
+                "estimate": "grid",
+            },
+            store=(
+                ArtifactStore(self.cache_dir) if self.cache_dir else None
+            ),
+            n_data_samples=self.n_data_samples,
+            window_workers=self.window_workers,
+            executor=self.executor,
+        )
+
+    def run(self, requests, *, grid: bool = True) -> RunSummary:
+        """Execute all requests; results come back in request order.
+
+        With ``grid=True`` (the default) the engine detects request
+        groups that differ only in operating point and evaluates each
+        through the batched grid path
+        (:meth:`~repro.pipeline.pipeline.EstimationPipeline.execute_grid`)
+        in the parent process — byte-identical reports, one shared
+        training/evaluation simulation per group.  Heterogeneous
+        requests (and any group whose grid pass fails) fall back
+        transparently to the scalar per-job path.
+        """
         requests = list(requests)
         start = time.perf_counter()
         datapath_hit = self._prepare()
+        raw: list[dict | None] = [None] * len(requests)
+        grid_batches = 0
+        if grid:
+            grid_groups, remaining = self._plan_grid(requests)
+        else:
+            grid_groups, remaining = [], list(range(len(requests)))
+        if grid_groups:
+            pipeline = self._grid_pipeline()
+            for indices in grid_groups:
+                group = [requests[i] for i in indices]
+                try:
+                    outcome = pipeline.execute_grid(group)
+                except Exception:
+                    # Scalar path owns failure capture (per-request
+                    # error documents instead of a lost batch).
+                    remaining.extend(indices)
+                    continue
+                grid_batches += 1
+                first_cold = next(
+                    (
+                        k
+                        for k, r in enumerate(outcome.results)
+                        if not r.cache_hit
+                    ),
+                    None,
+                )
+                for k, (i, result) in enumerate(
+                    zip(indices, outcome.results)
+                ):
+                    doc = _doc_from_result(result)
+                    doc["grid"] = True
+                    doc["eval_sim_skipped"] = k > 0
+                    doc["train_sim_skipped"] = (
+                        result.cache_hit or k != first_cold
+                    )
+                    raw[i] = doc
+        remaining.sort()
         parallel = (
             self.max_workers > 1
-            and len(requests) > 1
+            and len(remaining) > 1
             and self.fork_available()
         )
         payloads = [
             {
-                "request": request,
+                "request": requests[i],
                 "config": self.config,
                 "cache_dir": self.cache_dir,
                 "n_data_samples": self.n_data_samples,
@@ -367,17 +488,19 @@ class EstimationEngine:
                     "local-serial" if parallel else self.executor
                 ),
             }
-            for request in requests
+            for i in remaining
         ]
         if parallel:
             context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(
-                max_workers=min(self.max_workers, len(requests)),
+                max_workers=min(self.max_workers, len(remaining)),
                 mp_context=context,
             ) as pool:
-                raw = list(pool.map(_execute_payload, payloads))
+                scalar_raw = list(pool.map(_execute_payload, payloads))
         else:
-            raw = [_execute_payload(p) for p in payloads]
+            scalar_raw = [_execute_payload(p) for p in payloads]
+        for i, doc in zip(remaining, scalar_raw):
+            raw[i] = doc
         results = [
             self._result_from(request, doc)
             for request, doc in zip(requests, raw)
@@ -391,6 +514,7 @@ class EstimationEngine:
             window_workers=self.window_workers,
             executor=self.executor,
             datapath_cache_hit=datapath_hit,
+            grid_batches=grid_batches,
         )
 
     @staticmethod
@@ -414,4 +538,7 @@ class EstimationEngine:
             net_performance_percent=doc.get("net_performance_percent"),
             kernel_stats=doc.get("kernel_stats"),
             stages=doc.get("stages"),
+            grid=doc.get("grid", False),
+            train_sim_skipped=doc.get("train_sim_skipped", False),
+            eval_sim_skipped=doc.get("eval_sim_skipped", False),
         )

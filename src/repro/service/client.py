@@ -10,12 +10,20 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from urllib.parse import urlsplit
 
 from repro import api
 
 __all__ = ["ServiceClient", "ServiceError", "JobFailed"]
+
+#: Connection-layer failures worth retrying: the server is (re)starting
+#: or the listener briefly dropped us before reading the request.  HTTP
+#: error statuses and socket timeouts are *not* transient — they mean
+#: the server saw the request or is wedged, and a blind retry would
+#: mask the real failure (or double-submit a job).
+_TRANSIENT_ERRORS = (ConnectionRefusedError, ConnectionResetError)
 
 
 class ServiceError(RuntimeError):
@@ -36,20 +44,53 @@ class ServiceClient:
     Args:
         url: Service base URL, e.g. ``http://127.0.0.1:8731``.
         timeout: Per-request socket timeout in seconds.
+        retries: Bounded retry budget for *transient* connection errors
+            (connection refused/reset — typically the server still
+            binding its socket).  Each retry backs off exponentially
+            from ``retry_backoff`` with jitter; ``0`` disables retrying.
+        retry_backoff: Base delay in seconds for the first retry.
     """
 
-    def __init__(self, url: str, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        url: str,
+        timeout: float = 30.0,
+        retries: int = 5,
+        retry_backoff: float = 0.05,
+    ) -> None:
         split = urlsplit(url if "//" in url else f"http://{url}")
         if split.scheme not in ("", "http"):
             raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if retry_backoff <= 0:
+            raise ValueError("retry_backoff must be positive")
         self.host = split.hostname or "127.0.0.1"
         self.port = split.port or 8731
         self.timeout = timeout
+        self.retries = retries
+        self.retry_backoff = retry_backoff
 
     # ------------------------------------------------------------------ #
 
     def _call(self, method: str, path: str, doc: dict | None = None,
               ok=(200, 202)) -> tuple[int, dict]:
+        """One request, with bounded backoff on transient refusals."""
+        for attempt in range(self.retries + 1):
+            try:
+                return self._call_once(method, path, doc, ok)
+            except _TRANSIENT_ERRORS:
+                if attempt == self.retries:
+                    raise
+                # Exponential backoff with jitter: concurrent clients
+                # hammering a booting server spread out instead of
+                # re-colliding on the same schedule.
+                delay = self.retry_backoff * (2 ** attempt)
+                time.sleep(delay * (0.5 + random.random()))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, method: str, path: str, doc: dict | None,
+                   ok) -> tuple[int, dict]:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
@@ -78,9 +119,16 @@ class ServiceClient:
     # ------------------------------------------------------------------ #
 
     def submit(self, request) -> api.JobStatus:
-        """POST one request (object or document); returns its status."""
+        """POST one request; returns its status.
+
+        Accepts an :class:`~repro.api.EstimationRequest`, a wire
+        document, or a list of requests identical up to ``speculation``
+        (submitted as one multi-point grid job).
+        """
         if isinstance(request, api.EstimationRequest):
             request = api.request_to_json(request)
+        elif isinstance(request, (list, tuple)):
+            request = api.grid_request_to_json(list(request))
         _, doc = self._call("POST", "/v1/jobs", request, ok=(202,))
         return api.JobStatus.from_json(doc)
 

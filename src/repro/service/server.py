@@ -17,7 +17,10 @@
 Endpoints (all JSON, schema :data:`repro.api.SCHEMA`):
 
 =========================== =========================================
-``POST /v1/jobs``           submit an ``estimation-request``; 202 +
+``POST /v1/jobs``           submit an ``estimation-request`` (single
+                            point, or multi-point via the schema-3
+                            ``speculations`` axis — evaluated through
+                            the batched grid path); 202 +
                             ``job-status``
 ``GET /v1/jobs``            recent ``job-status`` documents
 ``GET /v1/jobs/{id}``       one ``job-status`` (with stage telemetry)
@@ -159,9 +162,13 @@ class EstimationService:
     def _run_job(self, job_id: str, request_doc: dict) -> None:
         """Execute one claimed job; transitions it to done/failed."""
         try:
-            request = api.request_from_json(request_doc)
-            result = self._pipeline().execute(request)
-            payload = api.JobResult.from_pipeline(job_id, result)
+            requests = api.requests_from_json(request_doc)
+            if len(requests) == 1:
+                result = self._pipeline().execute(requests[0])
+                payload = api.JobResult.from_pipeline(job_id, result)
+            else:
+                outcome = self._pipeline().execute_grid(requests)
+                payload = api.JobResult.from_grid(job_id, outcome)
             self.queue.complete(
                 job_id, payload.to_json(), stages=payload.stages
             )
@@ -278,10 +285,11 @@ class EstimationService:
         except ValueError:
             raise _HttpError(400, "request body is not valid JSON")
         try:
-            request = api.request_from_json(doc)
+            requests = api.requests_from_json(doc)
+            normalized = api.grid_request_to_json(requests)
         except api.ApiError as exc:
             raise _HttpError(400, str(exc))
-        job_id = self.queue.submit(api.request_to_json(request))
+        job_id = self.queue.submit(normalized)
         if self._wake is not None:
             self._wake.set()
         return 202, self._status_of(job_id).to_json()

@@ -17,11 +17,16 @@ from repro.netlist.library import TimingLibrary
 from repro.netlist.netlist import Netlist
 from repro.netlist.paths import Path, PathEnumerator
 from repro.pipeline.registry import active_backend
-from repro.sta.clark import clark_max_coefficients
+from repro.sta.clark import clark_max_coefficients, clark_max_coefficients_grid
 from repro.sta.gaussian import Gaussian
 from repro.variation.process import ProcessVariationModel
 
-__all__ = ["StatisticalTimingAnalysis", "statistical_min", "statistical_max"]
+__all__ = [
+    "StatisticalTimingAnalysis",
+    "statistical_min",
+    "statistical_min_grid",
+    "statistical_max",
+]
 
 _ORDERINGS = {"criticality", "reverse", "given"}
 _METHODS = {"clark", "montecarlo"}
@@ -124,6 +129,94 @@ def statistical_min(
     if method == "montecarlo":
         return _montecarlo_reduce(list(slacks), cov, minimum=True)
     return _pairwise_reduce(list(slacks), cov, order, minimum=True)
+
+
+def _rowwise_min_fallback(
+    means: np.ndarray, variances: np.ndarray, cov: np.ndarray, method: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row scalar reduction (grid fallback — identical by construction)."""
+    n_periods, _ = means.shape
+    out_mean = np.empty(n_periods)
+    out_var = np.empty(n_periods)
+    for p in range(n_periods):
+        slacks = [
+            Gaussian(float(m), float(v))
+            for m, v in zip(means[p], variances[p])
+        ]
+        g = statistical_min(slacks, cov, method=method)
+        out_mean[p] = g.mean
+        out_var[p] = g.var
+    return out_mean, out_var
+
+
+def statistical_min_grid(
+    means,
+    variances,
+    cov: np.ndarray,
+    method: str | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Period-axis-batched :func:`statistical_min` (criticality order).
+
+    Args:
+        means: ``(P, N)`` slack means — one row per operating point.
+        variances: ``(N,)`` or ``(P, N)`` slack variances (path variances
+            are period-independent, so ``(N,)`` is the common case).
+        cov: Shared ``(N, N)`` covariance matrix (period-independent).
+        method: ``"clark"``/``"montecarlo"``; ``None`` consults the
+            active ``statmin`` backend, exactly like the scalar entry.
+
+    Returns ``(mean, var)`` arrays of shape ``(P,)``, each row bitwise
+    identical to ``statistical_min`` on that row's scalars.  The
+    vectorized chain requires every row to share one greedy combination
+    order; when slack-mean ties break differently across periods (or the
+    backend is ``montecarlo``) the rows are reduced by the scalar code
+    path instead — identical either way.
+    """
+    if method is None:
+        method = active_backend("statmin", "clark")
+    check_in("method", method, _METHODS)
+    means = np.asarray(means, dtype=float)
+    if means.ndim != 2:
+        raise ValueError(f"means must be (P, N), got shape {means.shape}")
+    n_periods, n = means.shape
+    variances = np.asarray(variances, dtype=float)
+    if variances.ndim == 1:
+        variances = np.broadcast_to(variances, (n_periods, n))
+    if variances.shape != (n_periods, n):
+        raise ValueError(
+            f"variances must be ({n_periods}, {n}), got {variances.shape}"
+        )
+    if n == 0:
+        raise ValueError("cannot reduce an empty set of Gaussians")
+    if n == 1:
+        return means[:, 0].copy(), variances[:, 0].copy()
+    cov = np.asarray(cov, dtype=float)
+    if cov.shape != (n, n):
+        raise ValueError(f"covariance must be ({n}, {n}), got {cov.shape}")
+    if method == "montecarlo":
+        return _rowwise_min_fallback(means, variances, cov, method)
+    # Stable ascending argsort == sorted(range(n), key=mean) row by row;
+    # the chain vectorizes only if every period agrees on the order.
+    orders = np.argsort(means, axis=1, kind="stable")
+    if not (orders == orders[0]).all():
+        return _rowwise_min_fallback(means, variances, cov, method)
+    idx = orders[0]
+    j0 = int(idx[0])
+    cur_mean = means[:, j0].copy()
+    cur_var = variances[:, j0].copy()
+    # cov(current, X_k) for every original index k, one row per period.
+    cvec = np.broadcast_to(cov[j0, :], (n_periods, n)).astype(float).copy()
+    for j in idx[1:]:
+        j = int(j)
+        c = cvec[:, j]
+        # min(X, Y) = -max(-X, -Y); covariance unchanged by joint negation.
+        neg_mean, var, wx, wy = clark_max_coefficients_grid(
+            -cur_mean, cur_var, -means[:, j], variances[:, j], c
+        )
+        cur_mean = -neg_mean
+        cur_var = var
+        cvec = wx[:, None] * cvec + wy[:, None] * cov[j, :][None, :]
+    return cur_mean, cur_var
 
 
 def statistical_max(

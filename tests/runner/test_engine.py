@@ -112,6 +112,80 @@ class TestArtifactCaching:
         assert other.training_runs == 1
 
 
+class TestGridRouting:
+    def _sweep(self, specs=(1.05, 1.10, 1.20)):
+        return [
+            EstimationRequest(
+                workload="bitcount", speculation=s,
+                train_instructions=4_000, max_instructions=6_000, seed=0,
+            )
+            for s in specs
+        ]
+
+    def test_homogeneous_sweep_forms_a_grid_batch(self):
+        summary = _engine().run(self._sweep())
+        assert summary.grid_batches == 1
+        assert summary.failed == []
+        assert all(r.grid for r in summary.results)
+        # Only the first point pays the evaluation simulation.
+        assert [r.eval_sim_skipped for r in summary.results] == [
+            False, True, True,
+        ]
+        assert "grid batch" in summary.describe()
+        doc = summary.to_json()
+        assert doc["grid_batches"] == 1
+        assert all(r["grid"] for r in doc["results"])
+
+    def test_grid_matches_per_point_engine(self):
+        requests = self._sweep()
+        grid = _engine().run(requests)
+        plain = _engine().run(requests, grid=False)
+        assert grid.grid_batches == 1
+        assert plain.grid_batches == 0
+        assert not any(r.grid for r in plain.results)
+        assert _rows(grid) == _rows(plain)
+
+    def test_heterogeneous_requests_stay_scalar(self):
+        requests = _requests("bitcount", "stringsearch")
+        summary = _engine().run(requests)
+        assert summary.grid_batches == 0
+        assert not any(r.grid for r in summary.results)
+
+    def test_mixed_batch_routes_each_group_correctly(self):
+        requests = self._sweep((1.05, 1.15)) + _requests("stringsearch")
+        summary = _engine().run(requests)
+        assert summary.grid_batches == 1
+        assert [r.grid for r in summary.results] == [True, True, False]
+        assert [
+            r.request.workload_name for r in summary.results
+        ] == ["bitcount", "bitcount", "stringsearch"]
+
+    def test_single_speculation_is_not_a_grid(self):
+        summary = _engine().run(self._sweep((1.10, 1.10)))
+        assert summary.grid_batches == 0
+
+    def test_failed_grid_group_falls_back_per_request(self):
+        requests = [
+            EstimationRequest(workload="no-such-workload", speculation=s)
+            for s in (1.05, 1.10)
+        ]
+        summary = _engine().run(requests)
+        assert len(summary.failed) == 2
+        for result in summary.results:
+            assert not result.ok
+            assert "Traceback" in result.error
+
+    def test_grid_warms_the_shared_cache(self, tmp_path):
+        requests = self._sweep()
+        cold = _engine(cache_dir=tmp_path).run(requests)
+        assert cold.grid_batches == 1
+        # A later single-point job hits the grid's stored artifacts.
+        warm = _engine(cache_dir=tmp_path).run(requests[:1])
+        assert warm.cache_hits == 1
+        assert warm.training_runs == 0
+        assert _rows(warm) == _rows(cold)[:1]
+
+
 @pytest.mark.skipif(
     not EstimationEngine.fork_available(), reason="needs fork"
 )

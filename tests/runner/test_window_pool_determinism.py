@@ -82,13 +82,19 @@ def test_window_workers_validated():
 
 
 def test_warm_sweep_second_period_runs_zero_logic_sims(tmp_path):
-    """Acceptance: period-sweep reuse — zero sims at the second period."""
+    """Acceptance: period-sweep reuse — zero sims at the second period.
+
+    Pins ``grid=False``: this contract is about the *per-point* path
+    reusing the persisted windows artifact (the grid path batches the
+    two points into one training pass and is covered by
+    ``tests/runner/test_engine.py::TestGridRouting``)."""
     engine = _engine(
         max_workers=1, window_workers=2, cache_dir=tmp_path
     )
     summary = engine.run(
         _requests("bitcount", speculation=1.15)
-        + _requests("bitcount", speculation=1.25)
+        + _requests("bitcount", speculation=1.25),
+        grid=False,
     )
     assert not summary.failed
     first = summary.results[0].report.to_json()["timing"][

@@ -2,7 +2,9 @@
 crash-resume semantics."""
 
 import json
+import socket
 import threading
+import time
 
 import pytest
 
@@ -172,6 +174,32 @@ class TestEndToEnd:
         assert status.state == "failed"
         assert "Traceback" in status.error
 
+    def test_multi_point_job_runs_as_one_grid(self, client):
+        """A schema-3 multi-point submit returns one result carrying a
+        report per operating point, identical to single-point jobs."""
+        points = (1.08, 1.16)
+        sweep = [
+            _request("basicmath", speculation=point) for point in points
+        ]
+        job = client.submit(sweep)
+        combined = client.wait(job.id, timeout=300)
+        assert combined.reports is not None
+        assert len(combined.all_reports) == 2
+        assert combined.report.to_json() == (
+            combined.all_reports[0].to_json()
+        )
+
+        singles = [
+            client.wait(client.submit(request).id, timeout=300)
+            for request in sweep
+        ]
+        for grid_report, single in zip(combined.all_reports, singles):
+            assert grid_report.to_json(include_timing=False) == (
+                single.report.to_json(include_timing=False)
+            )
+        # The grid warmed the store: both follow-up jobs were cache hits.
+        assert all(single.cache_hit for single in singles)
+
     def test_health_and_listing(self, client):
         health = client.health()
         assert health["ok"] is True
@@ -302,3 +330,91 @@ class TestRequestParsing:
         with pytest.raises(ServiceError) as err:
             client._call("DELETE", "/v1/jobs")
         assert err.value.status == 405
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestClientRetry:
+    """Bounded transient-error retry in :meth:`ServiceClient._call`."""
+
+    def test_retry_survives_server_starting_late(self, tmp_path):
+        """The client is pointed at a port with nothing listening; the
+        server comes up mid-retry and the call succeeds anyway."""
+        port = _free_port()
+        service = EstimationService(
+            tmp_path / "svc", config=SMALL, port=port, workers=1,
+            n_data_samples=32,
+        )
+        handle = None
+
+        def _boot_late():
+            nonlocal handle
+            time.sleep(0.25)
+            handle = service.start_in_thread()
+
+        booter = threading.Thread(target=_boot_late)
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}", retries=10, retry_backoff=0.05
+        )
+        booter.start()
+        try:
+            health = client.health()
+        finally:
+            booter.join()
+            if handle is not None:
+                handle.stop()
+        assert health["ok"] is True
+
+    def test_zero_retries_fails_fast(self):
+        port = _free_port()
+        client = ServiceClient(f"http://127.0.0.1:{port}", retries=0)
+        with pytest.raises(ConnectionRefusedError):
+            client.health()
+
+    def test_backoff_schedule_and_budget(self, monkeypatch):
+        client = ServiceClient(
+            "http://127.0.0.1:1", retries=3, retry_backoff=0.05
+        )
+        sleeps: list[float] = []
+        attempts: list[int] = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleeps.append
+        )
+
+        def _refused(*args, **kwargs):
+            attempts.append(1)
+            raise ConnectionRefusedError
+
+        monkeypatch.setattr(client, "_call_once", _refused)
+        with pytest.raises(ConnectionRefusedError):
+            client.health()
+        assert len(attempts) == 4  # initial try + 3 retries
+        assert len(sleeps) == 3
+        # Exponential base doubling with jitter factor in [0.5, 1.5).
+        for i, slept in enumerate(sleeps):
+            base = 0.05 * (2 ** i)
+            assert 0.5 * base <= slept < 1.5 * base
+
+    def test_server_errors_are_not_retried(self, monkeypatch):
+        client = ServiceClient("http://127.0.0.1:1", retries=5)
+        calls: list[int] = []
+
+        def _busy(*args, **kwargs):
+            calls.append(1)
+            raise ServiceError(503, "busy")
+
+        monkeypatch.setattr(client, "_call_once", _busy)
+        with pytest.raises(ServiceError):
+            client.health()
+        assert len(calls) == 1
+
+    def test_invalid_retry_config_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:1", retries=-1)
+        with pytest.raises(ValueError):
+            ServiceClient("http://127.0.0.1:1", retry_backoff=0.0)

@@ -1,0 +1,149 @@
+"""Bitwise parity of the period-axis-batched Clark/SSTA kernels.
+
+The grid evaluator's correctness claim is byte-identical reports, so
+these checks use exact float equality, not approx: every lane of the
+batched kernels must execute the same float64 op sequence as the
+scalar code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro._util import as_rng
+from repro.sta import Gaussian
+from repro.sta.clark import (
+    clark_max_coefficients,
+    clark_max_coefficients_grid,
+)
+from repro.sta.ssta import statistical_min, statistical_min_grid
+
+
+class TestClarkCoefficientsGrid:
+    def test_lanes_bitwise_match_scalar(self):
+        rng = as_rng(11)
+        n = 512
+        mx = rng.uniform(-8, 8, n)
+        my = rng.uniform(-8, 8, n)
+        vx = rng.uniform(1e-6, 9, n)
+        vy = rng.uniform(1e-6, 9, n)
+        rho = rng.uniform(-0.99, 0.99, n)
+        cov = rho * np.sqrt(vx * vy)
+        mean, var, wx, wy = clark_max_coefficients_grid(mx, vx, my, vy, cov)
+        for i in range(n):
+            g, swx, swy = clark_max_coefficients(
+                Gaussian(float(mx[i]), float(vx[i])),
+                Gaussian(float(my[i]), float(vy[i])),
+                float(cov[i]),
+            )
+            assert mean[i] == g.mean, f"mean lane {i} not bitwise equal"
+            assert var[i] == g.var, f"var lane {i} not bitwise equal"
+            assert wx[i] == swx and wy[i] == swy
+
+    def test_degenerate_theta_picks_larger_mean(self):
+        # var_x + var_y - 2 cov == 0: X - Y deterministic in both lanes.
+        mx = np.array([3.0, 1.0])
+        my = np.array([1.0, 3.0])
+        v = np.array([4.0, 4.0])
+        cov = np.array([4.0, 4.0])
+        mean, var, wx, wy = clark_max_coefficients_grid(mx, v, my, v, cov)
+        assert mean.tolist() == [3.0, 3.0]
+        assert var.tolist() == [4.0, 4.0]
+        assert wx.tolist() == [1.0, 0.0]
+        assert wy.tolist() == [0.0, 1.0]
+
+    def test_mixed_degenerate_and_regular_lanes(self):
+        mx = np.array([3.0, 0.5])
+        my = np.array([1.0, -0.5])
+        vx = np.array([4.0, 2.0])
+        vy = np.array([4.0, 1.0])
+        cov = np.array([4.0, 0.3])
+        mean, var, _, _ = clark_max_coefficients_grid(mx, vx, my, vy, cov)
+        assert mean[0] == 3.0 and var[0] == 4.0
+        scalar, _, _ = clark_max_coefficients(
+            Gaussian(0.5, 2.0), Gaussian(-0.5, 1.0), 0.3
+        )
+        assert mean[1] == scalar.mean and var[1] == scalar.var
+
+
+def _random_problem(rng, n):
+    means = rng.uniform(-5, 5, n)
+    variances = rng.uniform(0.05, 4, n)
+    a = rng.standard_normal((n, n))
+    cov = a @ a.T / n  # positive semi-definite
+    np.fill_diagonal(cov, variances)
+    return means, variances, cov
+
+
+class TestStatisticalMinGrid:
+    def test_rows_bitwise_match_scalar(self):
+        rng = as_rng(23)
+        n, periods = 7, 5
+        _, variances, cov = _random_problem(rng, n)
+        # Period-dependent means (slack shifts with the clock period),
+        # shared variances/covariances — the grid evaluator's shape.
+        means = rng.uniform(-5, 5, (periods, n))
+        gmean, gvar = statistical_min_grid(means, variances, cov)
+        for p in range(periods):
+            slacks = [
+                Gaussian(float(m), float(v))
+                for m, v in zip(means[p], variances)
+            ]
+            scalar = statistical_min(slacks, cov, method="clark")
+            assert gmean[p] == scalar.mean, f"row {p} mean not bitwise"
+            assert gvar[p] == scalar.var, f"row {p} var not bitwise"
+
+    def test_tied_means_fall_back_rowwise_and_still_match(self):
+        """Rows whose greedy orders disagree must take the scalar
+        fallback — and remain identical to per-row reduction."""
+        variances = np.array([1.0, 2.0, 0.5])
+        cov = np.diag(variances)
+        means = np.array([
+            [1.0, 2.0, 3.0],
+            [3.0, 2.0, 1.0],  # reversed order: chain cannot vectorize
+        ])
+        gmean, gvar = statistical_min_grid(means, variances, cov)
+        for p in range(2):
+            slacks = [
+                Gaussian(float(m), float(v))
+                for m, v in zip(means[p], variances)
+            ]
+            scalar = statistical_min(slacks, cov, method="clark")
+            assert gmean[p] == scalar.mean
+            assert gvar[p] == scalar.var
+
+    def test_single_gaussian_row(self):
+        means = np.array([[2.0], [3.0]])
+        variances = np.array([1.5])
+        cov = np.array([[1.5]])
+        gmean, gvar = statistical_min_grid(means, variances, cov)
+        assert gmean.tolist() == [2.0, 3.0]
+        assert gvar.tolist() == [1.5, 1.5]
+
+    def test_montecarlo_method_delegates_to_scalar_path(self):
+        rng = as_rng(3)
+        n = 4
+        means2, variances, cov = _random_problem(rng, n)
+        means = np.vstack([means2, means2 + 0.25])
+        gmean, gvar = statistical_min_grid(
+            means, variances, cov, method="montecarlo"
+        )
+        for p in range(2):
+            slacks = [
+                Gaussian(float(m), float(v))
+                for m, v in zip(means[p], variances)
+            ]
+            scalar = statistical_min(slacks, cov, method="montecarlo")
+            assert gmean[p] == scalar.mean
+            assert gvar[p] == scalar.var
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(P, N\)"):
+            statistical_min_grid(np.zeros(3), np.ones(3), np.eye(3))
+        with pytest.raises(ValueError, match="empty"):
+            statistical_min_grid(
+                np.zeros((2, 0)), np.ones(0), np.eye(0)
+            )
+        with pytest.raises(ValueError, match="covariance"):
+            statistical_min_grid(
+                np.zeros((2, 3)), np.ones(3), np.eye(2)
+            )

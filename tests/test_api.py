@@ -119,8 +119,8 @@ class TestRequestCodec:
             api.request_from_json({"schema": 2, "benchmark": "dijkstra"})
 
     def test_unsupported_schema_version(self):
-        with pytest.raises(api.ApiError, match="schema 3"):
-            api.request_from_json({"schema": 3, "workload": "bitcount"})
+        with pytest.raises(api.ApiError, match="schema 4"):
+            api.request_from_json({"schema": 4, "workload": "bitcount"})
 
     def test_wrong_kind_rejected(self):
         with pytest.raises(api.ApiError, match="job-status"):
@@ -134,6 +134,74 @@ class TestRequestCodec:
         request = EstimationRequest(workload=load_workload("bitcount"))
         with pytest.raises(api.ApiError, match="wire form"):
             api.request_to_json(request)
+
+
+class TestMultiPointCodec:
+    """Schema-3 multi-point estimation-request documents."""
+
+    def _sweep(self, specs=(1.05, 1.10, 1.20)):
+        return [
+            api.build_request(
+                workload="bitcount", speculation=s,
+                max_instructions=5000, seed=0,
+            )
+            for s in specs
+        ]
+
+    def test_grid_round_trip(self):
+        requests = self._sweep()
+        doc = api.grid_request_to_json(requests)
+        assert doc["schema"] == api.SCHEMA
+        assert doc["kind"] == "estimation-request"
+        assert doc["speculations"] == [1.05, 1.10, 1.20]
+        assert "speculation" not in doc or doc["speculation"] is None
+        assert api.requests_from_json(doc) == requests
+
+    def test_single_request_doc_expands_to_one(self):
+        request = self._sweep((1.15,))[0]
+        doc = api.request_to_json(request)
+        assert api.requests_from_json(doc) == [request]
+
+    def test_single_request_passthrough_in_grid_encoder(self):
+        request = self._sweep((1.15,))[0]
+        doc = api.grid_request_to_json([request])
+        assert api.requests_from_json(doc) == [request]
+
+    def test_scalar_reader_rejects_multi_point(self):
+        doc = api.grid_request_to_json(self._sweep())
+        with pytest.raises(api.ApiError, match="requests_from_json"):
+            api.request_from_json(doc)
+
+    def test_rejects_heterogeneous_bases(self):
+        mixed = self._sweep((1.05,)) + [
+            api.build_request(
+                workload="stringsearch", speculation=1.10,
+                max_instructions=5000, seed=0,
+            )
+        ]
+        with pytest.raises(api.ApiError):
+            api.grid_request_to_json(mixed)
+
+    def test_rejects_bad_speculations_field(self):
+        base = api.request_to_json(self._sweep((1.05,))[0])
+        base.pop("speculation", None)
+        for bad in ([], ["fast"], [True], "1.05,1.10"):
+            doc = dict(base, speculations=bad)
+            with pytest.raises(api.ApiError, match="speculations"):
+                api.requests_from_json(doc)
+
+    def test_rejects_both_speculation_fields(self):
+        doc = api.request_to_json(self._sweep((1.05,))[0])
+        doc["speculations"] = [1.10, 1.20]
+        with pytest.raises(api.ApiError):
+            api.requests_from_json(doc)
+
+    def test_legacy_schema2_doc_still_reads(self):
+        parsed = api.requests_from_json(
+            {"schema": 2, "workload": "bitcount", "speculation": 1.2}
+        )
+        assert len(parsed) == 1
+        assert parsed[0].speculation == 1.2
 
 
 class TestJobStatus:
