@@ -370,6 +370,7 @@ class JobStatus:
 _JOB_RESULT_FIELDS = frozenset({
     "job", "report", "reports", "cache_hit", "seed", "training_sims",
     "windows_preloaded", "train_seconds", "estimate_seconds", "stages",
+    "batched", "batch",
 })
 
 
@@ -393,6 +394,11 @@ class JobResult:
         train_seconds: Wall-clock training time.
         estimate_seconds: Wall-clock simulation + estimation time.
         stages: Per-stage event documents.
+        batched: Whether the service's micro-batching scheduler coalesced
+            this job with compatible concurrent jobs into one grid pass.
+        batch: Batch telemetry for coalesced jobs (``jobs`` in the batch,
+            distinct grid ``points``, the configured ``window_ms`` and the
+            measured ``wait_ms`` straggler wait); ``None`` otherwise.
     """
 
     job: str
@@ -405,6 +411,8 @@ class JobResult:
     train_seconds: float = 0.0
     estimate_seconds: float = 0.0
     stages: list = field(default_factory=list)
+    batched: bool = False
+    batch: dict | None = None
 
     @property
     def report(self) -> ErrorRateReport:
@@ -419,31 +427,32 @@ class JobResult:
         return [report_from_json(doc) for doc in self.reports]
 
     @classmethod
-    def from_pipeline(cls, job_id: str, result) -> "JobResult":
-        """Build from an :class:`EstimationPipeline.execute` result."""
-        training = result.report.training_kernel_stats or {}
-        return cls(
-            job=job_id,
-            report_doc=report_to_json(result.report),
-            cache_hit=result.cache_hit,
-            seed=result.seed,
-            training_sims=int(training.get("sim_calls", 0)),
-            windows_preloaded=result.windows_preloaded,
-            train_seconds=result.train_seconds,
-            estimate_seconds=result.estimate_seconds,
-            stages=[event.to_json() for event in result.events],
-        )
+    def from_results(
+        cls,
+        job_id: str,
+        results,
+        *,
+        batched: bool = False,
+        batch: dict | None = None,
+    ) -> "JobResult":
+        """Build from one or more per-point ``PipelineResult`` objects.
 
-    @classmethod
-    def from_grid(cls, job_id: str, outcome) -> "JobResult":
-        """Build from an ``EstimationPipeline.execute_grid`` outcome."""
-        results = outcome.results
+        The shared constructor behind :meth:`from_pipeline` (one result)
+        and :meth:`from_grid` (a grid outcome's result list) — and the
+        one the batching scheduler uses to fan a coalesced grid pass
+        back out into per-job results (each job receiving its own slice
+        of the batch's points).
+        """
+        results = list(results)
         first = results[0]
         training = first.report.training_kernel_stats or {}
         return cls(
             job=job_id,
             report_doc=report_to_json(first.report),
-            reports=[report_to_json(r.report) for r in results],
+            reports=(
+                [report_to_json(r.report) for r in results]
+                if len(results) > 1 else None
+            ),
             cache_hit=all(r.cache_hit for r in results),
             seed=first.seed,
             training_sims=int(training.get("sim_calls", 0)),
@@ -451,7 +460,19 @@ class JobResult:
             train_seconds=max(r.train_seconds for r in results),
             estimate_seconds=sum(r.estimate_seconds for r in results),
             stages=[event.to_json() for event in first.events],
+            batched=batched,
+            batch=batch,
         )
+
+    @classmethod
+    def from_pipeline(cls, job_id: str, result) -> "JobResult":
+        """Build from an :class:`EstimationPipeline.execute` result."""
+        return cls.from_results(job_id, [result])
+
+    @classmethod
+    def from_grid(cls, job_id: str, outcome) -> "JobResult":
+        """Build from an ``EstimationPipeline.execute_grid`` outcome."""
+        return cls.from_results(job_id, outcome.results)
 
     def to_json(self) -> dict:
         doc = {
@@ -466,9 +487,12 @@ class JobResult:
             "train_seconds": round(self.train_seconds, 3),
             "estimate_seconds": round(self.estimate_seconds, 3),
             "stages": self.stages,
+            "batched": self.batched,
         }
         if self.reports is not None:
             doc["reports"] = self.reports
+        if self.batch is not None:
+            doc["batch"] = self.batch
         return doc
 
     @classmethod

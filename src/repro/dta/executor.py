@@ -59,6 +59,7 @@ __all__ = [
     "effective_cpus",
     "fork_available",
     "fork_safe",
+    "observed_task_ms",
     "last_execution_plan",
 ]
 
@@ -76,6 +77,12 @@ MIN_TASKS_TO_FORK = 4
 MIN_SPEEDUP_MARGIN = 1.2
 #: Small tasks are batched until a chunk is worth one pipe round-trip.
 TARGET_CHUNK_MS = 25.0
+#: One-off cost of standing up a *spawned* (not forked) worker process —
+#: a fresh interpreter plus the repro import graph.  Two orders of
+#: magnitude above :data:`WORKER_SPAWN_MS`, which is why spawned workers
+#: only make sense when they are persistent (the service worker pool
+#: amortizes this over the process lifetime, not per map).
+SPAWN_STARTUP_MS = 1500.0
 
 
 def effective_cpus() -> int:
@@ -439,11 +446,18 @@ class AutoWindowExecutor(WindowExecutor):
 _EXECUTORS: dict[str, WindowExecutor] = {}
 
 
-def register_executor(executor: WindowExecutor) -> WindowExecutor:
-    """Register an executor under its ``name`` (future multi-host hook)."""
+def register_executor(
+    executor: WindowExecutor, replace: bool = False
+) -> WindowExecutor:
+    """Register an executor under its ``name`` (multi-host / pool hook).
+
+    ``replace=True`` makes the registration idempotent for modules that
+    register at import time (e.g. the service worker pool's
+    ``service-pool`` executor).
+    """
     if not executor.name:
         raise ValueError("executor must carry a non-empty name")
-    if executor.name in _EXECUTORS:
+    if executor.name in _EXECUTORS and not replace:
         raise ValueError(
             f"executor {executor.name!r} is already registered"
         )

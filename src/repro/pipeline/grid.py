@@ -290,23 +290,43 @@ def execute_grid(pipeline, requests) -> GridResult:
                     stats.grid_reuse_hits += 1
                 train_seconds[i] = time.perf_counter() - t0
         cold = [i for i in range(len(requests)) if artifacts[i] is None]
-        if cold:
+        # Identical operating points are identical computations: train
+        # one representative per distinct point and share its artifact
+        # with the duplicates (repeated sweep points, or several
+        # coalesced jobs asking for the same point).
+        leader_of: dict = {}
+        train_idx: list[int] = []
+        duplicates: list[tuple[int, int]] = []
+        for i in cold:
+            point = (
+                control_keys[i] if use_store else requests[i].speculation
+            )
+            if point in leader_of:
+                duplicates.append((i, leader_of[point]))
+            else:
+                leader_of[point] = i
+                train_idx.append(i)
+        if train_idx:
             t0 = time.perf_counter()
             trained = pipeline._dta.train_grid(
-                [pipes[i].processor for i in cold],
+                [pipes[i].processor for i in train_idx],
                 program,
                 pipeline.activity_cache,
                 setup=train_setup,
                 max_instructions=train_instructions,
             )
             batch_seconds = time.perf_counter() - t0
-            for i, artifact in zip(cold, trained):
+            for i, artifact in zip(train_idx, trained):
                 artifacts[i] = artifact
                 train_seconds[i] += batch_seconds
                 if use_store:
                     pipeline.store.put_entry(
                         "control", control_keys[i], artifact.to_doc()
                     )
+            for i, leader in duplicates:
+                artifacts[i] = artifacts[leader]
+                train_seconds[i] += batch_seconds
+                stats.grid_reuse_hits += 1
     for i in range(len(requests)):
         events[i].append(
             StageEvent(

@@ -371,11 +371,13 @@ class EstimationEngine:
     def _plan_grid(self, requests) -> tuple[list[list[int]], list[int]]:
         """Split a batch into grid-eligible groups and leftover indices.
 
-        A group is grid-eligible when its requests are identical up to
-        ``speculation`` and span at least two distinct operating points
-        — exactly the shape whose period-independent work the batched
-        evaluator can share.  Everything else (mixed workloads, repeated
-        identical jobs, singletons) stays on the scalar path.
+        A group is grid-eligible when it holds at least two requests
+        identical up to ``speculation`` — the shape whose period-
+        independent work the batched evaluator can share.  Repeated
+        identical points qualify too: the grid dedupes them and trains
+        one representative, so N copies of one job cost one training
+        pass and one evaluation simulation.  Everything else (mixed
+        workloads, singletons) stays on the scalar path.
         """
         from repro.pipeline.grid import GridRequest
 
@@ -390,8 +392,7 @@ class EstimationEngine:
         grid_groups: list[list[int]] = []
         remaining: list[int] = []
         for indices in groups.values():
-            speculations = {requests[i].speculation for i in indices}
-            if len(indices) >= 2 and len(speculations) >= 2:
+            if len(indices) >= 2:
                 grid_groups.append(indices)
             else:
                 remaining.extend(indices)

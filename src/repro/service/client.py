@@ -170,6 +170,12 @@ class ServiceClient:
         _, doc = self._call("GET", "/v1/store/stats")
         return doc["store"]
 
+    def metrics(self) -> dict:
+        """The ``service-metrics`` document: batching counters, queue
+        depth, in-flight batches, worker-pool utilization."""
+        _, doc = self._call("GET", "/v1/metrics")
+        return doc
+
     def health(self) -> dict:
         _, doc = self._call("GET", "/v1/healthz")
         return doc

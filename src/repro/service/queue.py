@@ -87,27 +87,99 @@ class JobQueue:
 
     def claim(self, worker: str) -> tuple[str, dict] | None:
         """Atomically take the oldest queued job (``None`` when empty)."""
+        claimed = self.claim_many(worker, 1)
+        if not claimed:
+            return None
+        job_id, doc, _submitted = claimed[0]
+        return job_id, doc
+
+    def claim_many(
+        self, worker: str, limit: int
+    ) -> list[tuple[str, dict, float]]:
+        """Atomically take up to ``limit`` oldest queued jobs (FIFO).
+
+        One ``BEGIN IMMEDIATE`` transaction selects and transitions every
+        row, so concurrent claimers (threads or processes) can never
+        double-claim.  The scan is indexed — ``jobs_by_state`` covers the
+        ``state`` equality plus the ``(submitted_at, id)`` order, see
+        :meth:`claim_plan` — so a claim stays O(limit) however large the
+        finished-job history grows.  Returns ``(job_id, request_doc,
+        submitted_at)`` triples; the batching scheduler measures its
+        micro-batch window from ``submitted_at`` (enqueue time, not claim
+        time).
+        """
+        if limit < 1:
+            return []
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
-                row = self._conn.execute(
-                    "SELECT id, request FROM jobs WHERE state = 'queued'"
-                    " ORDER BY submitted_at, id LIMIT 1"
-                ).fetchone()
-                if row is not None:
-                    self._conn.execute(
+                rows = self._conn.execute(
+                    "SELECT id, request, submitted_at FROM jobs"
+                    " WHERE state = 'queued'"
+                    " ORDER BY submitted_at, id LIMIT ?",
+                    (int(limit),),
+                ).fetchall()
+                if rows:
+                    now = time.time()
+                    self._conn.executemany(
                         "UPDATE jobs SET state = 'running', started_at = ?,"
                         " attempts = attempts + 1, worker = ?"
                         " WHERE id = ? AND state = 'queued'",
-                        (time.time(), worker, row["id"]),
+                        [(now, worker, row["id"]) for row in rows],
                     )
                 self._conn.execute("COMMIT")
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
-        if row is None:
-            return None
-        return row["id"], json.loads(row["request"])
+        return [
+            (row["id"], json.loads(row["request"]), row["submitted_at"])
+            for row in rows
+        ]
+
+    def claim_plan(self) -> str:
+        """SQLite's query plan for the claim scan (index regression guard).
+
+        The claim must resolve through the ``jobs_by_state`` index — a
+        schema edit that silently demotes it to a full-table scan would
+        make every claim O(total jobs ever submitted).
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "EXPLAIN QUERY PLAN"
+                " SELECT id, request, submitted_at FROM jobs"
+                " WHERE state = 'queued' ORDER BY submitted_at, id LIMIT 1"
+            ).fetchall()
+        return " ".join(str(row[-1]) for row in rows)
+
+    def requeue(self, job_ids, worker: str | None = None) -> int:
+        """Transition ``running`` jobs back to ``queued``; returns count.
+
+        The batching scheduler's crash path: when a worker process dies
+        mid-batch, every job of the batch goes back to the queue in one
+        transaction (attempts stay on record, so a poison job cannot
+        crash-loop forever — the scheduler fails it after a bounded
+        number of attempts).  Only ``running`` rows move, so a job that
+        finished just before the crash was detected is never re-run.
+        """
+        job_ids = list(job_ids)
+        if not job_ids:
+            return 0
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                count = 0
+                for job_id in job_ids:
+                    count += self._conn.execute(
+                        "UPDATE jobs SET state = 'queued',"
+                        " started_at = NULL, worker = ?"
+                        " WHERE id = ? AND state = 'running'",
+                        (worker, job_id),
+                    ).rowcount
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return count
 
     def complete(self, job_id: str, result_doc: dict,
                  stages: list | None = None) -> None:
@@ -201,6 +273,14 @@ class JobQueue:
         """Jobs still queued or running."""
         counts = self.counts()
         return counts["queued"] + counts["running"]
+
+    def depth(self) -> int:
+        """Jobs waiting to be claimed (index-only count)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state = 'queued'"
+            ).fetchone()
+        return int(row[0])
 
     @staticmethod
     def _status(row: sqlite3.Row) -> JobStatus:

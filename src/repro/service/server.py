@@ -1,6 +1,6 @@
 """The asyncio HTTP/JSON estimation job server.
 
-:class:`EstimationService` binds the three moving parts together:
+:class:`EstimationService` binds the moving parts together:
 
 * an :mod:`asyncio` socket server speaking a minimal HTTP/1.1 subset
   (stdlib only — ``asyncio.start_server`` plus a hand-rolled
@@ -8,10 +8,20 @@
 * the persistent :class:`~repro.service.queue.JobQueue` (survives
   ``SIGKILL``: running jobs are requeued on startup, finished jobs keep
   their results);
-* a pool of worker threads, each owning one
-  :class:`~repro.pipeline.pipeline.EstimationPipeline`, all sharing one
-  on-disk :class:`~repro.pipeline.store.ArtifactStore` — the warm store
-  is the multiplexing medium: a second tenant submitting an overlapping
+* the micro-batching scheduler (:mod:`repro.service.scheduler`): one
+  loop claims queued jobs in bulk, waits up to ``batch_window_ms``
+  (measured from *enqueue* time, so a job never waits longer than the
+  window end to end) for compatible stragglers, coalesces jobs that
+  are identical up to the operating point into one grid pass, and
+  dispatches batches concurrently — incompatible jobs fall through as
+  singleton batches on the unchanged scalar path;
+* job execution, either on worker threads (each owning one
+  :class:`~repro.pipeline.pipeline.EstimationPipeline`) or — when a
+  resolved ``service-pool`` plan says the host can pay for it — on a
+  :class:`~repro.service.workerpool.WorkerPool` of persistent spawned
+  processes.  Either way every pipeline shares one on-disk
+  :class:`~repro.pipeline.store.ArtifactStore` — the warm store is the
+  multiplexing medium: a second tenant submitting an overlapping
   operating point trains with zero logic simulations.
 
 Endpoints (all JSON, schema :data:`repro.api.SCHEMA`):
@@ -25,8 +35,11 @@ Endpoints (all JSON, schema :data:`repro.api.SCHEMA`):
 ``GET /v1/jobs``            recent ``job-status`` documents
 ``GET /v1/jobs/{id}``       one ``job-status`` (with stage telemetry)
 ``GET /v1/jobs/{id}/result`` the ``job-result`` (409 until finished)
-``GET /v1/store/stats``     shared-store entry counts / bytes / telemetry
-``GET /v1/healthz``         liveness + queue counts
+``GET /v1/store/stats``     shared-store entry counts / bytes /
+                            telemetry + queue state counts
+``GET /v1/metrics``         batching counters, queue depth, in-flight
+                            batches, worker-pool utilization
+``GET /v1/healthz``         liveness + queue counts + scheduler shape
 =========================== =========================================
 """
 
@@ -35,6 +48,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
+import time
 import traceback
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -42,6 +56,12 @@ from pathlib import Path
 from repro import api
 from repro.pipeline.store import ArtifactStore
 from repro.service.queue import JobQueue
+from repro.service.scheduler import (
+    Batch,
+    SchedulerStats,
+    execute_batch_jobs,
+    form_batches,
+)
 
 __all__ = ["EstimationService"]
 
@@ -51,6 +71,10 @@ _REASONS = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
     405: "Method Not Allowed", 409: "Conflict", 500: "Internal Server Error",
 }
+
+#: Fallback poll period for jobs enqueued without a wakeup (a second
+#: service process writing the same queue database).
+_IDLE_POLL_S = 2.0
 
 
 class _HttpError(Exception):
@@ -70,9 +94,10 @@ class EstimationService:
             runs against (default: the paper's configuration).
         host / port: Bind address; ``port=0`` picks a free port
             (``self.port`` is updated once bound).
-        workers: Concurrent job-executor threads.  Each owns one
+        workers: Concurrent in-thread batch executors.  Each owns one
             pipeline; all share the store, so the warm-reuse contract
-            holds across workers and tenants.
+            holds across workers and tenants.  Ignored for execution
+            width when a worker-process pool is running.
         window_workers: Intra-job window-pool width handed to each
             pipeline (keep ``workers * window_workers`` within the host
             budget).
@@ -85,6 +110,24 @@ class EstimationService:
         store_budget: LRU byte budget for the shared store (``None`` =
             unbounded / ``REPRO_STORE_BUDGET``).
         backends: Stage->backend overrides for every job pipeline.
+        batch_window_ms: Micro-batch window.  A claimed job waits up to
+            this long (measured from its enqueue time) for compatible
+            stragglers before its batch dispatches; ``0`` disables
+            coalescing entirely, restoring strict job-at-a-time
+            execution.
+        max_batch: Cap on jobs claimed per scheduler pass and on
+            operating points per coalesced batch.
+        worker_processes: Requested persistent spawned job processes.
+            ``0`` keeps execution in-thread; ``N > 0`` asks the
+            registered ``service-pool`` executor, whose cost model
+            degrades the request (with a recorded reason, see
+            ``pool_plan`` in ``/v1/metrics``) on hosts where spawned
+            processes cannot pay — e.g. a single usable CPU.
+        pool_force: Trust ``worker_processes`` without cost-model
+            arbitration (crash/determinism tests use this to exercise
+            the real spawn path on any host).
+        max_attempts: A job whose worker process crashes is requeued
+            until its attempt count reaches this bound, then failed.
     """
 
     def __init__(
@@ -100,9 +143,18 @@ class EstimationService:
         n_data_samples: int = 128,
         store_budget: int | None = None,
         backends: dict | None = None,
+        batch_window_ms: float = 4.0,
+        max_batch: int = 16,
+        worker_processes: int = 0,
+        pool_force: bool = False,
+        max_attempts: int = 3,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if worker_processes < 0:
+            raise ValueError("worker_processes must be >= 0")
         from repro.pipeline.ir import ProcessorConfig
 
         self.state_dir = Path(state_dir)
@@ -114,18 +166,28 @@ class EstimationService:
         self.window_workers = window_workers
         self.executor = executor
         self.n_data_samples = n_data_samples
+        self.store_budget = store_budget
         self.backends = backends
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_batch = max_batch
+        self.worker_processes = worker_processes
+        self.pool_force = pool_force
+        self.max_attempts = max_attempts
         self.queue = JobQueue(self.state_dir / "queue.db")
         self.store = ArtifactStore(
             self.state_dir / "store", max_bytes=store_budget
         )
-        self._executor = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="repro-job"
-        )
+        self.stats = SchedulerStats()
+        self.pool = None
+        self.pool_plan = None
+        self._dispatch: ThreadPoolExecutor | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._inflight = 0
         self._local = threading.local()
         self._server: asyncio.base_events.Server | None = None
-        self._worker_tasks: list[asyncio.Task] = []
+        self._scheduler_task: asyncio.Task | None = None
         self._wake: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping = False
         #: Set once the socket is bound (handle for tests/benchmarks).
         self.ready = threading.Event()
@@ -133,11 +195,11 @@ class EstimationService:
         self.jobs_failed = 0
 
     # ------------------------------------------------------------------ #
-    # Job execution (worker threads)
+    # Job execution (dispatch threads / worker processes)
     # ------------------------------------------------------------------ #
 
     def _pipeline(self):
-        """This worker thread's pipeline (shared store, own caches)."""
+        """This dispatch thread's pipeline (shared store, own caches)."""
         pipe = getattr(self._local, "pipeline", None)
         if pipe is None:
             from repro.pipeline.pipeline import EstimationPipeline
@@ -159,41 +221,123 @@ class EstimationService:
             self._local.pipeline = pipe
         return pipe
 
-    def _run_job(self, job_id: str, request_doc: dict) -> None:
-        """Execute one claimed job; transitions it to done/failed."""
-        try:
-            requests = api.requests_from_json(request_doc)
-            if len(requests) == 1:
-                result = self._pipeline().execute(requests[0])
-                payload = api.JobResult.from_pipeline(job_id, result)
-            else:
-                outcome = self._pipeline().execute_grid(requests)
-                payload = api.JobResult.from_grid(job_id, outcome)
-            self.queue.complete(
-                job_id, payload.to_json(), stages=payload.stages
-            )
-            self.jobs_done += 1
-        except Exception:
-            self.queue.fail(job_id, traceback.format_exc())
-            self.jobs_failed += 1
+    def _batch_info(self, batch: Batch) -> dict | None:
+        if not batch.coalesced:
+            return None
+        return {
+            "jobs": len(batch.jobs),
+            "points": batch.points,
+            "window_ms": self.batch_window_ms,
+            "wait_ms": round(batch.wait_ms, 3),
+        }
 
-    async def _worker_loop(self, name: str) -> None:
+    def _run_batch(self, batch: Batch) -> None:
+        """Execute one batch (dispatch thread); finishes every job."""
+        from repro.service.workerpool import WorkerCrashed
+
+        self.stats.record_dispatch(batch)
+        info = self._batch_info(batch)
+        try:
+            if self.pool is not None:
+                outcomes = self.pool.run_batch(batch.jobs, info)
+            else:
+                outcomes = execute_batch_jobs(
+                    self._pipeline(), batch.jobs, info, stats=self.stats
+                )
+        except WorkerCrashed as crash:
+            self._requeue_batch(batch, crash)
+            return
+        for outcome in outcomes:
+            if outcome["ok"]:
+                result_doc = outcome["result"]
+                self.queue.complete(
+                    outcome["job"], result_doc,
+                    stages=result_doc.get("stages"),
+                )
+                self.jobs_done += 1
+            else:
+                self.queue.fail(outcome["job"], outcome["error"])
+                self.jobs_failed += 1
+
+    def _requeue_batch(self, batch: Batch, crash) -> None:
+        """Crash path: requeue the batch's jobs (bounded by attempts).
+
+        Only ``running`` rows transition (:meth:`JobQueue.requeue`), so
+        a job completed just before the crash was detected can never be
+        re-run or double-claimed.
+        """
+        retry = []
+        for job_id in batch.job_ids:
+            status = self.queue.get(job_id)
+            if status is None or status.state != "running":
+                continue
+            if status.attempts >= self.max_attempts:
+                self.queue.fail(
+                    job_id,
+                    f"{crash} after {status.attempts} attempts",
+                )
+                self.jobs_failed += 1
+            else:
+                retry.append(job_id)
+        requeued = self.queue.requeue(retry, worker=str(crash))
+        self.stats.record_crash_requeue(requeued)
+        if requeued and self._loop is not None:
+            self._loop.call_soon_threadsafe(self._wake.set)
+
+    async def _scheduler_loop(self) -> None:
+        """Claim -> window -> coalesce -> dispatch, forever.
+
+        The batch window is measured from the *oldest claimed job's
+        enqueue time* — a job that already sat queued for the window
+        (or longer, on a busy server) dispatches immediately, so the
+        window bounds per-job latency overhead by construction.
+        """
         loop = asyncio.get_running_loop()
+        window_s = max(self.batch_window_ms, 0.0) / 1000.0
         while not self._stopping:
-            claimed = self.queue.claim(name)
-            if claimed is None:
-                # Idle: wait for a submit (or poll — externally enqueued
-                # jobs, e.g. a second service process, have no event).
+            claimed = self.queue.claim_many("scheduler", self.max_batch)
+            if not claimed:
                 self._wake.clear()
+                if self.queue.depth():
+                    continue  # enqueued between claim and clear
                 try:
-                    await asyncio.wait_for(self._wake.wait(), timeout=0.25)
+                    await asyncio.wait_for(
+                        self._wake.wait(), timeout=_IDLE_POLL_S
+                    )
                 except asyncio.TimeoutError:
                     pass
                 continue
-            job_id, request_doc = claimed
-            await loop.run_in_executor(
-                self._executor, self._run_job, job_id, request_doc
-            )
+            wait_ms = 0.0
+            if window_s > 0 and len(claimed) < self.max_batch:
+                oldest = min(triple[2] for triple in claimed)
+                remaining = oldest + window_s - time.time()
+                if remaining > 0:
+                    await asyncio.sleep(remaining)
+                    wait_ms = 1000.0 * remaining
+                    self.stats.record_wait(wait_ms)
+                    claimed += self.queue.claim_many(
+                        "scheduler", self.max_batch - len(claimed)
+                    )
+            if window_s > 0:
+                batches = form_batches(claimed, self.max_batch)
+            else:
+                # Batching disabled: strict job-at-a-time execution.
+                batches = form_batches(claimed, 0)
+            for batch in batches:
+                batch.wait_ms = wait_ms
+                await self._slots.acquire()
+                self._inflight += 1
+                future = loop.run_in_executor(
+                    self._dispatch, self._run_batch, batch
+                )
+                future.add_done_callback(self._batch_done)
+
+    def _batch_done(self, future) -> None:
+        self._inflight -= 1
+        self._slots.release()
+        exc = future.exception()
+        if exc is not None:  # _run_batch never raises by contract
+            traceback.print_exception(exc)
 
     # ------------------------------------------------------------------ #
     # HTTP plumbing
@@ -269,15 +413,55 @@ class EstimationService:
                 and method == "GET"):
             return self._get_result(rest[1])
         if rest == ["store", "stats"] and method == "GET":
-            return 200, {"schema": api.SCHEMA, "store": self.store.describe()}
+            return 200, {
+                "schema": api.SCHEMA,
+                "store": self.store.describe(),
+                "jobs": self.queue.counts(),
+                "queue_depth": self.queue.depth(),
+            }
+        if rest == ["metrics"] and method == "GET":
+            return 200, self._metrics()
         if rest == ["healthz"] and method == "GET":
             return 200, {
                 "schema": api.SCHEMA,
                 "ok": True,
                 "jobs": self.queue.counts(),
+                "queue_depth": self.queue.depth(),
+                "inflight_batches": self._inflight,
                 "workers": self.workers,
+                "batching": {
+                    "batch_window_ms": self.batch_window_ms,
+                    "max_batch": self.max_batch,
+                },
+                "pool": (
+                    self.pool.describe() if self.pool is not None else None
+                ),
             }
         raise _HttpError(404, f"no such path {path!r}")
+
+    def _metrics(self):
+        return {
+            "schema": api.SCHEMA,
+            "kind": "service-metrics",
+            "batching": self.stats.to_json(),
+            "queue_depth": self.queue.depth(),
+            "inflight_batches": self._inflight,
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "config": {
+                "batch_window_ms": self.batch_window_ms,
+                "max_batch": self.max_batch,
+                "workers": self.workers,
+                "worker_processes": self.worker_processes,
+            },
+            "pool": (
+                self.pool.describe() if self.pool is not None else None
+            ),
+            "pool_plan": (
+                self.pool_plan.to_json()
+                if self.pool_plan is not None else None
+            ),
+        }
 
     def _post_job(self, raw: bytes):
         try:
@@ -318,34 +502,69 @@ class EstimationService:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
+    def _resolve_pool(self) -> None:
+        """Stand up the worker-process pool if its plan says it pays."""
+        if self.worker_processes < 1:
+            return
+        from repro.dta.executor import get_executor
+        from repro.service.workerpool import WorkerPool
+
+        plan = get_executor("service-pool").plan(
+            self.max_batch, self.worker_processes, force=self.pool_force
+        )
+        self.pool_plan = plan
+        if plan.executor != "service-pool":
+            return  # degraded: in-thread execution, reason recorded
+        self.pool = WorkerPool(
+            plan.workers,
+            self.state_dir / "store",
+            self.config,
+            n_data_samples=self.n_data_samples,
+            backends=self.backends,
+            window_workers=self.window_workers,
+            executor=self.executor,
+            store_budget=self.store_budget,
+        )
+
     async def start(self) -> None:
-        """Bind the socket, recover the queue, start the workers."""
+        """Bind the socket, recover the queue, start the scheduler."""
+        self._loop = asyncio.get_running_loop()
         self._wake = asyncio.Event()
         recovered = self.queue.recover()
         if recovered:
             self._wake.set()
+        self._resolve_pool()
+        width = (
+            self.pool.processes if self.pool is not None else self.workers
+        )
+        self._dispatch = ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix="repro-job"
+        )
+        self._slots = asyncio.Semaphore(width)
         self._server = await asyncio.start_server(
             self._handle, host=self.host, port=self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
-        self._worker_tasks = [
-            asyncio.ensure_future(self._worker_loop(f"worker-{i}"))
-            for i in range(self.workers)
-        ]
+        self._scheduler_task = asyncio.ensure_future(self._scheduler_loop())
         self.ready.set()
 
     async def stop(self) -> None:
-        """Stop accepting, cancel idle workers, close the queue."""
+        """Stop accepting, cancel the scheduler, close pool and queue."""
         self._stopping = True
         if self._wake is not None:
             self._wake.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in self._worker_tasks:
-            task.cancel()
-        await asyncio.gather(*self._worker_tasks, return_exceptions=True)
-        self._executor.shutdown(wait=False)
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            await asyncio.gather(
+                self._scheduler_task, return_exceptions=True
+            )
+        if self._dispatch is not None:
+            self._dispatch.shutdown(wait=False)
+        if self.pool is not None:
+            self.pool.close()
         self.queue.close()
         self.store.close()
 

@@ -158,7 +158,9 @@ def _square_task(context, index):
 
 class TestExecutorRegistry:
     def test_builtin_executors_registered(self):
-        assert available_executors() == [
+        # Plugins (e.g. the service's job pool) may append; the three
+        # built-ins always lead the registry in registration order.
+        assert available_executors()[:3] == [
             "local-serial", "local-fork", "auto"
         ]
 

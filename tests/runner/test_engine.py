@@ -160,8 +160,26 @@ class TestGridRouting:
             r.request.workload_name for r in summary.results
         ] == ["bitcount", "bitcount", "stringsearch"]
 
-    def test_single_speculation_is_not_a_grid(self):
+    def test_repeated_identical_points_form_a_deduped_grid(self):
+        """Two copies of one operating point are still a grid: the pass
+        dedupes them, trains one representative, and both jobs report
+        identically to a scalar run of the same request."""
         summary = _engine().run(self._sweep((1.10, 1.10)))
+        assert summary.grid_batches == 1
+        assert summary.failed == []
+        assert all(r.grid for r in summary.results)
+        # One training pass, one evaluation sim, shared by both jobs.
+        assert [r.train_sim_skipped for r in summary.results] == [
+            False, True,
+        ]
+        assert [r.eval_sim_skipped for r in summary.results] == [
+            False, True,
+        ]
+        scalar = _engine().run(self._sweep((1.10,)), grid=False)
+        assert _rows(summary) == _rows(scalar) * 2
+
+    def test_singleton_is_not_a_grid(self):
+        summary = _engine().run(self._sweep((1.10,)))
         assert summary.grid_batches == 0
 
     def test_failed_grid_group_falls_back_per_request(self):

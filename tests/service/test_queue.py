@@ -74,6 +74,76 @@ class TestLifecycle:
         assert {s.id for s in listed} == set(ids)
 
 
+class TestClaimMany:
+    def test_claims_up_to_limit_fifo(self, queue):
+        ids = [queue.submit(dict(REQ, seed=i)) for i in range(5)]
+        claimed = queue.claim_many("sched", 3)
+        assert [job_id for job_id, _doc, _t in claimed] == ids[:3]
+        for job_id, doc, submitted_at in claimed:
+            assert queue.get(job_id).state == "running"
+            assert doc["workload"] == "bitcount"
+            assert submitted_at == queue.get(job_id).submitted_at
+        rest = queue.claim_many("sched", 10)
+        assert [job_id for job_id, _doc, _t in rest] == ids[3:]
+        assert queue.claim_many("sched", 10) == []
+        assert queue.claim_many("sched", 0) == []
+
+    def test_depth_counts_only_queued(self, queue):
+        assert queue.depth() == 0
+        for i in range(3):
+            queue.submit(dict(REQ, seed=i))
+        assert queue.depth() == 3
+        queue.claim_many("sched", 2)
+        assert queue.depth() == 1
+
+    def test_requeue_moves_only_running_rows(self, queue):
+        ids = [queue.submit(dict(REQ, seed=i)) for i in range(3)]
+        queue.claim_many("sched", 3)
+        queue.complete(ids[0], {"answer": 1})
+        # The finished job stays done: a crash detected after completion
+        # must never re-run (or double-claim) its work.
+        assert queue.requeue(ids, worker="crash") == 2
+        assert queue.get(ids[0]).state == "done"
+        for job_id in ids[1:]:
+            status = queue.get(job_id)
+            assert status.state == "queued"
+            assert status.started_at is None
+            assert status.attempts == 1  # the lost attempt stays on record
+        assert queue.requeue([]) == 0
+
+    def test_no_duplicate_claims_across_concurrent_claim_many(self, queue):
+        ids = {queue.submit(dict(REQ, seed=i)) for i in range(24)}
+        claimed: list[str] = []
+        lock = threading.Lock()
+
+        def _scheduler(name):
+            while True:
+                got = queue.claim_many(name, 4)
+                if not got:
+                    return
+                with lock:
+                    claimed.extend(job_id for job_id, _doc, _t in got)
+
+        threads = [
+            threading.Thread(target=_scheduler, args=(f"s{i}",))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(claimed) == 24, "every job claimed exactly once"
+        assert set(claimed) == ids
+
+    def test_claim_scan_stays_indexed(self, queue):
+        """Regression guard: the claim must resolve through the
+        ``jobs_by_state`` index, not a full-table scan over the entire
+        finished-job history."""
+        plan = queue.claim_plan()
+        assert "USING INDEX jobs_by_state" in plan
+        assert "SCAN jobs" not in plan
+
+
 class TestCrashRecovery:
     def test_recover_requeues_only_running(self, tmp_path):
         queue = JobQueue(tmp_path / "queue.db")

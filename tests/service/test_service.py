@@ -36,9 +36,14 @@ def _request(workload="bitcount", **overrides):
 
 @pytest.fixture(scope="module")
 def service(tmp_path_factory):
+    # ``batch_window_ms=0`` pins the strict job-at-a-time contract these
+    # tests assert on (warm-cache multiplexing needs the second job to
+    # run *after* the first, not coalesced with it); the batching path
+    # has its own suite in test_scheduler.py.
     svc = EstimationService(
         tmp_path_factory.mktemp("service-state"),
         config=SMALL, port=0, workers=1, n_data_samples=32,
+        batch_window_ms=0,
     )
     with svc.start_in_thread():
         yield svc
