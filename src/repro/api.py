@@ -10,16 +10,20 @@ a crash is byte-for-byte the document this module produces.
 Schema versioning
 -----------------
 
-Documents carry ``"schema": 3`` (an integer) and a ``"kind"`` tag naming
-the document type.  Versions 2 and 3 are strict: an unknown field is
+Documents carry ``"schema": 4`` (an integer) and a ``"kind"`` tag naming
+the document type.  Versions 2 and later are strict: an unknown field is
 rejected with an error that names it and lists the valid fields, so a
 typo in a client payload fails loudly at the boundary instead of
 silently running the wrong job.  Version 3 adds the multi-point
 ``speculations`` axis to ``estimation-request`` (one document, many
 operating points — expanded by :func:`requests_from_json` and answered
-with a ``reports`` list on the ``job-result``).  Older documents stay
-*readable*: schema-2 documents parse unchanged, and version-1 documents
-— the ad-hoc shapes earlier PRs emitted
+with a ``reports`` list on the ``job-result``).  Version 4 adds
+``core_family`` — the registered pipeline organization the job runs on
+(see :mod:`repro.core.family`); :func:`request_to_json` always emits it
+so engines and schedulers batching on the wire document never coalesce
+jobs across families.  Older documents stay *readable*: schema-2/3
+documents parse unchanged (``core_family`` defaults to ``"inorder6"``),
+and version-1 documents — the ad-hoc shapes earlier PRs emitted
 (``EstimationRequest.identity_doc`` dicts, string-tagged
 ``repro.error-rate-report/1`` reports) — are accepted by
 :func:`request_from_json` and :func:`report_from_json` and normalized
@@ -63,10 +67,10 @@ __all__ = [
 ]
 
 #: Current wire-schema version; bump on incompatible change.
-SCHEMA = 3
+SCHEMA = 4
 
 #: Versions this build still reads (normalized on the way in).
-_READABLE_SCHEMAS = (1, 2, SCHEMA)
+_READABLE_SCHEMAS = (1, 2, 3, SCHEMA)
 
 #: Lifecycle states a service job moves through (in order; the last two
 #: are terminal).
@@ -93,6 +97,7 @@ _REQUEST_FIELDS: dict[str, tuple[tuple[type, ...], bool]] = {
     "train_instructions": ((int,), True),
     "seed": ((int,), True),
     "reservoir_size": ((int,), False),
+    "core_family": ((str,), False),
 }
 
 #: Field spellings older documents used, mapped to the canonical name.
@@ -120,7 +125,7 @@ def _check_schema(doc, kind: str) -> int:
     if version not in _READABLE_SCHEMAS:
         raise ApiError(
             f"unsupported {kind} schema {version!r}; this build reads "
-            f"schema {SCHEMA} (and legacy schema 1/2 documents)"
+            f"schema {SCHEMA} (and legacy schema 1/2/3 documents)"
         )
     declared = doc.get("kind")
     if declared is not None and declared != kind:
@@ -142,7 +147,11 @@ def build_request(**fields) -> EstimationRequest:
 
 
 def request_to_json(request: EstimationRequest) -> dict:
-    """The request as a canonical schema-2 wire document."""
+    """The request as a canonical current-schema wire document.
+
+    ``core_family`` is always emitted (even at its default) so batch
+    keys computed over the wire document split on it.
+    """
     doc: dict = {"schema": SCHEMA, "kind": "estimation-request"}
     if not isinstance(request.workload, str):
         raise ApiError(
@@ -186,6 +195,16 @@ def request_from_json(doc: dict) -> EstimationRequest:
                 f"{type(value).__name__} ({value!r})"
             )
         kwargs[name] = value
+    if "core_family" in kwargs:
+        from repro.core.family import available_core_families
+
+        known = available_core_families()
+        if kwargs["core_family"] not in known:
+            raise ApiError(
+                f"field 'core_family' names unknown core family "
+                f"{kwargs['core_family']!r}; registered: "
+                f"{', '.join(known)}"
+            )
     try:
         return EstimationRequest(**kwargs)
     except ValueError as exc:
@@ -264,7 +283,7 @@ def grid_request_to_json(requests) -> dict:
 def report_to_json(
     report: ErrorRateReport, include_timing: bool = True
 ) -> dict:
-    """The report as a schema-2 wire document.
+    """The report as a current-schema wire document.
 
     Identical to :meth:`ErrorRateReport.to_json` except the legacy
     string tag is replaced by the integer schema plus a ``kind``.

@@ -123,6 +123,19 @@ def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_core_family_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.core.family import DEFAULT_FAMILY, available_core_families
+
+    parser.add_argument(
+        "--core-family", choices=available_core_families(),
+        default=DEFAULT_FAMILY,
+        help=(
+            "registered core family (pipeline organization) to analyze "
+            f"(default: {DEFAULT_FAMILY})"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -141,10 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     est.add_argument("--speculation", type=float, default=1.15)
     est.add_argument("--max-instructions", type=int, default=None)
     est.add_argument("--json", action="store_true")
+    _add_core_family_argument(est)
 
     tab = sub.add_parser("table2", help="regenerate Table 2")
     tab.add_argument("--max-instructions", type=int, default=None)
     tab.add_argument("--json", action="store_true")
+    _add_core_family_argument(tab)
     _add_engine_arguments(tab)
 
     swp = sub.add_parser("sweep", help="speculation-ratio sweep")
@@ -167,6 +182,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit the full RunSummary (reports + cache telemetry)",
     )
+    _add_core_family_argument(swp)
     _add_engine_arguments(swp)
 
     bat = sub.add_parser(
@@ -184,6 +200,7 @@ def build_parser() -> argparse.ArgumentParser:
     bat.add_argument("--train-instructions", type=int, default=None)
     bat.add_argument("--seed", type=int, default=0)
     bat.add_argument("--json", action="store_true")
+    _add_core_family_argument(bat)
     _add_engine_arguments(bat)
 
     pipe = sub.add_parser(
@@ -300,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sm.add_argument("--timeout", type=float, default=600.0)
     sm.add_argument("--json", action="store_true")
+    _add_core_family_argument(sm)
     return parser
 
 
@@ -308,7 +326,9 @@ def _engine_from_args(args) -> EstimationEngine:
     if not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     return EstimationEngine(
-        ProcessorConfig(),
+        ProcessorConfig(
+            core_family=getattr(args, "core_family", "inorder6")
+        ),
         max_workers=args.workers,
         cache_dir=cache_dir,
         window_workers=args.window_workers,
@@ -317,7 +337,8 @@ def _engine_from_args(args) -> EstimationEngine:
 
 
 def _fan_out_requests(names, points, *, max_instructions=None,
-                      train_instructions=None, seed=0):
+                      train_instructions=None, seed=0,
+                      core_family="inorder6"):
     """Build the benchmark x speculation request cross product.
 
     Shared by ``sweep`` and ``batch`` so both fan-outs produce
@@ -331,6 +352,7 @@ def _fan_out_requests(names, points, *, max_instructions=None,
             max_instructions=max_instructions,
             train_instructions=train_instructions,
             seed=seed,
+            core_family=core_family,
         )
         for name in names
         for speculation in points
@@ -366,8 +388,11 @@ def _cmd_estimate(args, out) -> int:
         speculation=args.speculation,
         max_instructions=args.max_instructions,
         seed=0,
+        core_family=args.core_family,
     )
-    result = EstimationPipeline(ProcessorConfig()).execute(request)
+    result = EstimationPipeline(
+        ProcessorConfig(core_family=args.core_family)
+    ).execute(request)
     report = result.report
     if args.json:
         out.write(json.dumps(api.report_to_json(report), indent=2) + "\n")
@@ -384,7 +409,8 @@ def _cmd_table2(args, out) -> int:
     engine = _engine_from_args(args)
     requests = [
         api.build_request(
-            workload=name, max_instructions=args.max_instructions, seed=0
+            workload=name, max_instructions=args.max_instructions, seed=0,
+            core_family=args.core_family,
         )
         for name in list_workloads()
     ]
@@ -414,6 +440,7 @@ def _cmd_sweep(args, out) -> int:
     requests = _fan_out_requests(
         [args.benchmark], points,
         max_instructions=args.max_instructions, seed=0,
+        core_family=args.core_family,
     )
     summary = engine.run(requests)
     if args.json:
@@ -453,6 +480,7 @@ def _cmd_batch(args, out) -> int:
         max_instructions=args.max_instructions,
         train_instructions=args.train_instructions,
         seed=args.seed,
+        core_family=args.core_family,
     )
     summary = engine.run(requests)
     if args.json:
@@ -525,6 +553,7 @@ def _parse_backend_overrides(pairs) -> dict[str, str]:
 
 
 def _cmd_pipeline(args, out) -> int:
+    from repro.core.family import available_core_families, get_core_family
     from repro.pipeline.registry import REGISTRY
     from repro.pipeline.store import ArtifactStore
 
@@ -536,10 +565,19 @@ def _cmd_pipeline(args, out) -> int:
         return 2
     cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     store = ArtifactStore(cache_dir) if cache_dir else None
+    families = available_core_families()
     if args.json:
         doc = {
             "schema": "repro.pipeline/1",
             "plan": plan,
+            "core_families": [
+                {
+                    "name": name,
+                    "stages": get_core_family(name).num_stages,
+                    "description": get_core_family(name).description,
+                }
+                for name in families
+            ],
             "stages": REGISTRY.describe(),
             "store": store.describe() if store is not None else None,
         }
@@ -554,6 +592,13 @@ def _cmd_pipeline(args, out) -> int:
                 f"{stage:12s} {selected}{backend['name']:13s} "
                 f"{backend['cache_id']:12s} {backend['description']}\n"
             )
+    out.write("core families:\n")
+    for name in families:
+        family = get_core_family(name)
+        out.write(
+            f"  {name:16s} {family.num_stages} stages  "
+            f"{family.description}\n"
+        )
     if store is not None:
         info = store.describe()
         out.write(f"store: {info['location']}\n")
@@ -630,6 +675,7 @@ def _cmd_submit(args, out) -> int:
             max_instructions=args.max_instructions,
             train_instructions=args.train_instructions,
             seed=args.seed,
+            core_family=args.core_family,
         )
     except api.ApiError as exc:
         out.write(f"error: {exc}\n")

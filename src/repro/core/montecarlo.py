@@ -26,7 +26,8 @@ from repro.cfg.cfg import build_cfg
 from repro.core.collect import SimulationCollector
 from repro.core.processor import ProcessorModel
 from repro.cpu.interpreter import FunctionalSimulator
-from repro.cpu.pipeline import InstructionWindow, PipelineScheduler
+from repro.cpu.pipeline import InstructionWindow
+from repro.dta.algorithm2 import entry_pairs
 from repro.cpu.state import MachineState
 from repro.dta.graphdta import GraphDTSAnalyzer
 from repro.dta.windowpool import ActivityCache, WindowAnalysisPool
@@ -150,9 +151,7 @@ class MonteCarloValidator:
 
         runtime = _MCRuntime(
             cfg=cfg,
-            scheduler=PipelineScheduler(
-                program, num_stages=self.processor.pipeline.num_stages
-            ),
+            scheduler=self.processor.make_scheduler(program),
             simulator=LevelizedSimulator(self.processor.pipeline.netlist),
             encoder=StimulusEncoder(self.processor.pipeline),
             cache=self.activity_cache,
@@ -226,15 +225,16 @@ class MonteCarloValidator:
         activity = rt.cache.activity(
             rt.encoder.encode_schedule(schedule), rt.simulator.activity
         )
-        entries = [len(tail) + k for k in range(n_i)]
+        entries = rt.scheduler.entries(
+            window, [len(tail) + k for k in range(n_i)]
+        )
         # One propagation covers every sampled chip.
         arrivals = self.graph.activated_arrivals_multi(activity, rt.chips)
-        n_stages = self.processor.pipeline.num_stages
+        n_stages = self.processor.num_stages
         err = np.zeros((self.n_chips, n_i))
         for k, entry in enumerate(entries):
             worst = np.full(self.n_chips, -np.inf)
-            for s in range(n_stages):
-                t = entry + s
+            for s, t in entry_pairs(entry, n_stages):
                 if not 0 <= t < activity.n_cycles:
                     continue
                 drivers = self.graph.stage_drivers(s)
@@ -254,7 +254,7 @@ class _MCRuntime:
     """Per-estimate machinery shared with pool workers via fork."""
 
     cfg: object
-    scheduler: PipelineScheduler
+    scheduler: object
     simulator: LevelizedSimulator
     encoder: StimulusEncoder
     cache: ActivityCache

@@ -13,6 +13,7 @@ from __future__ import annotations
 from functools import cached_property
 
 from repro._util import check_positive
+from repro.core.family import CoreFamily, resolve_core_family
 from repro.cpu.correction import CorrectionScheme, ReplayHalfFrequency
 from repro.dta.algorithm1 import StageDTSAnalyzer
 from repro.dta.algorithm2 import InstructionDTSAnalyzer
@@ -51,6 +52,11 @@ class ProcessorModel:
         clock_period_override: Explicit speculative clock period (ps),
             bypassing the baseline/speculation derivation (for sweeps).
         paths_per_endpoint: Path-enumeration depth for the DTA analyzers.
+        core_family: The pipeline organization under analysis — a
+            registered family name, a :class:`CoreFamily` descriptor, or
+            ``None`` for the default in-order core.  The family supplies
+            the netlist generator (when ``pipeline`` is omitted), the
+            occupancy scheduler, and the correction-penalty composition.
     """
 
     def __init__(
@@ -64,10 +70,12 @@ class ProcessorModel:
         droop_guardband: float = 1.04,
         clock_period_override: float | None = None,
         paths_per_endpoint: int = 12,
+        core_family: "CoreFamily | str | None" = None,
     ) -> None:
         check_positive("speculation", speculation)
         check_positive("droop_guardband", droop_guardband)
-        self.pipeline = pipeline or generate_pipeline()
+        self.core_family = resolve_core_family(core_family)
+        self.pipeline = pipeline or self.core_family.build_netlist(None)
         self.library = library or TimingLibrary()
         self.variation = ProcessVariationModel(
             self.pipeline.netlist, self.library, variation_config
@@ -116,6 +124,28 @@ class ProcessorModel:
         return 1.0e6 / self.clock_period
 
     # ------------------------------------------------------------------ #
+    # Family-derived structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline depth — the single accessor every depth consumer
+        (performance, penalties, describe, derive) goes through."""
+        return self.pipeline.num_stages
+
+    @property
+    def penalty_cycles(self) -> float:
+        """Cycles lost per corrected error: the scheme's replay/flush
+        penalty composed with the family's recovery cost."""
+        return self.core_family.correction_penalty(
+            self.scheme, self.num_stages
+        )
+
+    def make_scheduler(self, program):
+        """The family's occupancy scheduler for ``program``."""
+        return self.core_family.make_scheduler(program, self.pipeline)
+
+    # ------------------------------------------------------------------ #
     # DTA analyzers
     # ------------------------------------------------------------------ #
 
@@ -153,18 +183,18 @@ class ProcessorModel:
     def datapath_model(self) -> DatapathTimingModel:
         """Trained datapath timing model (fitted once per processor)."""
         trainer = DatapathTrainer(
-            self.pipeline, self.data_analyzer, self.library.setup_time
+            self.pipeline,
+            self.data_analyzer,
+            self.library.setup_time,
+            scheduler_factory=self.core_family.make_scheduler,
         )
         model, _ = trainer.train()
         return model
 
     @cached_property
     def performance(self) -> TSPerformanceModel:
-        return TSPerformanceModel(
-            speculation=self.speculation,
-            penalty_cycles=self.scheme.penalty_cycles(
-                self.pipeline.num_stages
-            ),
+        return self.core_family.make_performance(
+            self.speculation, self.scheme, self.num_stages
         )
 
     # ------------------------------------------------------------------ #
@@ -227,6 +257,7 @@ class ProcessorModel:
             ),
             clock_period_override=clock_period_override,
             paths_per_endpoint=self.paths_per_endpoint,
+            core_family=self.core_family,
         )
         # Share the sampled variation model itself (the constructor built
         # an equivalent one; the engines below reference this instance).
@@ -256,16 +287,15 @@ class ProcessorModel:
     def describe(self) -> dict:
         """Operating-point summary (the Section 6.1 numbers)."""
         return {
+            "core_family": self.core_family.name,
             "gates": len(self.pipeline.netlist),
-            "stages": self.pipeline.num_stages,
+            "stages": self.num_stages,
             "baseline_frequency_mhz": self.baseline_frequency_mhz,
             "working_frequency_mhz": self.working_frequency_mhz,
             "speculation": self.speculation,
             "clock_period_ps": self.clock_period,
             "correction": self.scheme.name,
-            "penalty_cycles": self.scheme.penalty_cycles(
-                self.pipeline.num_stages
-            ),
+            "penalty_cycles": self.penalty_cycles,
         }
 
 

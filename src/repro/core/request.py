@@ -49,6 +49,8 @@ class EstimationRequest:
             deterministic per-job seed from the request identity.
         reservoir_size: Per-block operand reservoir size for the
             simulation collector.
+        core_family: Registered core-family name the job runs on
+            (``"inorder6"`` by default).
     """
 
     workload: "str | Workload"
@@ -61,8 +63,10 @@ class EstimationRequest:
     train_instructions: int | None = None
     seed: int | None = None
     reservoir_size: int = 160
+    core_family: str = "inorder6"
 
     def __post_init__(self) -> None:
+        from repro.core.family import get_core_family
         from repro.workloads.base import SCALES
 
         check_in("train_scale", self.train_scale, set(SCALES))
@@ -70,6 +74,7 @@ class EstimationRequest:
         check_positive("reservoir_size", self.reservoir_size)
         if self.speculation is not None:
             check_positive("speculation", self.speculation)
+        get_core_family(self.core_family)
 
     # ------------------------------------------------------------------ #
 
@@ -98,7 +103,7 @@ class EstimationRequest:
         Used for the deterministic per-job seed and as part of the
         artifact-cache key material.
         """
-        return {
+        doc = {
             "workload": self.workload_name,
             "train_scale": self.train_scale,
             "eval_scale": self.eval_scale,
@@ -109,6 +114,11 @@ class EstimationRequest:
             "train_instructions": self.train_instructions,
             "reservoir_size": self.reservoir_size,
         }
+        # Omitted at the default so pre-family requests keep the same
+        # identity (and therefore the same derived per-job seed).
+        if self.core_family != "inorder6":
+            doc["core_family"] = self.core_family
+        return doc
 
     def resolved_seed(self) -> int:
         """The sampling seed: explicit, or derived from the identity."""

@@ -1,0 +1,30 @@
+"""Speculative out-of-order (Tomasulo) core family.
+
+Deterministic timing and occupancy model of a single-issue Tomasulo
+machine: an in-order front end (fetch/decode/rename) feeding
+reservation stations, out-of-order issue to the functional units, a
+single result bus (CDB) arbitrated oldest-first, and in-order commit
+through a reorder buffer.  Conditional branches are predicted with
+2-bit saturating counters; mispredictions resolve at execute and
+restart the front end, and correction events flush through the same
+recovery path.
+
+The package mirrors the arq3 tomasulo layout cited in ROADMAP:
+``reservation_station`` / ``reorder_buffer`` / ``branch_predictor`` /
+``speculation`` components composed by ``scheduler``.
+"""
+
+from repro.cpu.ooo.branch_predictor import TwoBitPredictor
+from repro.cpu.ooo.reorder_buffer import ReorderBuffer
+from repro.cpu.ooo.reservation_station import ReservationStations
+from repro.cpu.ooo.scheduler import OoOScheduler, make_ooo_scheduler
+from repro.cpu.ooo.speculation import SpeculationManager
+
+__all__ = [
+    "TwoBitPredictor",
+    "ReorderBuffer",
+    "ReservationStations",
+    "SpeculationManager",
+    "OoOScheduler",
+    "make_ooo_scheduler",
+]

@@ -1,0 +1,44 @@
+"""2-bit saturating-counter branch predictor.
+
+The classic bimodal predictor: one 2-bit counter per static branch,
+initialized weakly-not-taken.  Characterization windows are short and
+the model is replayed deterministically, so the table is indexed by the
+static instruction index directly (no aliasing) and reset per window.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TwoBitPredictor"]
+
+#: Counter states: 0/1 predict not-taken, 2/3 predict taken.
+_WEAK_NOT_TAKEN = 1
+_MAX_STATE = 3
+
+
+class TwoBitPredictor:
+    """Per-static-branch 2-bit saturating counters.
+
+    Args:
+        initial: Initial counter state for unseen branches
+            (default weakly-not-taken).
+    """
+
+    def __init__(self, initial: int = _WEAK_NOT_TAKEN) -> None:
+        if not 0 <= initial <= _MAX_STATE:
+            raise ValueError(f"initial state must be 0..3, got {initial}")
+        self.initial = initial
+        self._counters: dict[int, int] = {}
+
+    def predict(self, index: int) -> bool:
+        """Predicted taken/not-taken for static instruction ``index``."""
+        return self._counters.get(index, self.initial) >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        """Train the counter with the resolved outcome."""
+        state = self._counters.get(index, self.initial)
+        state = min(state + 1, _MAX_STATE) if taken else max(state - 1, 0)
+        self._counters[index] = state
+
+    def reset(self) -> None:
+        """Forget all training (fresh per characterization window)."""
+        self._counters.clear()

@@ -1,0 +1,68 @@
+"""Reorder buffer: in-order allocation and commit over a bounded window.
+
+The ROB gives the timing model its two in-order constraints: rename
+stalls when the buffer is full (the allocating instruction must wait
+for the head to commit) and commit retires at most one instruction per
+cycle in program order.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReorderBuffer"]
+
+
+class ReorderBuffer:
+    """Bounded in-order allocate/commit tracking.
+
+    Args:
+        capacity: Maximum in-flight (renamed, uncommitted) instructions.
+        commit_width: Instructions retired per cycle (1 for the modelled
+            single-issue core).
+    """
+
+    def __init__(self, capacity: int = 16, commit_width: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if commit_width != 1:
+            raise ValueError("only commit_width=1 is modelled")
+        self.capacity = capacity
+        self.commit_width = commit_width
+        #: Commit cycles of allocated entries, in allocation order.
+        self._commits: list[int] = []
+
+    @property
+    def allocated(self) -> int:
+        return len(self._commits)
+
+    def earliest_allocate(self, cycle: int) -> int:
+        """First cycle >= ``cycle`` with a free entry.
+
+        With ``capacity`` entries in flight, the next allocation waits
+        for the oldest of the last ``capacity`` commits.
+        """
+        if len(self._commits) < self.capacity:
+            return cycle
+        head_commit = self._commits[-self.capacity]
+        return max(cycle, head_commit + 1)
+
+    def commit_cycle(self, result_cycle: int) -> int:
+        """Allocate the next entry and return its in-order commit cycle.
+
+        The entry retires one cycle after its result is on the CDB, no
+        earlier than one cycle after the previous entry's commit.
+        """
+        commit = result_cycle + 1
+        if self._commits:
+            commit = max(commit, self._commits[-1] + 1)
+        self._commits.append(commit)
+        return commit
+
+    def drain_cycle(self, cycle: int) -> int:
+        """First cycle > every outstanding commit (a full flush barrier)."""
+        if not self._commits:
+            return cycle
+        return max(cycle, self._commits[-1] + 1)
+
+    def reset(self) -> None:
+        """Empty the buffer (fresh per characterization window)."""
+        self._commits.clear()

@@ -1,0 +1,85 @@
+"""Reservation stations: dispatch capacity and operand wait tracking.
+
+Stations are grouped by functional-unit class (ALU-like, memory,
+branch).  The timing model needs two things from them: *when* an
+instruction can be dispatched (a station in its group must be free) and
+*when* its station frees again (after the result broadcasts on the
+CDB), both answered deterministically.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import OpClass
+
+__all__ = ["ReservationStations", "station_group"]
+
+#: Functional-unit station groups.
+_ALU = "alu"
+_MEM = "mem"
+_BRANCH = "branch"
+
+
+def station_group(op_class: OpClass) -> str:
+    """The reservation-station group serving an opcode class."""
+    if op_class in (OpClass.LOAD, OpClass.STORE):
+        return _MEM
+    if op_class is OpClass.CONTROL:
+        return _BRANCH
+    return _ALU
+
+
+class ReservationStations:
+    """Per-group station pools with deterministic free-cycle tracking.
+
+    Args:
+        n_alu: Stations serving adder/logic/shift/multiply ops.
+        n_mem: Stations serving loads and stores.
+        n_branch: Stations serving control transfers.
+    """
+
+    def __init__(
+        self, n_alu: int = 4, n_mem: int = 2, n_branch: int = 2
+    ) -> None:
+        for name, value in (
+            ("n_alu", n_alu), ("n_mem", n_mem), ("n_branch", n_branch)
+        ):
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        #: group -> busy-until cycle per station (0 = free from cycle 0).
+        self._busy: dict[str, list[int]] = {
+            _ALU: [0] * n_alu,
+            _MEM: [0] * n_mem,
+            _BRANCH: [0] * n_branch,
+        }
+
+    def earliest_dispatch(self, group: str, cycle: int) -> int:
+        """First cycle >= ``cycle`` with a free station in ``group``."""
+        return max(cycle, min(self._busy[group]))
+
+    def occupy(self, group: str, dispatch: int, free: int) -> None:
+        """Claim the earliest-free station from ``dispatch`` until ``free``.
+
+        Stations are picked lowest-index-first among the least busy —
+        a fixed tie-break that keeps replays deterministic.
+        """
+        stations = self._busy[group]
+        pick = min(range(len(stations)), key=lambda i: (stations[i], i))
+        if stations[pick] > dispatch:
+            raise ValueError(
+                f"no free {group} station at cycle {dispatch} "
+                f"(earliest {stations[pick]})"
+            )
+        stations[pick] = free
+
+    def flush_after(self, cycle: int) -> None:
+        """Release stations still busy past ``cycle`` (recovery flush)."""
+        for stations in self._busy.values():
+            for i, busy in enumerate(stations):
+                if busy > cycle:
+                    stations[i] = cycle
+
+    def reset(self) -> None:
+        """Free every station (fresh per characterization window)."""
+        for stations in self._busy.values():
+            for i in range(len(stations)):
+                stations[i] = 0

@@ -1,0 +1,334 @@
+"""Occupancy scheduling for the speculative out-of-order (Tomasulo) core.
+
+Maps characterization windows onto per-cycle stage occupancy of an
+8-stage speculative machine::
+
+    IF -> ID -> RN -> IS -> EX -> ME -> WB -> CM
+
+with an in-order single-issue front end (fetch / decode / rename), a
+reorder buffer bounding the in-flight window, grouped reservation
+stations, out-of-order issue, a single common data bus arbitrated
+oldest-first, and in-order commit.  Conditional branches are predicted
+with 2-bit counters; a misprediction stalls fetch until the branch's
+CDB broadcast.  Bubble slots (``None``) model correction flushes: the
+front end drains the reorder buffer before refetching, which is the
+recovery behaviour the correction-emulation windows (p^e) need.
+
+The model is fully deterministic: replaying the same window always
+produces the same schedule, so characterization results are replayable
+and cache-stable — the same property the in-order
+:class:`~repro.cpu.pipeline.PipelineScheduler` guarantees.
+
+Unlike the in-order core an instruction's trajectory is not
+``entry + s``; downstream DTS analysis receives explicit
+``(stage, cycle)`` pairs via :meth:`OoOScheduler.entries`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.interpreter import StepRecord
+from repro.cpu.isa import Opcode, OpClass, WORD_MASK
+from repro.cpu.ooo.reorder_buffer import ReorderBuffer
+from repro.cpu.ooo.reservation_station import ReservationStations, station_group
+from repro.cpu.ooo.speculation import SpeculationManager
+from repro.cpu.pipeline import InstructionWindow, _ex_overrides, _flags_proxy
+from repro.cpu.program import Program
+from repro.logicsim.stimulus import PipelineCycle, StageOccupancy
+
+__all__ = ["OoOScheduler", "make_ooo_scheduler"]
+
+#: Stage indices of the modelled machine.
+IF, ID, RN, IS, EX, ME, WB, CM = range(8)
+NUM_STAGES = 8
+
+#: Reorder-buffer tag width (32 entries >= the modelled ROB capacity).
+_TAG_MASK = 0x1F
+
+#: Execute latency per opcode class (cycles in EX).
+_EX_LATENCY = {OpClass.MULT: 3}
+
+#: Opcode classes whose result is written back to the register file.
+_WRITING_CLASSES = frozenset(
+    {OpClass.ADDER, OpClass.LOGIC, OpClass.SHIFT, OpClass.MULT, OpClass.LOAD}
+)
+
+
+@dataclass(slots=True)
+class _SlotTiming:
+    """Resolved cycle numbers for one window slot."""
+
+    fetch: int
+    rename: int
+    issue: int
+    ex_cycles: list[int]
+    me: int | None
+    wb: int
+    commit: int
+
+
+@dataclass(slots=True)
+class _Plan:
+    """A fully-resolved window schedule.
+
+    Attributes:
+        claims: ``(stage, cycle) -> slot index`` occupant map —
+            oldest-first, so a younger instruction never displaces an
+            older one from a stage it also wants.
+        slot_pairs: Per slot, the (stage, cycle) pairs it actually
+            occupies (its claims that won arbitration); bubbles get an
+            empty list.
+        n_cycles: Schedule length.
+    """
+
+    claims: dict[tuple[int, int], int] = field(default_factory=dict)
+    slot_pairs: list[list[tuple[int, int]]] = field(default_factory=list)
+    n_cycles: int = 1
+
+
+class OoOScheduler:
+    """Deterministic Tomasulo occupancy model over instruction windows.
+
+    Args:
+        program: The program the window's records refer to.
+        num_stages: Pipeline depth; must equal 8 (the IF..CM stages).
+        rob_capacity: Reorder-buffer entries bounding the in-flight window.
+        n_alu: ALU-group reservation stations.
+        n_mem: Memory-group reservation stations.
+        n_branch: Branch-group reservation stations.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        num_stages: int = NUM_STAGES,
+        rob_capacity: int = 16,
+        n_alu: int = 4,
+        n_mem: int = 2,
+        n_branch: int = 2,
+    ) -> None:
+        if num_stages != NUM_STAGES:
+            raise ValueError(
+                f"the Tomasulo model has {NUM_STAGES} stages, got {num_stages}"
+            )
+        self.program = program
+        self.num_stages = num_stages
+        self.rob_capacity = rob_capacity
+        self.n_alu = n_alu
+        self.n_mem = n_mem
+        self.n_branch = n_branch
+        self._last_window: InstructionWindow | None = None
+        self._last_plan: _Plan | None = None
+
+    # ------------------------------------------------------------------ #
+    # Timing resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, window: InstructionWindow) -> list[_SlotTiming | None]:
+        """Per-slot cycle numbers, replayed in program order."""
+        rob = ReorderBuffer(capacity=self.rob_capacity)
+        stations = ReservationStations(self.n_alu, self.n_mem, self.n_branch)
+        spec = SpeculationManager()
+        cdb_busy: set[int] = set()
+        last_writer: dict[int, int] = {}
+        timings: list[_SlotTiming | None] = []
+        next_fetch = 0
+        prev_rename = -1
+        for i, record in enumerate(window.slots):
+            if record is None:
+                # Correction-flush barrier: the front end idles until
+                # every in-flight instruction has committed.
+                next_fetch = rob.drain_cycle(next_fetch + 1)
+                timings.append(None)
+                continue
+            ins = self.program[record.index]
+            fetch = next_fetch
+            next_fetch = fetch + 1
+            group = station_group(ins.op_class)
+            rename = max(fetch + 2, prev_rename + 1)
+            rename = rob.earliest_allocate(rename)
+            rename = stations.earliest_dispatch(group, rename)
+            prev_rename = rename
+            # Out-of-order wakeup: wait for the youngest older producer
+            # of each source register to broadcast on the CDB.
+            issue = rename + 1
+            sources = {ins.rs1}
+            if ins.rs2 is not None:
+                sources.add(ins.rs2)
+            if ins.op == Opcode.ST:
+                sources.add(ins.rd)
+            for reg in sources:
+                if reg == 0:
+                    continue
+                producer = last_writer.get(reg)
+                if producer is not None:
+                    prod = timings[producer]
+                    if prod is not None:
+                        issue = max(issue, prod.wb + 1)
+            ex_lat = _EX_LATENCY.get(ins.op_class, 1)
+            ex_cycles = [issue + 1 + c for c in range(ex_lat)]
+            is_mem = ins.op_class in (OpClass.LOAD, OpClass.STORE)
+            me = ex_cycles[-1] + 1 if is_mem else None
+            result_cycle = me if me is not None else ex_cycles[-1]
+            # Single CDB, oldest-first: program order is arbitration order.
+            wb = result_cycle + 1
+            while wb in cdb_busy:
+                wb += 1
+            cdb_busy.add(wb)
+            stations.occupy(group, rename, wb)
+            commit = rob.commit_cycle(wb)
+            if ins.is_conditional_branch:
+                restart = spec.resolve(record.index, bool(record.result), wb)
+                if restart is not None:
+                    next_fetch = max(next_fetch, restart)
+            if ins.op_class in _WRITING_CLASSES or ins.op == Opcode.LI:
+                if ins.rd != 0:
+                    last_writer[ins.rd] = i
+            elif ins.op == Opcode.CALL:
+                last_writer[15] = i
+            timings.append(
+                _SlotTiming(fetch, rename, issue, ex_cycles, me, wb, commit)
+            )
+        return timings
+
+    def _plan(self, window: InstructionWindow) -> _Plan:
+        """Resolve and arbitrate a window (memoized on window identity)."""
+        if window is self._last_window and self._last_plan is not None:
+            return self._last_plan
+        timings = self._resolve(window)
+        plan = _Plan(slot_pairs=[[] for _ in window.slots])
+        last_cycle = 0
+        for i, t in enumerate(timings):
+            if t is None:
+                continue
+            wanted = [(IF, t.fetch), (ID, t.fetch + 1), (RN, t.rename),
+                      (IS, t.issue)]
+            wanted.extend((EX, c) for c in t.ex_cycles)
+            if t.me is not None:
+                wanted.append((ME, t.me))
+            wanted.extend([(WB, t.wb), (CM, t.commit)])
+            for pair in wanted:
+                if pair not in plan.claims:
+                    plan.claims[pair] = i
+                    plan.slot_pairs[i].append(pair)
+                last_cycle = max(last_cycle, pair[1])
+        plan.n_cycles = last_cycle + 1
+        self._last_window = window
+        self._last_plan = plan
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # Occupancy encoding
+    # ------------------------------------------------------------------ #
+
+    def _occupancy(
+        self,
+        stage: int,
+        record: StepRecord,
+        prev: StepRecord | None,
+    ) -> StageOccupancy:
+        ins = self.program[record.index]
+        token = self.program.token_of(record.index)
+        op_token = self.program.op_token_of(record.index)
+        class_token = self.program.class_token_of(record.index)
+        a, b, result = record.a, record.b, record.result
+        tag = record.index & _TAG_MASK
+        overrides: dict[int, bool] = {}
+        if stage == EX:
+            overrides = _ex_overrides(ins)
+        elif stage in (ME, WB):
+            overrides = {0: ins.op == Opcode.LD}
+        if stage == IF:
+            data = {
+                "pc": record.index & WORD_MASK,
+                "pc_next": record.index & WORD_MASK,
+                "fetch_imm": ins.imm & 0xFF,
+            }
+        elif stage == RN:
+            data = {"rn_tag": tag}
+        elif stage == IS:
+            data = {"rs_a": a & WORD_MASK, "rs_b": b & WORD_MASK}
+        elif stage == EX:
+            data = {
+                "op_a": a & WORD_MASK,
+                "op_b": b & WORD_MASK,
+                "cc": _flags_proxy(prev),
+            }
+        elif stage == ME:
+            if ins.op in (Opcode.LD, Opcode.ST):
+                address = (a + ins.imm) & WORD_MASK
+                loaded = result & WORD_MASK if ins.op == Opcode.LD else 0
+            else:
+                address = result & WORD_MASK
+                loaded = 0
+            data = {
+                "ma": address,
+                "mem_d": loaded,
+                "ex_result": result & WORD_MASK,
+            }
+        elif stage == WB:
+            data = {"cdb_val": result & WORD_MASK, "cdb_tag": tag}
+        elif stage == CM:
+            data = {"cm_val": result & WORD_MASK}
+        else:
+            data = {}
+        return StageOccupancy(
+            token=token,
+            op_token=op_token,
+            class_token=class_token,
+            data=data,
+            ctrl_overrides=overrides,
+        )
+
+    def schedule(self, window: InstructionWindow) -> list[PipelineCycle]:
+        """Per-cycle occupancy of a window through the Tomasulo machine.
+
+        Every (stage, cycle) has at most one occupant — the oldest
+        instruction wanting it — and unoccupied stages carry bubble
+        occupancies, mirroring the in-order scheduler's contract (each
+        cycle has exactly ``num_stages`` entries).
+        """
+        plan = self._plan(window)
+        slots = window.slots
+        prevs: list[StepRecord | None] = []
+        prev: StepRecord | None = None
+        for slot in slots:
+            prevs.append(prev)
+            if slot is not None:
+                prev = slot
+        cycles: list[PipelineCycle] = []
+        for c in range(plan.n_cycles):
+            cycle: PipelineCycle = []
+            for s in range(self.num_stages):
+                i = plan.claims.get((s, c))
+                if i is None:
+                    cycle.append(StageOccupancy())
+                else:
+                    cycle.append(self._occupancy(s, slots[i], prevs[i]))
+            cycles.append(cycle)
+        return cycles
+
+    def entries(
+        self, window: InstructionWindow, slot_indices: list[int]
+    ) -> list[list[tuple[int, int]]]:
+        """Explicit (stage, cycle) trajectories for the given slots.
+
+        The DTS analyzers consume these instead of the in-order
+        ``entry + s`` walk; only stage-cycles the slot actually won in
+        arbitration are included.
+        """
+        plan = self._plan(window)
+        return [list(plan.slot_pairs[i]) for i in slot_indices]
+
+    def entry_cycle(self, slot_index: int) -> int:
+        """Unsupported: out-of-order trajectories are window-dependent."""
+        raise NotImplementedError(
+            "OoOScheduler has no window-independent entry cycle; "
+            "use entries(window, slot_indices)"
+        )
+
+
+def make_ooo_scheduler(program: Program, pipeline) -> OoOScheduler:
+    """Family hook: build the Tomasulo scheduler for a generated pipeline."""
+    return OoOScheduler(program, num_stages=pipeline.num_stages)

@@ -1,0 +1,54 @@
+"""Speculation manager: misprediction detection and front-end recovery.
+
+Couples the branch predictor to the resolved outcomes of a replayed
+window: every conditional branch is predicted at fetch, trained at
+resolution, and — when the prediction was wrong — the front end
+restarts after the resolving broadcast.  The window's records are the
+committed path (the functional simulator never follows wrong paths), so
+recovery manifests purely as fetch-delay, which is exactly what the
+occupancy timing model needs.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.ooo.branch_predictor import TwoBitPredictor
+
+__all__ = ["SpeculationManager"]
+
+
+class SpeculationManager:
+    """Deterministic per-window branch-speculation bookkeeping.
+
+    Args:
+        predictor: The branch predictor consulted at fetch (a fresh
+            :class:`TwoBitPredictor` when omitted).
+    """
+
+    def __init__(self, predictor: TwoBitPredictor | None = None) -> None:
+        self.predictor = predictor or TwoBitPredictor()
+        self.mispredictions = 0
+
+    def resolve(self, index: int, taken: bool, resolve_cycle: int) -> int | None:
+        """Predict, train, and report recovery for one conditional branch.
+
+        Args:
+            index: Static instruction index of the branch.
+            taken: The architected outcome (from the
+                :class:`~repro.cpu.interpreter.StepRecord` replay).
+            resolve_cycle: Cycle the branch's resolution broadcasts.
+
+        Returns:
+            The cycle the front end may fetch again (misprediction
+            recovery), or ``None`` when the prediction was correct.
+        """
+        predicted = self.predictor.predict(index)
+        self.predictor.update(index, taken)
+        if predicted == taken:
+            return None
+        self.mispredictions += 1
+        return resolve_cycle + 1
+
+    def reset(self) -> None:
+        """Fresh predictor state (per characterization window)."""
+        self.predictor.reset()
+        self.mispredictions = 0

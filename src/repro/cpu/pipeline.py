@@ -241,3 +241,15 @@ class PipelineScheduler:
     def entry_cycle(self, slot_index: int) -> int:
         """Cycle at which slot ``slot_index`` enters stage 0."""
         return slot_index
+
+    def entries(
+        self, window: InstructionWindow, slot_indices: list[int]
+    ) -> list[int]:
+        """Analyzer entry specs for the given slots.
+
+        The in-order trajectory is fully described by the entry cycle
+        (stage ``s`` at ``entry + s``), so the specs are plain integers;
+        out-of-order schedulers return explicit (stage, cycle) pair
+        lists from the same method.
+        """
+        return [self.entry_cycle(i) for i in slot_indices]

@@ -10,6 +10,13 @@ share gates); rather than combining already-reduced stage minima — which
 would lose the cross-stage covariance — the analyzer unions the activated
 critical paths (AP sets) of all the instruction's (stage, cycle) pairs and
 performs a single statistical minimum over them.
+
+The ``t + s`` walk above is the *in-order* trajectory.  Core families
+whose instructions do not march one stage per cycle (the speculative
+out-of-order core issues, completes, and commits on data- and
+resource-dependent cycles) pass explicit ``(stage, cycle)`` pair lists
+instead of an entry cycle; the analyzer accepts either form everywhere
+an entry is taken.
 """
 
 from __future__ import annotations
@@ -20,7 +27,18 @@ from repro.logicsim.activity import ActivityTrace
 from repro.netlist.paths import Path
 from repro.sta.gaussian import Gaussian
 
-__all__ = ["InstructionDTSAnalyzer"]
+__all__ = ["InstructionDTSAnalyzer", "entry_pairs"]
+
+
+def entry_pairs(entry, num_stages: int) -> list[tuple[int, int]]:
+    """Normalize an entry spec into explicit ``(stage, cycle)`` pairs.
+
+    Integers expand through the in-order contract (stage ``s`` occupied
+    at cycle ``entry + s``); pair lists pass through unchanged.
+    """
+    if isinstance(entry, (list, tuple)):
+        return list(entry)
+    return [(s, entry + s) for s in range(num_stages)]
 
 
 class InstructionDTSAnalyzer:
@@ -40,7 +58,7 @@ class InstructionDTSAnalyzer:
     def instruction_ap(
         self,
         activity: ActivityTrace,
-        entry_cycle: int,
+        entry_cycle: "int | list[tuple[int, int]]",
         clock_period: float,
         mode: str = "statistical",
         ap_traces: list[list[list[Path]]] | None = None,
@@ -48,7 +66,9 @@ class InstructionDTSAnalyzer:
     ) -> list[Path]:
         """Union of AP sets over the instruction's (stage, cycle) pairs.
 
-        ``entry_cycle`` is the cycle the instruction enters stage 0.  Pairs
+        ``entry_cycle`` is the cycle the instruction enters stage 0, or
+        an explicit ``(stage, cycle)`` pair list for core families with
+        data-dependent trajectories (see :func:`entry_pairs`).  Pairs
         that fall outside the trace window are skipped.  ``ap_traces`` may
         carry precomputed per-stage AP traces (from
         :meth:`StageDTSAnalyzer.ap_trace`) to amortize work across the many
@@ -57,8 +77,7 @@ class InstructionDTSAnalyzer:
         check_in("mode", mode, {"statistical", "deterministic"})
         union: list[Path] = []
         seen: set[tuple] = set()
-        for s in range(self.num_stages):
-            t = entry_cycle + s
+        for s, t in entry_pairs(entry_cycle, self.num_stages):
             if not 0 <= t < activity.n_cycles:
                 continue
             if ap_traces is not None:
@@ -77,7 +96,7 @@ class InstructionDTSAnalyzer:
     def instruction_dts(
         self,
         activity: ActivityTrace,
-        entry_cycle: int,
+        entry_cycle: "int | list[tuple[int, int]]",
         clock_period: float,
         mode: str = "statistical",
         ap_traces: list[list[list[Path]]] | None = None,
@@ -96,7 +115,7 @@ class InstructionDTSAnalyzer:
     def window_dts(
         self,
         activity: ActivityTrace,
-        entry_cycles: list[int],
+        entry_cycles: list,
         clock_period: float,
         mode: str = "statistical",
         include_safe: bool = False,
@@ -123,7 +142,7 @@ class InstructionDTSAnalyzer:
     def window_dts_grid(
         self,
         activity: ActivityTrace,
-        entry_cycles: list[int],
+        entry_cycles: list,
         clock_periods: list[float],
         mode: str = "statistical",
         include_safe: bool = False,

@@ -223,6 +223,11 @@ class ControlCharacterizer:
         executor: Named window executor running the fan-out
             (:mod:`repro.dta.executor`): ``"auto"`` (adaptive default),
             ``"local-serial"``, or ``"local-fork"``.
+        scheduler: Occupancy scheduler mapping windows onto per-cycle
+            stage occupancy (a core family's ``make_scheduler`` product).
+            Defaults to the in-order :class:`PipelineScheduler`; any
+            object with ``schedule(window)`` and
+            ``entries(window, slot_indices)`` works.
     """
 
     def __init__(
@@ -235,6 +240,7 @@ class ControlCharacterizer:
         activity_cache: ActivityCache | None = None,
         window_workers: int = 1,
         executor: str = "auto",
+        scheduler=None,
     ) -> None:
         self.pipeline = pipeline
         self.analyzer = analyzer
@@ -246,7 +252,7 @@ class ControlCharacterizer:
         )
         self.window_workers = window_workers
         self.executor = executor
-        self.scheduler = PipelineScheduler(
+        self.scheduler = scheduler or PipelineScheduler(
             program, num_stages=pipeline.num_stages
         )
         self.simulator = LevelizedSimulator(pipeline.netlist)
@@ -261,7 +267,9 @@ class ControlCharacterizer:
             source_values, self.simulator.activity
         )
         return self.analyzer.window_dts(
-            activity, slot_indices, self.clock_period
+            activity,
+            self.scheduler.entries(window, slot_indices),
+            self.clock_period,
         )
 
     def characterize_edge_values(
@@ -317,7 +325,9 @@ class ControlCharacterizer:
             source_values, self.simulator.activity
         )
         return self.analyzer.window_dts_grid(
-            activity, slot_indices, clock_periods
+            activity,
+            self.scheduler.entries(window, slot_indices),
+            clock_periods,
         )
 
     def characterize_edge_values_grid(

@@ -40,6 +40,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import platform
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -49,6 +50,7 @@ from repro.kernels import kernel_stats
 
 __all__ = [
     "ExecutionPlan",
+    "PoolCostModel",
     "WindowExecutor",
     "SerialWindowExecutor",
     "ForkWindowExecutor",
@@ -61,16 +63,27 @@ __all__ = [
     "fork_safe",
     "observed_task_ms",
     "last_execution_plan",
+    "pool_cost_model",
+    "calibrate_pool_costs",
+    "measure_pool_costs",
 ]
 
 # ---------------------------------------------------------------------- #
 # Cost-model constants (milliseconds)
 # ---------------------------------------------------------------------- #
 
-#: One-off cost of standing a fork pool up (pool plumbing + first fork).
+#: Built-in fallback for the one-off cost of standing a fork pool up
+#: (pool plumbing + first fork).  The ``auto`` executor prefers a
+#: per-host *measured* value — see :func:`calibrate_pool_costs`.
 POOL_STARTUP_MS = 25.0
-#: Marginal cost per forked worker (fork + warm-up + teardown).
+#: Built-in fallback for the marginal cost per forked worker
+#: (fork + warm-up + teardown).
 WORKER_SPAWN_MS = 20.0
+#: Environment overrides for the two costs above.  When either is set,
+#: it wins over both the persisted calibration and the defaults —
+#: reproducible tests pin the cost model this way.
+POOL_STARTUP_ENV = "REPRO_POOL_STARTUP_MS"
+WORKER_SPAWN_ENV = "REPRO_WORKER_SPAWN_MS"
 #: Fewer tasks than this never fork: even free workers cannot amortize.
 MIN_TASKS_TO_FORK = 4
 #: Predicted serial/parallel ratio required before ``auto`` forks.
@@ -120,6 +133,164 @@ def observed_task_ms() -> float | None:
     if stats.pool_tasks <= 0:
         return None
     return stats.pool_task_ms / stats.pool_tasks
+
+
+# ---------------------------------------------------------------------- #
+# Per-host pool-cost calibration
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class PoolCostModel:
+    """The fork-pool overhead costs the ``auto`` executor plans with.
+
+    Attributes:
+        pool_startup_ms: One-off cost of standing the pool up.
+        worker_spawn_ms: Marginal cost per forked worker.
+        source: Where the numbers came from — ``"env"`` (the
+            :data:`POOL_STARTUP_ENV` / :data:`WORKER_SPAWN_ENV`
+            overrides), ``"store"`` (a persisted per-host calibration),
+            ``"measured"`` (a fresh measurement on this host), or
+            ``"default"`` (the built-in constants).
+    """
+
+    pool_startup_ms: float = POOL_STARTUP_MS
+    worker_spawn_ms: float = WORKER_SPAWN_MS
+    source: str = "default"
+
+    def to_json(self) -> dict:
+        return {
+            "pool_startup_ms": self.pool_startup_ms,
+            "worker_spawn_ms": self.worker_spawn_ms,
+            "source": self.source,
+        }
+
+
+#: Store namespace + per-host key the calibration persists under.
+_CALIBRATION_NAMESPACE = "calibration"
+
+_COST_LOCK = threading.Lock()
+_COST_MODEL: PoolCostModel | None = None
+
+
+def _calibration_key() -> str:
+    return f"pool-cost/{platform.node() or 'unknown-host'}"
+
+
+def _env_cost_model() -> PoolCostModel | None:
+    """The env-override cost model, or ``None`` when neither var is set."""
+    startup = os.environ.get(POOL_STARTUP_ENV)
+    spawn = os.environ.get(WORKER_SPAWN_ENV)
+    if startup is None and spawn is None:
+        return None
+
+    def _parse(text: str | None, fallback: float) -> float:
+        if text is None:
+            return fallback
+        try:
+            return max(float(text), 0.0)
+        except ValueError:
+            return fallback
+
+    return PoolCostModel(
+        pool_startup_ms=_parse(startup, POOL_STARTUP_MS),
+        worker_spawn_ms=_parse(spawn, WORKER_SPAWN_MS),
+        source="env",
+    )
+
+
+def _noop_task(_index: int) -> None:
+    return None
+
+
+def _timed_pool_ms(workers: int) -> float:
+    """Wall ms to stand up, exercise, and tear down a fork pool."""
+    mp_context = multiprocessing.get_context("fork")
+    start = time.perf_counter()
+    with ProcessPoolExecutor(
+        max_workers=workers, mp_context=mp_context
+    ) as pool:
+        list(pool.map(_noop_task, range(workers)))
+    return 1000.0 * (time.perf_counter() - start)
+
+
+def measure_pool_costs() -> PoolCostModel:
+    """Measure this host's fork-pool overheads.
+
+    Times a 1-worker and a 3-worker pool over no-op tasks; the slope
+    gives the marginal per-worker spawn cost and the intercept the
+    one-off pool startup.  Falls back to the built-in defaults when
+    forking is unavailable or currently unsafe.
+    """
+    if not fork_available() or not fork_safe():
+        return PoolCostModel(source="default")
+    try:
+        t1 = _timed_pool_ms(1)
+        t3 = _timed_pool_ms(3)
+    except OSError:
+        return PoolCostModel(source="default")
+    spawn = max((t3 - t1) / 2.0, 1.0)
+    startup = max(t1 - spawn, 1.0)
+    return PoolCostModel(
+        pool_startup_ms=round(startup, 3),
+        worker_spawn_ms=round(spawn, 3),
+        source="measured",
+    )
+
+
+def calibrate_pool_costs(store=None, force: bool = False) -> PoolCostModel:
+    """Resolve (once per process) the per-host pool cost model.
+
+    Precedence: the :data:`POOL_STARTUP_ENV` / :data:`WORKER_SPAWN_ENV`
+    environment overrides (reproducible tests; never measured, never
+    persisted) > a calibration previously persisted for this host in
+    ``store`` (an :class:`~repro.pipeline.store.ArtifactStore`) > a
+    fresh :func:`measure_pool_costs` measurement, persisted to ``store``
+    when one is given > the built-in defaults.  ``force=True`` discards
+    the process cache and any persisted entry and re-measures.
+    """
+    global _COST_MODEL
+    env = _env_cost_model()
+    if env is not None:
+        return env
+    with _COST_LOCK:
+        if _COST_MODEL is not None and not force:
+            return _COST_MODEL
+        key = _calibration_key()
+        if store is not None and not force:
+            doc = store.get_entry(_CALIBRATION_NAMESPACE, key)
+            if isinstance(doc, dict):
+                try:
+                    _COST_MODEL = PoolCostModel(
+                        pool_startup_ms=float(doc["pool_startup_ms"]),
+                        worker_spawn_ms=float(doc["worker_spawn_ms"]),
+                        source="store",
+                    )
+                    return _COST_MODEL
+                except (KeyError, TypeError, ValueError):
+                    pass  # corrupt entry: fall through and re-measure
+        measured = measure_pool_costs()
+        if store is not None and measured.source == "measured":
+            store.put_entry(
+                _CALIBRATION_NAMESPACE, key, measured.to_json()
+            )
+        _COST_MODEL = measured
+        return _COST_MODEL
+
+
+def pool_cost_model() -> PoolCostModel:
+    """The cost model ``auto`` currently plans with (no measurement).
+
+    Env overrides win; otherwise the process's cached
+    :func:`calibrate_pool_costs` result; otherwise the defaults.
+    """
+    env = _env_cost_model()
+    if env is not None:
+        return env
+    with _COST_LOCK:
+        if _COST_MODEL is not None:
+            return _COST_MODEL
+    return PoolCostModel()
 
 
 # ---------------------------------------------------------------------- #
@@ -416,10 +587,11 @@ class AutoWindowExecutor(WindowExecutor):
         if task_ms is None:
             task_ms = observed_task_ms()
         if task_ms is not None:
+            costs = pool_cost_model()
             serial_ms = task_ms * n_tasks
             parallel_ms = (
-                POOL_STARTUP_MS
-                + WORKER_SPAWN_MS * workers
+                costs.pool_startup_ms
+                + costs.worker_spawn_ms * workers
                 + serial_ms / workers
             )
             if serial_ms < parallel_ms * MIN_SPEEDUP_MARGIN:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import check_in
+from repro.dta.algorithm2 import entry_pairs
 from repro.logicsim.activity import ActivityTrace
 from repro.netlist.gates import EndpointKind, GateType
 from repro.netlist.library import TimingLibrary
@@ -173,19 +174,23 @@ class GraphDTSAnalyzer:
     def instruction_dts(
         self,
         activity: ActivityTrace,
-        entry_cycle: int,
+        entry_cycle: "int | list[tuple[int, int]]",
         clock_period: float,
         arrivals: np.ndarray | None = None,
     ) -> float | None:
-        """Deterministic instruction DTS (Algorithm 2 over graph DTA)."""
+        """Deterministic instruction DTS (Algorithm 2 over graph DTA).
+
+        ``entry_cycle`` is an entry cycle (in-order trajectory) or an
+        explicit ``(stage, cycle)`` pair list (see
+        :func:`repro.dta.algorithm2.entry_pairs`).
+        """
         arr = (
             arrivals
             if arrivals is not None
             else self.activated_arrivals(activity)
         )
         values = []
-        for s in range(self.netlist.num_stages):
-            t = entry_cycle + s
+        for s, t in entry_pairs(entry_cycle, self.netlist.num_stages):
             if not 0 <= t < activity.n_cycles:
                 continue
             dts = self.stage_dts_trace(s, activity, clock_period, arr)[t]

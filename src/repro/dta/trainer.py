@@ -47,6 +47,10 @@ class DatapathTrainer:
         pipeline: Generated pipeline netlist.
         analyzer: Instruction DTS analyzer restricted to DATA endpoints.
         setup_time: Flip-flop setup time of the library (ps).
+        scheduler_factory: ``(program, pipeline) -> scheduler`` building
+            the occupancy scheduler per training program (a core
+            family's ``make_scheduler``).  Defaults to the in-order
+            :class:`PipelineScheduler`.
     """
 
     def __init__(
@@ -54,10 +58,16 @@ class DatapathTrainer:
         pipeline,
         analyzer: InstructionDTSAnalyzer,
         setup_time: float,
+        scheduler_factory=None,
     ) -> None:
         self.pipeline = pipeline
         self.analyzer = analyzer
         self.setup_time = setup_time
+        self.scheduler_factory = scheduler_factory or (
+            lambda program, pl: PipelineScheduler(
+                program, num_stages=pl.num_stages
+            )
+        )
         self.simulator = LevelizedSimulator(pipeline.netlist)
         self.encoder = StimulusEncoder(pipeline)
 
@@ -110,16 +120,14 @@ class DatapathTrainer:
 
     def measure(self, program, rec_prev, rec_target):
         """Gate-level arrival measurement of the target instruction."""
-        scheduler = PipelineScheduler(
-            program, num_stages=self.pipeline.num_stages
-        )
+        scheduler = self.scheduler_factory(program, self.pipeline)
         window = InstructionWindow([rec_prev, rec_target])
         schedule = scheduler.schedule(window)
         activity = self.simulator.activity(
             self.encoder.encode_schedule(schedule)
         )
         dts = self.analyzer.window_dts(
-            activity, [1], _T_REF, include_safe=True
+            activity, scheduler.entries(window, [1]), _T_REF, include_safe=True
         )[0]
         if dts is None:
             return 0.0, 0.5  # no data endpoint toggled (nop-like)

@@ -89,6 +89,9 @@ class PipelineNetlist:
             instruction currently occupying the stage.
         capture: Per-stage dicts of named capture flip-flop buses (the
             endpoints whose DTS Algorithm 1 evaluates for that stage).
+        stage_names: Stage mnemonics, one per stage (family-specific:
+            the in-order core uses :data:`STAGE_NAMES`, other core
+            families supply their own).
     """
 
     netlist: Netlist
@@ -96,6 +99,7 @@ class PipelineNetlist:
     ctrl_src: list[list[int]] = field(default_factory=list)
     data_src: list[dict[str, list[int]]] = field(default_factory=list)
     capture: list[dict[str, list[int]]] = field(default_factory=list)
+    stage_names: tuple[str, ...] = STAGE_NAMES
 
     @property
     def num_stages(self) -> int:

@@ -148,9 +148,7 @@ class OperatingPointOptimizer:
         coef = np.polyfit(s, np.log(er), deg=min(2, len(s) - 1))
         grid = np.linspace(s[0], s[-1], 201)
         er_grid = np.exp(np.polyval(coef, grid))
-        penalty = self.base.scheme.penalty_cycles(
-            self.base.pipeline.num_stages
-        )
+        penalty = self.base.penalty_cycles
         perf = np.array(
             [
                 TSPerformanceModel(g, penalty).improvement_percent(e)

@@ -42,6 +42,7 @@ from repro.variation.process import VariationConfig
 
 __all__ = [
     "CORRECTION_SCHEMES",
+    "DEFAULT_FAMILY",
     "ProcessorConfig",
     "ProgramIR",
     "TrainingSpec",
@@ -63,6 +64,12 @@ CORRECTION_SCHEMES: dict[str, type[CorrectionScheme]] = {
     PipelineFlush.name: PipelineFlush,
     NoCorrection.name: NoCorrection,
 }
+
+#: The default core family name.  Kept as a literal (mirroring
+#: ``repro.core.family.DEFAULT_FAMILY``) because the IR sits below
+#: ``repro.core`` and must not import it at module level; family
+#: validation happens lazily in ``ProcessorConfig.__post_init__``.
+DEFAULT_FAMILY = "inorder6"
 
 
 def program_fingerprint(program) -> str:
@@ -102,6 +109,7 @@ class ProcessorConfig:
     yield_quantile: float = 0.9987
     droop_guardband: float = 1.04
     paths_per_endpoint: int = 12
+    core_family: str = DEFAULT_FAMILY
 
     def __post_init__(self) -> None:
         if self.scheme not in CORRECTION_SCHEMES:
@@ -109,23 +117,30 @@ class ProcessorConfig:
                 f"unknown correction scheme {self.scheme!r}; "
                 f"known: {sorted(CORRECTION_SCHEMES)}"
             )
+        # Lazy import: the registry lives above the IR (repro.core), so
+        # validating here must not create a module-level cycle.
+        from repro.core.family import get_core_family
+
+        get_core_family(self.core_family)
 
     def build(self):
+        from repro.core.family import get_core_family
         from repro.core.processor import ProcessorModel
-        from repro.netlist.generator import generate_pipeline
 
+        family = get_core_family(self.core_family)
         return ProcessorModel(
-            pipeline=generate_pipeline(self.pipeline),
+            pipeline=family.build_netlist(self.pipeline),
             variation_config=self.variation,
             scheme=CORRECTION_SCHEMES[self.scheme](),
             speculation=self.speculation,
             yield_quantile=self.yield_quantile,
             droop_guardband=self.droop_guardband,
             paths_per_endpoint=self.paths_per_endpoint,
+            core_family=family,
         )
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "pipeline": _config_doc(self.pipeline),
             "variation": _config_doc(self.variation),
             "scheme": self.scheme,
@@ -134,6 +149,11 @@ class ProcessorConfig:
             "droop_guardband": repr(self.droop_guardband),
             "paths_per_endpoint": self.paths_per_endpoint,
         }
+        # Omit-on-default keeps every pre-family digest (and therefore
+        # every persisted store key and resolved seed) byte-identical.
+        if self.core_family != DEFAULT_FAMILY:
+            doc["core_family"] = self.core_family
+        return doc
 
     def digest(self) -> str:
         """Identity of this configuration (worker-side registry key)."""
@@ -216,6 +236,7 @@ class ControlInputIR:
     paths_per_endpoint: int
     spec: TrainingSpec
     clock_period: float | None = None
+    core_family: str = DEFAULT_FAMILY
 
     @classmethod
     def build(
@@ -233,6 +254,7 @@ class ControlInputIR:
             paths_per_endpoint=config.paths_per_endpoint,
             spec=spec,
             clock_period=clock_period,
+            core_family=config.core_family,
         )
 
     def period_independent(self) -> "ControlInputIR":
@@ -255,6 +277,10 @@ class ControlInputIR:
             # repr() keeps full float precision; a different period is a
             # different (and incompatible) characterization.
             doc["clock_period"] = repr(float(self.clock_period))
+        # Omit-on-default: in-order keys stay byte-identical to the
+        # pre-family store; other families can never collide with them.
+        if self.core_family != DEFAULT_FAMILY:
+            doc["core_family"] = self.core_family
         return doc
 
     @property
@@ -269,6 +295,7 @@ class DatapathInputIR:
     pipeline: dict
     variation: dict
     paths_per_endpoint: int
+    core_family: str = DEFAULT_FAMILY
 
     @classmethod
     def build(cls, config: ProcessorConfig) -> "DatapathInputIR":
@@ -276,15 +303,19 @@ class DatapathInputIR:
             pipeline=_config_doc(config.pipeline),
             variation=_config_doc(config.variation),
             paths_per_endpoint=config.paths_per_endpoint,
+            core_family=config.core_family,
         )
 
     def to_doc(self) -> dict:
-        return {
+        doc = {
             "kind": "datapath/1",
             "pipeline": self.pipeline,
             "variation": self.variation,
             "paths_per_endpoint": self.paths_per_endpoint,
         }
+        if self.core_family != DEFAULT_FAMILY:
+            doc["core_family"] = self.core_family
+        return doc
 
     @property
     def content_hash(self) -> str:

@@ -26,6 +26,7 @@ byte-identical by construction, share entries.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass, field
 
@@ -170,6 +171,7 @@ class EstimationPipeline:
         self._estimate = REGISTRY.create("estimate", self.plan["estimate"])
         self._derived: dict[float, EstimationPipeline] = {}
         self._derived_models: dict[float, object] = {}
+        self._family_siblings: dict[str, EstimationPipeline] = {}
 
     # ------------------------------------------------------------------ #
     # Processor access
@@ -196,6 +198,44 @@ class EstimationPipeline:
                 speculation=speculation
             )
         return self._derived_models[speculation]
+
+    @property
+    def core_family_name(self) -> str:
+        """The registered core-family name this pipeline targets."""
+        if self.config is not None:
+            return self.config.core_family
+        return self.processor.core_family.name
+
+    def pipeline_for_family(self, core_family: str) -> "EstimationPipeline":
+        """This pipeline re-targeted at another registered core family.
+
+        Shares the artifact store and the activity cache — both are
+        content-addressed, and every family-tagged IR hashes differently,
+        so entries can never collide across families — plus the backend
+        plan and execution knobs.  Requires the recipe
+        (:class:`ProcessorConfig`) form: a pre-built processor cannot be
+        re-targeted.
+        """
+        if core_family == self.core_family_name:
+            return self
+        if core_family not in self._family_siblings:
+            if self.config is None:
+                raise ValueError(
+                    f"this pipeline wraps a pre-built "
+                    f"{self.core_family_name!r} processor and cannot run "
+                    f"{core_family!r} requests; construct it from a "
+                    f"ProcessorConfig to enable family dispatch"
+                )
+            self._family_siblings[core_family] = EstimationPipeline(
+                dataclasses.replace(self.config, core_family=core_family),
+                backends=self.plan,
+                store=self.store,
+                n_data_samples=self.n_data_samples,
+                window_workers=self.window_workers,
+                executor=self.executor,
+                activity_cache=self.activity_cache,
+            )
+        return self._family_siblings[core_family]
 
     def pipeline_for(self, speculation) -> "EstimationPipeline":
         """This pipeline at a derived operating point.
@@ -442,6 +482,9 @@ class EstimationPipeline:
         the :class:`~repro.core.results.ErrorRateReport` — use
         :meth:`execute` for the store-aware flow with stage telemetry.
         """
+        family_pipe = self.pipeline_for_family(request.core_family)
+        if family_pipe is not self:
+            return family_pipe.run(request, artifacts)
         workload = request.resolve_workload()
         pipe = self.pipeline_for(request.speculation)
         program, train_setup, train_budget = workload.run_spec(
@@ -476,6 +519,9 @@ class EstimationPipeline:
         result carries one :class:`StageEvent` per stage saying whether
         its output was a store ``hit`` or freshly ``computed``.
         """
+        family_pipe = self.pipeline_for_family(request.core_family)
+        if family_pipe is not self:
+            return family_pipe.execute(request)
         events: list[StageEvent] = []
         pipe = self.pipeline_for(request.speculation)
         workload = request.resolve_workload()
@@ -630,6 +676,17 @@ class EstimationPipeline:
         """
         from repro.pipeline.grid import execute_grid
 
+        requests = list(requests)
+        if requests:
+            families = {r.core_family for r in requests}
+            if len(families) > 1:
+                raise ValueError(
+                    "grid requests must share one core family; got "
+                    f"{', '.join(sorted(families))}"
+                )
+            family_pipe = self.pipeline_for_family(requests[0].core_family)
+            if family_pipe is not self:
+                return execute_grid(family_pipe, requests)
         return execute_grid(self, requests)
 
     # ------------------------------------------------------------------ #
@@ -719,9 +776,13 @@ class EstimationPipeline:
 
     def describe(self) -> dict:
         """The resolved stage graph + store state (``pipeline inspect``)."""
+        from repro.core.family import available_core_families
+
         return {
             "schema": "repro.pipeline/1",
             "plan": dict(self.plan),
+            "core_family": self.core_family_name,
+            "core_families": list(available_core_families()),
             "stages": REGISTRY.describe(),
             "store": self.store.describe() if self.store is not None else None,
         }

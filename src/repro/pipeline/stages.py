@@ -189,6 +189,7 @@ class _DTABackendBase:
             activity_cache=activity_cache,
             window_workers=self.window_workers,
             executor=self.executor,
+            scheduler=processor.make_scheduler(program),
         )
 
     @staticmethod

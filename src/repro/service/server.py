@@ -177,6 +177,12 @@ class EstimationService:
         self.store = ArtifactStore(
             self.state_dir / "store", max_bytes=store_budget
         )
+        # Per-host fork-pool cost calibration: measured once (while the
+        # process is still single-threaded and fork-safe), persisted in
+        # the shared store, env-overridable for reproducible tests.
+        from repro.dta.executor import calibrate_pool_costs
+
+        self.pool_costs = calibrate_pool_costs(self.store)
         self.stats = SchedulerStats()
         self.pool = None
         self.pool_plan = None
@@ -193,6 +199,8 @@ class EstimationService:
         self.ready = threading.Event()
         self.jobs_done = 0
         self.jobs_failed = 0
+        #: Completed-job counts keyed by the request's core family.
+        self.jobs_by_family: dict[str, int] = {}
 
     # ------------------------------------------------------------------ #
     # Job execution (dispatch threads / worker processes)
@@ -247,6 +255,7 @@ class EstimationService:
         except WorkerCrashed as crash:
             self._requeue_batch(batch, crash)
             return
+        doc_by_job = {job_id: doc for job_id, doc in batch.jobs}
         for outcome in outcomes:
             if outcome["ok"]:
                 result_doc = outcome["result"]
@@ -255,6 +264,12 @@ class EstimationService:
                     stages=result_doc.get("stages"),
                 )
                 self.jobs_done += 1
+                family = doc_by_job.get(outcome["job"], {}).get(
+                    "core_family", "inorder6"
+                )
+                self.jobs_by_family[family] = (
+                    self.jobs_by_family.get(family, 0) + 1
+                )
             else:
                 self.queue.fail(outcome["job"], outcome["error"])
                 self.jobs_failed += 1
@@ -448,12 +463,16 @@ class EstimationService:
             "inflight_batches": self._inflight,
             "jobs_done": self.jobs_done,
             "jobs_failed": self.jobs_failed,
+            "jobs_by_family": dict(
+                sorted(self.jobs_by_family.items())
+            ),
             "config": {
                 "batch_window_ms": self.batch_window_ms,
                 "max_batch": self.max_batch,
                 "workers": self.workers,
                 "worker_processes": self.worker_processes,
             },
+            "pool_costs": self.pool_costs.to_json(),
             "pool": (
                 self.pool.describe() if self.pool is not None else None
             ),

@@ -1,0 +1,142 @@
+"""Core-family registry: descriptors, dispatch, and out-of-tree extension."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.family import (
+    DEFAULT_FAMILY,
+    CoreFamily,
+    available_core_families,
+    get_core_family,
+    register_core_family,
+    resolve_core_family,
+)
+from repro.core.processor import ProcessorModel
+from repro.cpu.correction import NoCorrection, PipelineFlush, ReplayHalfFrequency
+from repro.cpu.pipeline import PipelineScheduler
+from repro.cpu.program import Program
+from repro.cpu.isa import Instruction, Opcode
+from repro.netlist.generator import STAGE_NAMES, generate_pipeline
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        names = available_core_families()
+        assert DEFAULT_FAMILY in names
+        assert "ooo-tomasulo" in names
+
+    def test_get_unknown_names_registered(self):
+        with pytest.raises(KeyError, match="inorder6"):
+            get_core_family("vliw-9000")
+
+    def test_duplicate_registration_rejected(self):
+        inorder = get_core_family(DEFAULT_FAMILY)
+        with pytest.raises(ValueError, match=DEFAULT_FAMILY):
+            register_core_family(inorder)
+
+    def test_resolve_accepts_name_descriptor_and_none(self):
+        inorder = get_core_family(DEFAULT_FAMILY)
+        assert resolve_core_family(None) is inorder
+        assert resolve_core_family(DEFAULT_FAMILY) is inorder
+        assert resolve_core_family(inorder) is inorder
+
+    def test_descriptor_shape(self):
+        inorder = get_core_family(DEFAULT_FAMILY)
+        ooo = get_core_family("ooo-tomasulo")
+        assert inorder.stage_names == STAGE_NAMES
+        assert inorder.num_stages == 6
+        assert ooo.num_stages == 8
+        assert ooo.stage_names == ("IF", "ID", "RN", "IS", "EX", "ME", "WB", "CM")
+
+
+class TestPenaltyComposition:
+    def test_inorder_matches_raw_scheme_penalty(self):
+        # Zero recovery cycles: the family's composition must reduce to
+        # the scheme's own penalty (the pre-family behaviour, which the
+        # byte-identity guarantee depends on).
+        inorder = get_core_family(DEFAULT_FAMILY)
+        for scheme in (ReplayHalfFrequency(), PipelineFlush()):
+            assert inorder.correction_penalty(scheme) == scheme.penalty_cycles(
+                inorder.num_stages
+            )
+
+    def test_ooo_adds_recovery_cycles(self):
+        ooo = get_core_family("ooo-tomasulo")
+        scheme = ReplayHalfFrequency()
+        assert ooo.correction_penalty(scheme) == pytest.approx(
+            scheme.penalty_cycles(ooo.num_stages) + ooo.recovery_cycles
+        )
+        assert ooo.recovery_cycles > 0
+
+    def test_no_correction_pays_nothing(self):
+        ooo = get_core_family("ooo-tomasulo")
+        assert ooo.correction_penalty(NoCorrection()) == 0.0
+
+
+class TestProcessorIntegration:
+    def test_processor_defaults_to_inorder(self):
+        proc = ProcessorModel()
+        assert proc.core_family.name == DEFAULT_FAMILY
+        assert proc.num_stages == 6
+        assert proc.describe()["core_family"] == DEFAULT_FAMILY
+
+    def test_ooo_processor_builds_family_netlist(self):
+        proc = ProcessorModel(core_family="ooo-tomasulo")
+        assert proc.num_stages == 8
+        assert proc.pipeline.stage_names == get_core_family(
+            "ooo-tomasulo"
+        ).stage_names
+
+    def test_derive_keeps_family(self):
+        proc = ProcessorModel(core_family="ooo-tomasulo")
+        derived = proc.derive(speculation=1.25)
+        assert derived.core_family is proc.core_family
+
+
+class TestOutOfTreeRegistration:
+    def test_stub_family_runs_without_core_edits(self):
+        """A third-party family needs only register_core_family.
+
+        The stub reuses the in-order netlist and scheduler but composes
+        its own recovery cost — registered without touching
+        ``repro.netlist`` or ``repro.core.errormodel``.
+        """
+        name = "stub-inorder-heavy"
+        if name not in available_core_families():
+            register_core_family(
+                CoreFamily(
+                    name=name,
+                    description="in-order core with an expensive recovery",
+                    stage_names=STAGE_NAMES,
+                    build_netlist=generate_pipeline,
+                    make_scheduler=lambda program, pipeline: PipelineScheduler(
+                        program, num_stages=pipeline.num_stages
+                    ),
+                    recovery_cycles=11.0,
+                )
+            )
+        proc = ProcessorModel(core_family=name)
+        assert proc.num_stages == 6
+        scheme = proc.scheme
+        assert proc.penalty_cycles == pytest.approx(
+            scheme.penalty_cycles(6) + 11.0
+        )
+        # The stub's scheduler drives real occupancy scheduling.
+        program = Program(
+            [Instruction(Opcode.LI, rd=1, imm=3), Instruction(Opcode.HALT)],
+            name="stub",
+        )
+        scheduler = proc.make_scheduler(program)
+        from repro.cpu.interpreter import FunctionalSimulator
+        from repro.cpu.pipeline import InstructionWindow
+        from repro.cpu.state import MachineState
+
+        sim = FunctionalSimulator(program)
+        record = sim.step(MachineState())
+        window = InstructionWindow([record])
+        schedule = scheduler.schedule(window)
+        assert all(len(cycle) == 6 for cycle in schedule)
+        assert scheduler.entries(window, [0]) == [0]

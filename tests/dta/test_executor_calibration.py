@@ -1,0 +1,182 @@
+"""Pool-cost calibration: env overrides, persistence, and auto planning."""
+
+import pytest
+
+from repro.dta import executor as executor_mod
+from repro.dta.executor import (
+    POOL_STARTUP_ENV,
+    POOL_STARTUP_MS,
+    WORKER_SPAWN_ENV,
+    WORKER_SPAWN_MS,
+    AutoWindowExecutor,
+    PoolCostModel,
+    calibrate_pool_costs,
+    fork_available,
+    fork_safe,
+    measure_pool_costs,
+    pool_cost_model,
+)
+from repro.pipeline.store import ArtifactStore
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache(monkeypatch):
+    """Each test starts with no cached calibration and no env override."""
+    monkeypatch.setattr(executor_mod, "_COST_MODEL", None)
+    monkeypatch.delenv(POOL_STARTUP_ENV, raising=False)
+    monkeypatch.delenv(WORKER_SPAWN_ENV, raising=False)
+
+
+class TestDefaults:
+    def test_model_defaults_match_constants(self):
+        model = PoolCostModel()
+        assert model.pool_startup_ms == POOL_STARTUP_MS
+        assert model.worker_spawn_ms == WORKER_SPAWN_MS
+        assert model.source == "default"
+
+    def test_pool_cost_model_never_measures(self):
+        # With no cache, no env, no store: the fast accessor returns
+        # the defaults instead of paying a measurement.
+        assert pool_cost_model() == PoolCostModel()
+
+    def test_to_json_round_trips(self):
+        doc = PoolCostModel(3.5, 1.25, source="measured").to_json()
+        assert doc == {
+            "pool_startup_ms": 3.5,
+            "worker_spawn_ms": 1.25,
+            "source": "measured",
+        }
+
+
+class TestEnvOverride:
+    def test_env_wins_over_everything(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(POOL_STARTUP_ENV, "7.5")
+        monkeypatch.setenv(WORKER_SPAWN_ENV, "3.25")
+        store = ArtifactStore(tmp_path / "store")
+        model = calibrate_pool_costs(store)
+        assert model.source == "env"
+        assert model.pool_startup_ms == 7.5
+        assert model.worker_spawn_ms == 3.25
+        # Env overrides are never persisted.
+        assert store.get_entry("calibration", executor_mod._calibration_key()) is None
+
+    def test_partial_env_fills_from_defaults(self, monkeypatch):
+        monkeypatch.setenv(POOL_STARTUP_ENV, "9.0")
+        model = pool_cost_model()
+        assert model.source == "env"
+        assert model.pool_startup_ms == 9.0
+        assert model.worker_spawn_ms == WORKER_SPAWN_MS
+
+    def test_unparseable_env_falls_back_per_field(self, monkeypatch):
+        monkeypatch.setenv(POOL_STARTUP_ENV, "banana")
+        monkeypatch.setenv(WORKER_SPAWN_ENV, "2.0")
+        model = pool_cost_model()
+        assert model.pool_startup_ms == POOL_STARTUP_MS
+        assert model.worker_spawn_ms == 2.0
+
+    def test_negative_env_clamped_to_zero(self, monkeypatch):
+        monkeypatch.setenv(WORKER_SPAWN_ENV, "-4")
+        assert pool_cost_model().worker_spawn_ms == 0.0
+
+
+class TestMeasurement:
+    @pytest.mark.skipif(
+        not (fork_available() and fork_safe()),
+        reason="fork start method unavailable",
+    )
+    def test_measured_costs_are_positive(self):
+        model = measure_pool_costs()
+        assert model.source == "measured"
+        assert model.pool_startup_ms >= 1.0
+        assert model.worker_spawn_ms >= 1.0
+
+    def test_calibration_is_cached_per_process(self, monkeypatch):
+        sentinel = PoolCostModel(5.0, 2.0, source="measured")
+        calls = []
+
+        def fake_measure():
+            calls.append(1)
+            return sentinel
+
+        monkeypatch.setattr(executor_mod, "measure_pool_costs", fake_measure)
+        first = calibrate_pool_costs()
+        second = calibrate_pool_costs()
+        assert first is sentinel
+        assert second is sentinel
+        assert len(calls) == 1  # second call hit the process cache
+
+
+class TestPersistence:
+    def _store(self, tmp_path):
+        return ArtifactStore(tmp_path / "store")
+
+    def test_measurement_persists_and_reloads(self, monkeypatch, tmp_path):
+        sentinel = PoolCostModel(6.5, 2.5, source="measured")
+        monkeypatch.setattr(
+            executor_mod, "measure_pool_costs", lambda: sentinel
+        )
+        store = self._store(tmp_path)
+        first = calibrate_pool_costs(store)
+        assert first is sentinel
+        doc = store.get_entry(
+            "calibration", executor_mod._calibration_key()
+        )
+        assert doc == sentinel.to_json()
+
+        # A later process (cache cleared) loads the stored calibration
+        # instead of re-measuring.
+        monkeypatch.setattr(executor_mod, "_COST_MODEL", None)
+        monkeypatch.setattr(
+            executor_mod,
+            "measure_pool_costs",
+            lambda: pytest.fail("should not re-measure"),
+        )
+        reloaded = calibrate_pool_costs(store)
+        assert reloaded.source == "store"
+        assert reloaded.pool_startup_ms == 6.5
+        assert reloaded.worker_spawn_ms == 2.5
+
+    def test_default_fallback_is_not_persisted(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(
+            executor_mod,
+            "measure_pool_costs",
+            lambda: PoolCostModel(source="default"),
+        )
+        store = self._store(tmp_path)
+        calibrate_pool_costs(store)
+        assert store.get_entry(
+            "calibration", executor_mod._calibration_key()
+        ) is None
+
+    def test_corrupt_entry_falls_through_to_measurement(
+        self, monkeypatch, tmp_path
+    ):
+        store = self._store(tmp_path)
+        store.put_entry(
+            "calibration", executor_mod._calibration_key(), {"bogus": 1}
+        )
+        sentinel = PoolCostModel(4.0, 2.0, source="measured")
+        monkeypatch.setattr(
+            executor_mod, "measure_pool_costs", lambda: sentinel
+        )
+        assert calibrate_pool_costs(store) is sentinel
+
+
+class TestAutoPlanUsesCalibration:
+    def test_huge_overheads_force_serial(self, monkeypatch):
+        # With absurd calibrated costs the parallel estimate can never
+        # beat serial, so auto plans serially even for many tasks.
+        monkeypatch.setenv(POOL_STARTUP_ENV, "1e9")
+        monkeypatch.setenv(WORKER_SPAWN_ENV, "1e9")
+        monkeypatch.setattr(executor_mod, "effective_cpus", lambda: 4)
+        plan = AutoWindowExecutor().plan(n_tasks=64, workers=4, task_ms=5.0)
+        assert not plan.parallel
+
+    def test_zero_overheads_allow_parallel(self, monkeypatch):
+        if not (fork_available() and fork_safe()):
+            pytest.skip("fork start method unavailable")
+        monkeypatch.setenv(POOL_STARTUP_ENV, "0")
+        monkeypatch.setenv(WORKER_SPAWN_ENV, "0")
+        monkeypatch.setattr(executor_mod, "effective_cpus", lambda: 4)
+        plan = AutoWindowExecutor().plan(n_tasks=64, workers=4, task_ms=5.0)
+        assert plan.parallel

@@ -1,0 +1,160 @@
+"""Golden-report regression and cross-family pipeline behaviour.
+
+The golden file pins the exact ``inorder6`` report bytes the seed
+produced for the reference bitcount request.  Any change to defaults,
+serialization, seeding, or numerics that perturbs the default family's
+output fails here — the core-family seam must leave in-order results
+byte-identical.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro import api
+from repro.core import EstimationRequest
+from repro.netlist import PipelineConfig
+from repro.cpu.assembler import assemble
+from repro.pipeline.ir import (
+    ControlInputIR,
+    DatapathInputIR,
+    ProcessorConfig,
+    TrainingSpec,
+)
+from repro.pipeline.pipeline import EstimationPipeline
+
+GOLDEN = pathlib.Path(__file__).parent / "golden_inorder6_bitcount.json"
+
+#: The request the golden file was generated from (full defaults).
+GOLDEN_REQUEST = EstimationRequest(
+    workload="bitcount",
+    max_instructions=20_000,
+    train_instructions=20_000,
+    seed=0,
+)
+
+#: Small processor configuration for the fast cross-family tests.
+SMALL = PipelineConfig(
+    data_width=8, mult_width=4, shift_bits=3, ctrl_regs=10,
+    cloud_gates=60, seed=7,
+)
+
+
+def _canon(doc: dict) -> str:
+    return json.dumps(doc, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def toy_program():
+    return assemble("li r1, 3\nadd r2, r2, r1\nhalt", name="toy")
+
+
+class TestGoldenInorder6:
+    @pytest.mark.slow
+    def test_default_pipeline_reproduces_golden_bytes(self):
+        golden = json.loads(GOLDEN.read_text())
+        pipeline = EstimationPipeline(ProcessorConfig())
+        result = pipeline.execute(GOLDEN_REQUEST)
+        produced = api.report_to_json(result.report, include_timing=False)
+        assert _canon(produced) == _canon(golden)
+
+    def test_golden_file_is_canonical_json(self):
+        text = GOLDEN.read_text()
+        doc = json.loads(text)
+        assert text == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+        assert doc["kind"] == "error-rate-report"
+        assert doc["benchmark"] == "bitcount"
+
+
+class TestStoreKeySeparation:
+    def test_processor_digest_splits_on_family(self):
+        inorder = ProcessorConfig(pipeline=SMALL)
+        ooo = ProcessorConfig(pipeline=SMALL, core_family="ooo-tomasulo")
+        assert inorder.digest() != ooo.digest()
+
+    def test_control_ir_hash_splits_on_family(self, toy_program):
+        spec = TrainingSpec(seed=0)
+        inorder = ControlInputIR.build(
+            toy_program, ProcessorConfig(pipeline=SMALL), spec
+        )
+        ooo = ControlInputIR.build(
+            toy_program,
+            ProcessorConfig(pipeline=SMALL, core_family="ooo-tomasulo"),
+            spec,
+        )
+        assert inorder.content_hash != ooo.content_hash
+
+    def test_datapath_ir_hash_splits_on_family(self):
+        inorder = DatapathInputIR.build(ProcessorConfig(pipeline=SMALL))
+        ooo = DatapathInputIR.build(
+            ProcessorConfig(pipeline=SMALL, core_family="ooo-tomasulo")
+        )
+        assert inorder.content_hash != ooo.content_hash
+
+    def test_default_family_omitted_from_docs(self, toy_program):
+        # Omit-on-default: pre-family digests (and store keys) survive.
+        request = EstimationRequest(workload="bitcount")
+        config = ProcessorConfig(pipeline=SMALL)
+        assert "core_family" not in config.to_doc()
+        assert "core_family" not in ControlInputIR.build(
+            toy_program, config, TrainingSpec(seed=0)
+        ).to_doc()
+        assert "core_family" not in DatapathInputIR.build(config).to_doc()
+        assert "core_family" not in request.identity_doc()
+        assert (
+            "core_family"
+            in EstimationRequest(
+                workload="bitcount", core_family="ooo-tomasulo"
+            ).identity_doc()
+        )
+
+    def test_default_seed_unchanged_by_family_field(self):
+        # The derived per-job seed flows from identity_doc; inorder
+        # requests must keep their pre-family seeds.
+        explicit = EstimationRequest(workload="bitcount", core_family="inorder6")
+        implicit = EstimationRequest(workload="bitcount")
+        assert explicit.resolved_seed() == implicit.resolved_seed()
+
+
+class TestFamilyDispatch:
+    def _config(self, family="inorder6"):
+        return ProcessorConfig(pipeline=SMALL, core_family=family)
+
+    def test_pipeline_for_family_returns_self_for_own_family(self):
+        pipeline = EstimationPipeline(self._config())
+        assert pipeline.pipeline_for_family("inorder6") is pipeline
+
+    def test_sibling_is_cached_and_shares_store(self, tmp_path):
+        from repro.pipeline.store import ArtifactStore
+
+        store = ArtifactStore(tmp_path / "store")
+        pipeline = EstimationPipeline(self._config(), store=store)
+        sibling = pipeline.pipeline_for_family("ooo-tomasulo")
+        assert sibling is not pipeline
+        assert sibling.core_family_name == "ooo-tomasulo"
+        assert sibling.store is store
+        assert pipeline.pipeline_for_family("ooo-tomasulo") is sibling
+
+    def test_prebuilt_processor_rejects_cross_family(self):
+        pipeline = EstimationPipeline(self._config().build())
+        with pytest.raises(ValueError, match="pre-built"):
+            pipeline.pipeline_for_family("ooo-tomasulo")
+
+    def test_grid_rejects_mixed_families(self):
+        pipeline = EstimationPipeline(self._config())
+        requests = [
+            EstimationRequest(workload="bitcount", speculation=1.1),
+            EstimationRequest(
+                workload="bitcount",
+                speculation=1.2,
+                core_family="ooo-tomasulo",
+            ),
+        ]
+        with pytest.raises(ValueError, match="core family"):
+            pipeline.execute_grid(requests)
+
+    def test_describe_lists_families(self):
+        doc = EstimationPipeline(self._config()).describe()
+        assert doc["core_family"] == "inorder6"
+        assert "ooo-tomasulo" in doc["core_families"]

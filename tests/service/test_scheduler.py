@@ -57,6 +57,29 @@ class TestBatchKey:
         assert batch_key(_doc("stringsearch")) != base
         assert batch_key(_doc(train_instructions=5_000)) != base
 
+    def test_core_family_splits_the_key(self):
+        # Identical jobs on different core families must never share a
+        # grid: the wire doc always carries core_family (schema 4), so
+        # the key differs even though the operating point matches.
+        inorder = _doc(speculation=1.05)
+        ooo = _doc(speculation=1.05, core_family="ooo-tomasulo")
+        assert inorder["core_family"] == "inorder6"
+        assert ooo["core_family"] == "ooo-tomasulo"
+        assert batch_key(inorder) != batch_key(ooo)
+
+    def test_mixed_family_jobs_never_coalesce(self):
+        docs = [
+            _doc(speculation=1.05),
+            _doc(speculation=1.10, core_family="ooo-tomasulo"),
+            _doc(speculation=1.10),
+            _doc(speculation=1.05, core_family="ooo-tomasulo"),
+        ]
+        batches = form_batches(_claimed(docs), max_points=16)
+        assert len(batches) == 2
+        for batch in batches:
+            families = {doc["core_family"] for _, doc in batch.jobs}
+            assert len(families) == 1
+
 
 class TestFormBatches:
     def test_compatible_jobs_coalesce_in_claim_order(self):

@@ -213,6 +213,25 @@ class TestEndToEnd:
         assert len(listed) >= 3
         assert all(s.request["workload"] for s in listed)
 
+    def test_metrics_count_jobs_per_family(self, client):
+        metrics = client.metrics()
+        by_family = metrics["jobs_by_family"]
+        inorder_before = by_family.get("inorder6", 0)
+        assert inorder_before >= 3  # the jobs the tests above completed
+        assert by_family.get("ooo-tomasulo", 0) == 0
+        # The calibrated pool-cost model is part of the surface.
+        costs = metrics["pool_costs"]
+        assert set(costs) == {
+            "pool_startup_ms", "worker_spawn_ms", "source",
+        }
+
+        status = client.submit(_request(core_family="ooo-tomasulo"))
+        result = client.wait(status.id, timeout=300.0)
+        assert result.report.error_rate_mean >= 0.0
+        by_family = client.metrics()["jobs_by_family"]
+        assert by_family["ooo-tomasulo"] == 1
+        assert by_family["inorder6"] >= inorder_before
+
 
 @pytest.mark.slow
 class TestConcurrentWindowWorkers:

@@ -119,8 +119,8 @@ class TestRequestCodec:
             api.request_from_json({"schema": 2, "benchmark": "dijkstra"})
 
     def test_unsupported_schema_version(self):
-        with pytest.raises(api.ApiError, match="schema 4"):
-            api.request_from_json({"schema": 4, "workload": "bitcount"})
+        with pytest.raises(api.ApiError, match="schema 5"):
+            api.request_from_json({"schema": 5, "workload": "bitcount"})
 
     def test_wrong_kind_rejected(self):
         with pytest.raises(api.ApiError, match="job-status"):
@@ -134,6 +134,75 @@ class TestRequestCodec:
         request = EstimationRequest(workload=load_workload("bitcount"))
         with pytest.raises(api.ApiError, match="wire form"):
             api.request_to_json(request)
+
+
+class TestCoreFamilyCompat:
+    """Schema-4 ``core_family`` field and pre-family document defaults."""
+
+    def test_wire_doc_always_carries_family(self):
+        request = api.build_request(workload="bitcount", speculation=1.1)
+        doc = api.request_to_json(request)
+        assert doc["schema"] == 4
+        assert doc["core_family"] == "inorder6"
+
+    def test_round_trip_preserves_family(self):
+        request = api.build_request(
+            workload="bitcount", speculation=1.1, core_family="ooo-tomasulo"
+        )
+        doc = api.request_to_json(request)
+        assert doc["core_family"] == "ooo-tomasulo"
+        parsed = api.request_from_json(doc)
+        assert parsed == request
+        assert parsed.core_family == "ooo-tomasulo"
+
+    def test_v1_identity_doc_defaults_to_inorder(self):
+        doc = EstimationRequest(workload="bitcount").identity_doc()
+        assert "core_family" not in doc  # pre-family identity preserved
+        assert api.request_from_json(doc).core_family == "inorder6"
+
+    def test_v2_doc_defaults_to_inorder(self):
+        parsed = api.request_from_json(
+            {"schema": 2, "workload": "bitcount", "speculation": 1.2}
+        )
+        assert parsed.core_family == "inorder6"
+
+    def test_v3_grid_doc_defaults_to_inorder(self):
+        parsed = api.requests_from_json(
+            {"schema": 3, "workload": "bitcount", "speculations": [1.1, 1.2]}
+        )
+        assert [r.core_family for r in parsed] == ["inorder6", "inorder6"]
+
+    def test_unknown_family_rejected_naming_field(self):
+        with pytest.raises(api.ApiError, match="core_family"):
+            api.request_from_json(
+                {
+                    "schema": 4,
+                    "workload": "bitcount",
+                    "core_family": "vliw-9000",
+                }
+            )
+
+    def test_unknown_family_error_lists_registered(self):
+        with pytest.raises(api.ApiError, match="inorder6"):
+            api.request_from_json(
+                {
+                    "schema": 4,
+                    "workload": "bitcount",
+                    "core_family": "vliw-9000",
+                }
+            )
+
+    def test_grid_round_trip_preserves_family(self):
+        requests = [
+            api.build_request(
+                workload="bitcount", speculation=s,
+                core_family="ooo-tomasulo",
+            )
+            for s in (1.05, 1.10)
+        ]
+        doc = api.grid_request_to_json(requests)
+        assert doc["core_family"] == "ooo-tomasulo"
+        assert api.requests_from_json(doc) == requests
 
 
 class TestMultiPointCodec:
